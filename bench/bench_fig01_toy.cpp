@@ -1,0 +1,75 @@
+// Fig 1: the motivating toy example — 3 jobs on 3 heterogeneous GPUs.
+//
+// (a) heterogeneity-oblivious scheduling (Sched_Homo) wastes fast GPUs at
+//     barriers; (b) job-level heterogeneity-aware scheduling (Sched_Allox)
+//     forgoes intra-job parallelism; (c) Hare jointly exploits both and
+//     fills idle slots before synchronization points.
+//
+// The paper's figure reports 10.5 s / 9 s / 8.5 s total JCT (and 4.5 s vs
+// 3 s makespan); the exact per-GPU time table lives only in the figure
+// image, so we use a table with the same structure and report the same
+// qualitative ranking.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace hare;
+  bench::print_header("Fig 1", "toy example: 3 jobs, 3 heterogeneous GPUs");
+
+  cluster::Cluster cluster = cluster::ClusterBuilder{}
+                                 .add_machine(cluster::GpuType::V100, 1)
+                                 .add_machine(cluster::GpuType::T4, 1)
+                                 .add_machine(cluster::GpuType::K80, 1)
+                                 .build();
+  workload::JobSet jobs;
+  workload::JobSpec j1;  // 2 rounds x 2 parallel tasks
+  j1.rounds = 2;
+  j1.tasks_per_round = 2;
+  j1.name = "J1";
+  jobs.add_job(j1);
+  workload::JobSpec j2;  // sequential job, strong GPU preference
+  j2.rounds = 4;
+  j2.tasks_per_round = 1;
+  j2.name = "J2";
+  jobs.add_job(j2);
+  workload::JobSpec j3;  // synchronizes every 2 tasks, like the paper's J3
+  j3.rounds = 2;
+  j3.tasks_per_round = 2;
+  j3.name = "J3";
+  jobs.add_job(j3);
+
+  profiler::TimeTable times(3, 3);
+  const double t[3][3] = {{1.0, 1.1, 1.2},
+                          {1.0, 0.4, 2.0},
+                          {1.1, 1.2, 1.0}};
+  for (int j = 0; j < 3; ++j) {
+    for (int g = 0; g < 3; ++g) {
+      times.set(JobId(j), GpuId(g), t[j][g], 0.05);
+    }
+  }
+
+  // Fig 1's three panels: (a) heterogeneity-oblivious, (b) job-level
+  // heterogeneity-aware, (c) Hare.
+  std::vector<std::unique_ptr<sched::Scheduler>> schedulers;
+  schedulers.push_back(std::make_unique<sched::SchedHomoScheduler>());
+  schedulers.push_back(std::make_unique<sched::SchedAlloxScheduler>());
+  schedulers.push_back(std::make_unique<core::HareScheduler>());
+
+  common::Table table({"scheme (figure panel)", "total JCT (s)",
+                       "makespan (s)", "mean util"});
+  for (const auto& scheduler : schedulers) {
+    const sim::Schedule schedule =
+        scheduler->schedule({cluster, jobs, times});
+    const sim::Simulator simulator(cluster, jobs, times);
+    const sim::SimResult result = simulator.run(schedule);
+    table.row()
+        .cell(std::string(scheduler->name()))
+        .cell(result.weighted_jct, 2)
+        .cell(result.makespan, 2)
+        .cell(result.mean_gpu_utilization(), 2);
+  }
+  table.print(std::cout);
+  std::cout << "paper's ranking: Hare (8.5s) < job-level het-aware (9s) < "
+               "het-oblivious (10.5s);\nthe per-GPU time table is only in "
+               "the figure image, so absolute values differ.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig 2: per-model training speedup on each GPU relative to a K80.
+//
+// Paper's shape: ResNet50 gains ~2x on T4 and ~7x on V100; GraphSAGE is
+// capped near 2x even on a V100 because its input pipeline, not the GPU,
+// is the bottleneck.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace hare;
+  bench::print_header("Fig 2", "training speedup vs K80 per model and GPU");
+
+  const workload::PerfModel perf;
+  const cluster::GpuType gpus[] = {cluster::GpuType::K80,
+                                   cluster::GpuType::M60,
+                                   cluster::GpuType::T4,
+                                   cluster::GpuType::V100};
+
+  common::Table table(
+      {"model", "K80", "M60", "T4", "V100", "bottleneck on V100"});
+  for (workload::ModelType model : workload::workload_models()) {
+    const auto batch = workload::model_spec(model).default_batch_size;
+    auto row = table.row();
+    row.cell(std::string(workload::model_name(model)));
+    for (cluster::GpuType gpu : gpus) {
+      row.cell(perf.speedup_vs_k80(model, gpu, batch), 2);
+    }
+    const double util =
+        perf.gpu_utilization(model, cluster::GpuType::V100, batch);
+    row.cell(util > 0.95 ? "compute" : "input pipeline");
+  }
+  table.print(std::cout);
+  std::cout << "paper: ResNet50 ~2x on T4 / ~7x on V100; GraphSAGE capped "
+               "near 2x (input-bound).\n";
+  return 0;
+}

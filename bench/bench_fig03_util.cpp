@@ -1,0 +1,130 @@
+// Figs 3, 6 and 8: GPU utilization under three motivating scenarios.
+//
+//  Fig 3 — training GraphSAGE alone on a V100: utilization stays under
+//          ~30-40% because the input pipeline starves the GPU.
+//  Fig 6 — gang-training ResNet152 on a V100+K80 pair: the K80 is always
+//          busy while the V100 idles at every gradient barrier (<50%).
+//  Fig 8 — alternating GraphSAGE and ResNet50 on one V100: with default
+//          task switching the GPU spends most wall-clock time in CUDA
+//          setup/teardown; with Hare's fast switching it stays busy.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace hare;
+
+void fig3_input_bound_utilization() {
+  bench::print_header("Fig 3", "GraphSAGE utilization on a V100");
+  const workload::PerfModel perf;
+  common::Table table({"model", "GPU", "utilization while training"});
+  for (auto [model, gpu] :
+       {std::pair{workload::ModelType::GraphSAGE, cluster::GpuType::V100},
+        std::pair{workload::ModelType::GraphSAGE, cluster::GpuType::K80},
+        std::pair{workload::ModelType::ResNet50, cluster::GpuType::V100}}) {
+    const auto batch = workload::model_spec(model).default_batch_size;
+    table.row()
+        .cell(std::string(workload::model_name(model)))
+        .cell(std::string(cluster::gpu_type_name(gpu)))
+        .cell(perf.gpu_utilization(model, gpu, batch), 2);
+  }
+  table.print(std::cout);
+  std::cout << "paper: GraphSAGE keeps a V100 under ~30% busy.\n";
+}
+
+void fig6_gang_barrier_idle() {
+  bench::print_header("Fig 6", "ResNet152 on V100+K80: busy fraction per GPU");
+  cluster::Cluster cluster = cluster::ClusterBuilder{}
+                                 .add_machine(cluster::GpuType::V100, 1)
+                                 .add_machine(cluster::GpuType::K80, 1)
+                                 .build();
+  workload::JobSet jobs;
+  workload::JobSpec spec;
+  spec.model = workload::ModelType::ResNet152;
+  spec.rounds = 10;
+  spec.tasks_per_round = 2;  // one task per GPU, gang style
+  jobs.add_job(spec);
+
+  const workload::PerfModel perf;
+  profiler::Profiler profiler(perf, profiler::ProfilerConfig{}, 1);
+  const profiler::TimeTable times = profiler.exact(jobs, cluster);
+
+  // Gang schedule: slot k of every round on GPU k.
+  sim::Schedule schedule;
+  schedule.sequences.resize(2);
+  for (std::uint32_t r = 0; r < spec.rounds; ++r) {
+    const auto round = jobs.round_tasks(JobId(0), static_cast<RoundIndex>(r));
+    schedule.sequences[0].push_back(round[0]);
+    schedule.sequences[1].push_back(round[1]);
+  }
+  sim::SimConfig config;
+  config.record_timeline = true;
+  const sim::Simulator simulator(cluster, jobs, times, config);
+  const sim::SimResult result = simulator.run(schedule);
+
+  common::Table table({"GPU", "busy fraction over the job"});
+  table.row().cell("V100").cell(
+      result.busy_fraction(GpuId(0), 0.0, result.makespan), 2);
+  table.row().cell("K80").cell(
+      result.busy_fraction(GpuId(1), 0.0, result.makespan), 2);
+  table.print(std::cout);
+  std::cout << "paper: K80 always busy; V100 rarely above 50% — the sync "
+               "barrier wastes the fast GPU.\n";
+}
+
+void fig8_switching_utilization() {
+  bench::print_header("Fig 8",
+                      "V100 utilization with and without fast switching");
+  cluster::Cluster cluster =
+      cluster::ClusterBuilder{}.add_machine(cluster::GpuType::V100, 1).build();
+
+  // Two jobs alternate on the single GPU, batch-sized tasks like the
+  // motivation experiment.
+  workload::JobSet jobs;
+  for (auto model :
+       {workload::ModelType::GraphSAGE, workload::ModelType::ResNet50}) {
+    workload::JobSpec spec;
+    spec.model = model;
+    spec.rounds = 20;
+    spec.tasks_per_round = 1;
+    spec.batches_per_task = 40;
+    jobs.add_job(spec);
+  }
+  const workload::PerfModel perf;
+  profiler::Profiler profiler(perf, profiler::ProfilerConfig{}, 1);
+  const profiler::TimeTable times = profiler.exact(jobs, cluster);
+
+  sim::Schedule schedule;
+  schedule.sequences.resize(1);
+  for (std::uint32_t r = 0; r < 20; ++r) {
+    schedule.sequences[0].push_back(jobs.round_tasks(JobId(0), r)[0]);
+    schedule.sequences[0].push_back(jobs.round_tasks(JobId(1), r)[0]);
+  }
+
+  common::Table table(
+      {"executor", "compute util", "switch share of wall-clock"});
+  for (auto policy :
+       {switching::SwitchPolicy::Default, switching::SwitchPolicy::Hare}) {
+    sim::SimConfig config;
+    config.switching.policy = policy;
+    const sim::Simulator simulator(cluster, jobs, times, config);
+    const sim::SimResult result = simulator.run(schedule);
+    const auto& gpu = result.gpus[0];
+    table.row()
+        .cell(std::string(switching::switch_policy_name(policy)))
+        .cell(gpu.busy_compute / gpu.last_busy_end, 2)
+        .cell(gpu.busy_switch / gpu.last_busy_end, 2);
+  }
+  table.print(std::cout);
+  std::cout << "paper: alternating tasks under default switching leaves the "
+               "GPU below 50% busy;\nsingle-model training (or Hare's fast "
+               "switching) keeps it nearly fully utilized.\n";
+}
+
+}  // namespace
+
+int main() {
+  fig3_input_bound_utilization();
+  fig6_gang_barrier_idle();
+  fig8_switching_utilization();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig 4: relaxed scale-fixed synchronization vs the traditional strict
+// scheme.
+//
+// Three tasks i1..i3 are finishing on 3 GPUs at staggered times when a new
+// 3-task job n arrives. Strict scale-fixed waits for 3 simultaneously free
+// GPUs (the slowest of i1..i3 gates everything); Hare's relaxed scheme
+// keeps the synchronization scale at 3 but lets two of n's tasks run
+// sequentially on the early-free GPU, completing the round sooner.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace hare;
+  bench::print_header("Fig 4", "strict vs relaxed scale-fixed sync");
+
+  cluster::Cluster cluster = cluster::ClusterBuilder{}
+                                 .add_machine(cluster::GpuType::V100, 3)
+                                 .build();
+  workload::JobSet jobs;
+  // Residual tasks i1..i3: single-task jobs of staggered lengths.
+  const double residual[3] = {1.0, 4.0, 8.0};
+  for (int j = 0; j < 3; ++j) {
+    workload::JobSpec spec;
+    spec.rounds = 1;
+    spec.tasks_per_round = 1;
+    spec.name = "i" + std::to_string(j + 1);
+    jobs.add_job(spec);
+  }
+  // Arriving job n with synchronization scale 3.
+  workload::JobSpec n;
+  n.rounds = 2;
+  n.tasks_per_round = 3;
+  n.arrival = 0.5;
+  n.name = "n";
+  const JobId n_id = jobs.add_job(n);
+
+  profiler::TimeTable times(4, 3);
+  for (int g = 0; g < 3; ++g) {
+    for (int j = 0; j < 3; ++j) {
+      times.set(JobId(j), GpuId(g), residual[j], 0.05);
+    }
+    times.set(n_id, GpuId(g), 2.0, 0.05);
+  }
+
+  common::Table table({"sync scheme", "job n completion (s)",
+                       "total JCT (s)", "makespan (s)"});
+  for (core::SyncScheme sync :
+       {core::SyncScheme::Strict, core::SyncScheme::Relaxed}) {
+    core::HareConfig config;
+    config.sync = sync;
+    core::HareScheduler scheduler(config);
+    const sim::Schedule schedule = scheduler.schedule({cluster, jobs, times});
+    const sim::Simulator simulator(cluster, jobs, times);
+    const sim::SimResult result = simulator.run(schedule);
+    table.row()
+        .cell(sync == core::SyncScheme::Strict ? "strict scale-fixed"
+                                               : "relaxed scale-fixed (Hare)")
+        .cell(result.jobs[static_cast<std::size_t>(n_id.value())].completion,
+              2)
+        .cell(result.weighted_jct, 2)
+        .cell(result.makespan, 2);
+  }
+  table.print(std::cout);
+  std::cout << "paper: the relaxed scheme starts job n before the slowest "
+               "residual task frees its GPU,\nserializing two of n's tasks "
+               "on an early-free GPU and finishing earlier at the same "
+               "parallelism scale.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig 19: influence of the batch size (multiples of the Table 2 default
+// B0).
+//
+// Paper's shape: batch size barely moves any scheme except Sched_Homo,
+// whose heterogeneity-oblivious gangs idle longer as rounds lengthen.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace hare;
+  bench::print_header("Fig 19", "weighted JCT vs batch size");
+
+  // 0.5x..2x of B0; beyond 2x the Transformer's activations no longer fit
+  // a 16 GiB GPU (the memory model rejects infeasible tasks).
+  const double scales[] = {0.5, 1.0, 1.5, 2.0};
+  const auto cluster = cluster::make_simulation_cluster(160);
+
+  const auto sweep = bench::parallel_sweep(std::size(scales), [&](std::size_t i) {
+    workload::TraceConfig config;
+    config.job_count = 200;
+    config.batch_scale = scales[i];
+    config.base_arrival_rate = 0.5;  // congested regime, as in the paper
+    config.rounds_scale_min = 0.15;
+    config.rounds_scale_max = 0.45;
+    const auto jobs = workload::TraceGenerator(51).generate(config);
+    return bench::run_comparison(cluster, jobs);
+  });
+
+  common::Table table({"batch", sweep[0][0].scheduler, sweep[0][1].scheduler,
+                       sweep[0][2].scheduler, sweep[0][3].scheduler,
+                       sweep[0][4].scheduler, "Homo/Hare"});
+  for (std::size_t i = 0; i < std::size(scales); ++i) {
+    auto row = table.row();
+    row.cell(std::to_string(scales[i]).substr(0, 3) + " B0");
+    for (const auto& scheme : sweep[i]) row.cell(scheme.weighted_jct / 1e3, 1);
+    row.cell(sweep[i][3].weighted_jct / sweep[i][0].weighted_jct, 2);
+  }
+  table.print(std::cout);
+  std::cout << "(weighted JCT in kiloseconds; rounds per job held fixed, so "
+               "larger batches mean more total work for everyone)\n"
+               "paper: relative standings are stable across batch sizes, "
+               "with Sched_Homo penalized most as rounds lengthen.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Shared helpers for the figure/table bench binaries.
+//
+// Each bench regenerates one paper table or figure: it builds the cluster
+// and workload the paper describes, runs the five schemes, and prints the
+// same rows/series the paper reports. Schedulers run under their natural
+// executor: Hare gets the fast-task-switching executor with speculative
+// memory (its §4 contribution), the baselines get the default executor —
+// they switch GPUs only at job granularity, so the cold cost amortizes,
+// exactly the status quo the paper compares against.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "core/hare.hpp"
+
+namespace hare::bench {
+
+struct SchemeResult {
+  std::string scheduler;
+  double weighted_jct = 0.0;
+  double weighted_completion = 0.0;
+  double makespan = 0.0;
+  double mean_utilization = 0.0;
+  double scheduling_ms = 0.0;
+  sim::SimResult sim;
+};
+
+struct ScenarioOptions {
+  std::uint64_t seed = 42;
+  /// Testbed mode: per-task runtime jitter (0 = exact simulator).
+  double runtime_noise_cv = 0.0;
+  core::HareConfig hare{};
+  workload::PerfModelConfig perf{};
+};
+
+/// Run Hare + the four baselines on one instance. Every scheme sees the
+/// same jobs, profiled times, and actual times.
+[[nodiscard]] inline std::vector<SchemeResult> run_comparison(
+    const cluster::Cluster& cluster, const workload::JobSet& jobs,
+    const ScenarioOptions& options = {}) {
+  std::vector<SchemeResult> results;
+  for (const auto& scheduler : core::make_standard_schedulers(options.hare)) {
+    core::HareSystem::Options sys_options;
+    sys_options.seed = options.seed;
+    sys_options.perf = options.perf;
+    sys_options.sim.runtime_noise_cv = options.runtime_noise_cv;
+    sys_options.sim.noise_seed = options.seed ^ 0x5eedull;
+    const bool is_hare = scheduler->name() == std::string_view("Hare");
+    sys_options.sim.switching.policy = is_hare
+                                           ? switching::SwitchPolicy::Hare
+                                           : switching::SwitchPolicy::Default;
+    sys_options.sim.use_memory_manager = is_hare;
+
+    core::HareSystem system(cluster, sys_options);
+    system.submit_all(jobs);
+    const core::RunReport report = system.run(*scheduler);
+
+    SchemeResult entry;
+    entry.scheduler = report.scheduler;
+    entry.weighted_jct = report.result.weighted_jct;
+    entry.weighted_completion = report.result.weighted_completion;
+    entry.makespan = report.result.makespan;
+    entry.mean_utilization = report.result.mean_gpu_utilization();
+    entry.scheduling_ms = report.scheduling_ms;
+    entry.sim = std::move(report.result);
+    results.push_back(std::move(entry));
+  }
+  return results;
+}
+
+/// Default Table 2 workload on the given cluster scale.
+[[nodiscard]] inline workload::JobSet make_default_workload(
+    std::size_t job_count, std::uint64_t seed,
+    workload::WorkloadMix mix = workload::WorkloadMix::uniform(),
+    double batch_scale = 1.0) {
+  workload::TraceConfig config;
+  config.job_count = job_count;
+  config.mix = mix;
+  config.batch_scale = batch_scale;
+  workload::TraceGenerator generator(seed);
+  return generator.generate(config);
+}
+
+/// Evaluate `n` sweep points in parallel; fn(i) fills slot i of the result.
+template <typename Fn>
+std::vector<std::vector<SchemeResult>> parallel_sweep(std::size_t n, Fn&& fn) {
+  std::vector<std::vector<SchemeResult>> out(n);
+  common::ThreadPool pool;
+  pool.parallel_for_each(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+inline void print_header(std::string_view id, std::string_view title) {
+  std::cout << "\n=== " << id << ": " << title << " ===\n";
+}
+
+/// Normalized-to-Hare column helper.
+[[nodiscard]] inline double normalized(double value, double hare_value) {
+  return hare_value > 0.0 ? value / hare_value : 0.0;
+}
+
+}  // namespace hare::bench

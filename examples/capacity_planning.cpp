@@ -1,0 +1,64 @@
+// What-if capacity planning: a downstream use of the library beyond
+// reproducing the paper.
+//
+// An operator with a fixed monthly workload asks: how does total weighted
+// JCT move as I grow the cluster, and when does adding GPUs stop paying?
+// The sweep evaluates Hare on the same trace across cluster sizes in
+// parallel (one deterministic simulation per size on the thread pool) and
+// reports the marginal improvement per added GPU.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "core/hare.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hare;
+
+  const std::size_t jobs_count =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 120;
+
+  workload::TraceConfig trace;
+  trace.job_count = jobs_count;
+  trace.base_arrival_rate = 0.5;
+  trace.rounds_scale_min = 0.15;
+  trace.rounds_scale_max = 0.4;
+  const workload::JobSet jobs = workload::TraceGenerator(77).generate(trace);
+  std::cout << "workload: " << jobs.job_count() << " jobs / "
+            << jobs.task_count() << " tasks\n";
+
+  const std::size_t sizes[] = {16, 24, 32, 48, 64, 96, 128};
+  std::vector<double> wjct(std::size(sizes), 0.0);
+  std::vector<double> util(std::size(sizes), 0.0);
+
+  common::ThreadPool pool;
+  pool.parallel_for_each(std::size(sizes), [&](std::size_t i) {
+    const cluster::Cluster cluster =
+        cluster::make_simulation_cluster(sizes[i]);
+    core::HareSystem system(cluster);
+    system.submit_all(jobs);
+    core::HareScheduler scheduler;
+    const core::RunReport report = system.run(scheduler);
+    wjct[i] = report.result.weighted_jct;
+    util[i] = report.result.mean_gpu_utilization();
+  });
+
+  common::Table table({"GPUs", "weighted JCT (ks)", "mean util",
+                       "improvement vs prev", "per added GPU (%)"});
+  for (std::size_t i = 0; i < std::size(sizes); ++i) {
+    auto row = table.row();
+    row.cell(sizes[i]).cell(wjct[i] / 1e3, 1).cell(util[i], 2);
+    if (i == 0) {
+      row.cell(std::string("-")).cell(std::string("-"));
+    } else {
+      const double gain = 1.0 - wjct[i] / wjct[i - 1];
+      row.cell(gain * 100.0, 1)
+          .cell(gain * 100.0 / static_cast<double>(sizes[i] - sizes[i - 1]),
+                2);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "diminishing returns appear once the cluster stops being the "
+               "bottleneck — the knee is where per-added-GPU gains collapse.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a small heterogeneous cluster, submit a few DML jobs,
+// schedule them with Hare, and print the realized metrics.
+#include <iostream>
+
+#include "core/hare.hpp"
+
+int main() {
+  using namespace hare;
+
+  // A 6-GPU cluster mixing three generations on two machines.
+  cluster::Cluster cluster =
+      cluster::ClusterBuilder{}
+          .add_machine(cluster::GpuType::V100, 2, 25.0)
+          .add_machine(cluster::GpuType::T4, 2, 25.0)
+          .add_machine(cluster::GpuType::K80, 2, 25.0)
+          .build();
+
+  core::HareSystem system(std::move(cluster));
+
+  // Three jobs with different models, sync scales, and arrivals.
+  workload::JobSpec resnet;
+  resnet.model = workload::ModelType::ResNet50;
+  resnet.rounds = 8;
+  resnet.tasks_per_round = 2;
+  system.submit(resnet);
+
+  workload::JobSpec bert;
+  bert.model = workload::ModelType::BertBase;
+  bert.rounds = 5;
+  bert.tasks_per_round = 4;
+  bert.arrival = 10.0;
+  system.submit(bert);
+
+  workload::JobSpec sage;
+  sage.model = workload::ModelType::GraphSAGE;
+  sage.rounds = 10;
+  sage.tasks_per_round = 1;
+  sage.arrival = 5.0;
+  system.submit(sage);
+
+  core::HareScheduler hare_scheduler;
+  const core::RunReport report = system.run(hare_scheduler);
+
+  std::cout << "scheduler          : " << report.scheduler << '\n';
+  std::cout << "weighted JCT (s)   : " << report.result.weighted_jct << '\n';
+  std::cout << "makespan (s)       : " << report.result.makespan << '\n';
+  std::cout << "mean GPU util      : " << report.result.mean_gpu_utilization()
+            << '\n';
+  std::cout << "approx ratio       : " << report.approximation.ratio
+            << "  (guarantee " << report.approximation.guarantee << ")\n";
+
+  std::cout << "\nPer-job completion times:\n";
+  for (std::size_t j = 0; j < report.result.jobs.size(); ++j) {
+    const auto& record = report.result.jobs[j];
+    std::cout << "  job " << j << ": arrival " << record.arrival
+              << "s -> completion " << record.completion << "s (JCT "
+              << record.jct() << "s)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Trace workflow: synthesize a workload trace, save it to disk, reload it,
+// and replay it deterministically — the loop a cluster operator uses to
+// re-examine yesterday's workload under a new scheduler or cluster
+// configuration.
+//
+// Usage: trace_replay [trace_file]
+//   If trace_file exists it is replayed; otherwise a fresh trace is
+//   generated, saved there, and replayed.
+#include <filesystem>
+#include <iostream>
+
+#include "core/hare.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hare;
+
+  const std::string path = argc > 1 ? argv[1] : "hare_example_trace.txt";
+
+  workload::JobSet jobs;
+  if (std::filesystem::exists(path)) {
+    std::cout << "replaying existing trace: " << path << '\n';
+    jobs = workload::load_trace_file(path);
+  } else {
+    std::cout << "generating a new trace -> " << path << '\n';
+    workload::TraceConfig config;
+    config.job_count = 50;
+    config.rounds_scale_min = 0.2;
+    config.rounds_scale_max = 0.5;
+    jobs = workload::TraceGenerator(2026).generate(config);
+    workload::save_trace_file(jobs, path);
+  }
+  std::cout << "trace: " << jobs.job_count() << " jobs, " << jobs.task_count()
+            << " tasks, first arrival " << jobs.earliest_arrival() << "s\n";
+
+  // Replay twice on the testbed cluster; identical outputs demonstrate the
+  // deterministic pipeline (seeded profiler + deterministic simulator).
+  const cluster::Cluster cluster = cluster::make_testbed_cluster();
+  core::HareScheduler scheduler;
+
+  double previous = -1.0;
+  for (int replay = 0; replay < 2; ++replay) {
+    core::HareSystem system(cluster);
+    system.submit_all(jobs);
+    const core::RunReport report = system.run(scheduler);
+    std::cout << "replay " << replay
+              << ": weighted JCT = " << report.result.weighted_jct
+              << " s, makespan = " << report.result.makespan << " s\n";
+    if (previous >= 0.0 && previous != report.result.weighted_jct) {
+      std::cerr << "ERROR: replays diverged!\n";
+      return 1;
+    }
+    previous = report.result.weighted_jct;
+  }
+  std::cout << "replays identical — trace-driven runs are reproducible.\n";
+  return 0;
+}

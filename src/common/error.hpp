@@ -1,0 +1,46 @@
+// Error handling helpers.
+//
+// Invariant violations (programming errors, malformed inputs) throw
+// `hare::common::Error`; HARE_CHECK is used at module boundaries where the
+// cost is negligible next to the work being guarded.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hare::common {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& message) {
+  std::ostringstream os;
+  os << "HARE_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace hare::common
+
+#define HARE_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::hare::common::detail::fail(#expr, __FILE__, __LINE__, "");         \
+    }                                                                      \
+  } while (false)
+
+#define HARE_CHECK_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream hare_check_os;                                    \
+      hare_check_os << msg;                                                \
+      ::hare::common::detail::fail(#expr, __FILE__, __LINE__,              \
+                                   hare_check_os.str());                   \
+    }                                                                      \
+  } while (false)

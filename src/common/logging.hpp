@@ -1,0 +1,78 @@
+// Lightweight leveled logging.
+//
+// The library itself is quiet by default (level = Warn); examples and
+// benches raise the level for narrative output. Logging is synchronous and
+// line-buffered; the simulator's hot path never logs below Debug.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace hare::common {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, std::string_view message) {
+    if (!enabled(level)) return;
+    std::scoped_lock lock(mutex_);
+    std::clog << "[" << name(level) << "] " << message << '\n';
+  }
+
+ private:
+  static std::string_view name(LogLevel level) {
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info ";
+      case LogLevel::Warn: return "warn ";
+      case LogLevel::Error: return "error";
+      case LogLevel::Off: return "off  ";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::Warn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  auto& logger = Logger::instance();
+  if (!logger.enabled(level)) return;
+  std::ostringstream os;
+  (os << ... << args);
+  logger.log(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  detail::log(LogLevel::Debug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  detail::log(LogLevel::Info, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  detail::log(LogLevel::Warn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  detail::log(LogLevel::Error, std::forward<Args>(args)...);
+}
+
+}  // namespace hare::common

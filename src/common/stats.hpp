@@ -1,0 +1,167 @@
+// Streaming summary statistics and empirical distributions.
+//
+// Benches and metrics code accumulate samples into `Summary` (Welford mean /
+// variance, min/max) or `Distribution` (keeps samples; exact quantiles and
+// CDF evaluation, used for the paper's Fig 13 JCT CDF).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hare::common {
+
+/// Constant-memory running summary (Welford's algorithm).
+class Summary {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  [[nodiscard]] double cv() const {
+    return mean_ != 0.0 ? stddev() / std::abs(mean_) : 0.0;
+  }
+
+  void merge(const Summary& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ = (n1 * mean_ + n2 * other.mean_) / (n1 + n2);
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample-retaining distribution with exact quantiles and CDF queries.
+class Distribution {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  void add(std::span<const double> xs) {
+    samples_.insert(samples_.end(), xs.begin(), xs.end());
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// q in [0, 1]; linear interpolation between order statistics.
+  [[nodiscard]] double quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    q = std::clamp(q, 0.0, 1.0);
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+  }
+
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double cdf(double x) const {
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double max() const {
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    return samples_.back();
+  }
+
+  /// Evaluation points for plotting a CDF curve: `points` evenly spaced
+  /// x-values spanning [min, max], paired with the CDF at each.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_curve(
+      std::size_t points) const {
+    std::vector<std::pair<double, double>> curve;
+    if (samples_.empty() || points == 0) return curve;
+    ensure_sorted();
+    const double lo = samples_.front();
+    const double hi = samples_.back();
+    curve.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+      const double x =
+          points == 1
+              ? hi
+              : lo + (hi - lo) * static_cast<double>(i) /
+                         static_cast<double>(points - 1);
+      curve.emplace_back(x, cdf(x));
+    }
+    return curve;
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const {
+    ensure_sorted();
+    return samples_;
+  }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Relative difference |a - b| / max(|a|, |b|); 0 when both are 0.
+[[nodiscard]] inline double relative_difference(double a, double b) {
+  const double denom = std::max(std::abs(a), std::abs(b));
+  return denom == 0.0 ? 0.0 : std::abs(a - b) / denom;
+}
+
+}  // namespace hare::common

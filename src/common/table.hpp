@@ -1,0 +1,134 @@
+// Text table and CSV emission for the benchmark harness.
+//
+// Every bench binary prints the rows/series the corresponding paper table
+// or figure reports, in an aligned text table (for humans) and optionally
+// CSV (for replotting).
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hare::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Lightweight handle onto the table's current row; copying the handle
+  /// still appends to the same table (so `auto row = table.row()` is safe).
+  class Row {
+   public:
+    explicit Row(Table& table) : table_(&table) {}
+
+    Row& cell(std::string value) {
+      table_->cell(std::move(value));
+      return *this;
+    }
+    Row& cell(double value, int precision = 2) {
+      table_->cell(value, precision);
+      return *this;
+    }
+    Row& cell(std::size_t value) {
+      table_->cell(value);
+      return *this;
+    }
+    Row& cell(int value) {
+      table_->cell(value);
+      return *this;
+    }
+
+   private:
+    Table* table_;
+  };
+
+  /// Begin a new row; fill it left to right through the returned handle
+  /// (or through Table::cell directly).
+  Row row() {
+    rows_.emplace_back();
+    return Row(*this);
+  }
+
+  Table& cell(std::string value) {
+    if (rows_.empty()) rows_.emplace_back();
+    rows_.back().push_back(std::move(value));
+    return *this;
+  }
+
+  Table& cell(double value, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return cell(os.str());
+  }
+
+  Table& cell(std::size_t value) { return cell(std::to_string(value)); }
+  Table& cell(int value) { return cell(std::to_string(value)); }
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      widths[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], r[c].size());
+
+    auto line = [&] {
+      os << '+';
+      for (const auto w : widths) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string>& cells) {
+      os << '|';
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& v = c < cells.size() ? cells[c] : std::string{};
+        os << ' ' << v << std::string(widths[c] - v.size() + 1, ' ') << '|';
+      }
+      os << '\n';
+    };
+    line();
+    emit(headers_);
+    line();
+    for (const auto& r : rows_) emit(r);
+    line();
+  }
+
+  void print_csv(std::ostream& os) const {
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c) os << ',';
+        os << escape(cells[c]);
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    for (const auto& r : rows_) emit(r);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    print(os);
+    return os.str();
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hare::common

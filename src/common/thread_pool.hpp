@@ -1,0 +1,116 @@
+// Minimal fixed-size thread pool for embarrassingly parallel bench sweeps.
+//
+// Each simulation run is single-threaded and deterministic; the pool fans
+// scenario evaluations (different seeds, cluster sizes, schedulers) across
+// hardware threads. `parallel_for_each` is the only primitive the harness
+// needs: run a callable for every index in [0, n), block until done, and
+// rethrow the first exception.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hare::common {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = 0) {
+    if (threads == 0) {
+      threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::scoped_lock lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task. Tasks must not enqueue further tasks and wait on them
+  /// (no nesting); the bench harness only uses flat fan-out.
+  void submit(std::function<void()> fn) {
+    {
+      std::scoped_lock lock(mutex_);
+      tasks_.push(std::move(fn));
+    }
+    cv_.notify_one();
+  }
+
+  /// Run fn(i) for i in [0, n) across the pool; blocks until all complete.
+  /// The first exception thrown by any invocation is rethrown here.
+  template <typename Fn>
+  void parallel_for_each(std::size_t n, Fn&& fn) {
+    if (n == 0) return;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+
+    const std::size_t shards = std::min(n, workers_.size());
+    for (std::size_t s = 0; s < shards; ++s) {
+      submit([&, n] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) break;
+          try {
+            fn(i);
+          } catch (...) {
+            std::scoped_lock lock(error_mutex);
+            if (!error) error = std::current_exception();
+          }
+          if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+            std::scoped_lock lock(done_mutex);
+            done_cv.notify_all();
+          }
+        }
+      });
+    }
+    std::unique_lock lock(done_mutex);
+    done_cv.wait(lock, [&] { return done.load(std::memory_order_acquire) >= n; });
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (stopping_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace hare::common

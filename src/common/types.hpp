@@ -1,0 +1,81 @@
+// Fundamental value types shared by every Hare module.
+//
+// Time is modelled as double-precision seconds (`Time`). The discrete-event
+// simulator breaks ties deterministically with sequence numbers, so the
+// usual floating-point-time hazards (nondeterministic ordering of equal
+// stamps) do not arise. Strongly-typed integer ids prevent mixing job, task,
+// round, GPU, and machine indices.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace hare {
+
+/// Simulation time in seconds.
+using Time = double;
+
+/// Sentinel for "not yet scheduled / unknown".
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Bytes of (GPU or host) memory.
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes operator""_MiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * 1024ull * 1024ull;
+}
+inline constexpr Bytes operator""_GiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * 1024ull * 1024ull * 1024ull;
+}
+
+/// Strongly typed id. `Tag` only disambiguates the type; it is never
+/// instantiated.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::int32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << id.value_;
+  }
+
+ private:
+  underlying_type value_ = -1;
+};
+
+struct JobTag {};
+struct TaskTag {};
+struct GpuTag {};
+struct MachineTag {};
+struct RoundTag {};
+
+using JobId = Id<JobTag>;
+using TaskId = Id<TaskTag>;
+using GpuId = Id<GpuTag>;
+using MachineId = Id<MachineTag>;
+
+/// Round index within a job (0-based).
+using RoundIndex = std::int32_t;
+
+}  // namespace hare
+
+namespace std {
+template <typename Tag>
+struct hash<hare::Id<Tag>> {
+  size_t operator()(hare::Id<Tag> id) const noexcept {
+    return std::hash<typename hare::Id<Tag>::underlying_type>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,81 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/hare_scheduler.hpp"
+#include "profiler/profiler.hpp"
+#include "sim/simulator.hpp"
+#include "workload/feasibility.hpp"
+
+namespace hare::core {
+
+std::vector<SyncScaleAdvice> advise_sync_scale(
+    const cluster::Cluster& cluster, workload::JobSpec spec,
+    const workload::PerfModel& perf,
+    const std::vector<std::uint32_t>& candidates) {
+  HARE_CHECK_MSG(!candidates.empty(), "no candidate scales");
+  spec.arrival = 0.0;
+  // Hold total work constant: `spec.rounds` is interpreted at scale 1;
+  // k-way data parallelism processes k batches per round, so the same
+  // dataset pass takes ceil(rounds / k) rounds.
+  const std::uint32_t total_rounds_at_one = spec.rounds;
+
+  std::vector<SyncScaleAdvice> advice;
+  for (std::uint32_t scale : candidates) {
+    spec.tasks_per_round = scale;
+    spec.rounds = std::max<std::uint32_t>(
+        1, (total_rounds_at_one + scale - 1) / scale);
+
+    workload::JobSet jobs;
+    const JobId id = jobs.add_job(spec);
+
+    // Skip scales the cluster cannot host (size or memory feasibility).
+    std::size_t fitting = 0;
+    for (const auto& gpu : cluster.gpus()) {
+      if (workload::task_fits(jobs.job(id), gpu)) ++fitting;
+    }
+    if (fitting < scale) continue;
+
+    profiler::Profiler profiler(perf, profiler::ProfilerConfig{}, 1);
+    const profiler::TimeTable times = profiler.exact(jobs, cluster);
+    HareScheduler scheduler;
+    const sim::Schedule schedule = scheduler.schedule({cluster, jobs, times});
+    const sim::Simulator simulator(cluster, jobs, times);
+    const Time completion = simulator.run(schedule).jobs[0].completion;
+
+    SyncScaleAdvice entry;
+    entry.scale = scale;
+    entry.completion = completion;
+    advice.push_back(entry);
+  }
+  HARE_CHECK_MSG(!advice.empty(),
+                 "no candidate sync scale fits this cluster");
+
+  // Speedup and efficiency are relative to the smallest feasible scale.
+  const Time reference = advice.front().completion;
+  const double reference_scale = static_cast<double>(advice.front().scale);
+  for (auto& entry : advice) {
+    entry.speedup = reference / entry.completion;
+    entry.efficiency = entry.speedup * reference_scale /
+                       static_cast<double>(entry.scale);
+  }
+  return advice;
+}
+
+std::uint32_t recommend_sync_scale(const cluster::Cluster& cluster,
+                                   workload::JobSpec spec,
+                                   const workload::PerfModel& perf,
+                                   double efficiency_floor,
+                                   const std::vector<std::uint32_t>& candidates) {
+  const auto advice = advise_sync_scale(cluster, spec, perf, candidates);
+  std::uint32_t best = advice.front().scale;
+  for (const auto& entry : advice) {
+    if (entry.efficiency >= efficiency_floor && entry.scale > best) {
+      best = entry.scale;
+    }
+  }
+  return best;
+}
+
+}  // namespace hare::core

@@ -1,0 +1,43 @@
+// Synchronization-scale advisor.
+//
+// §2.1 notes that the parallelism scale |K| is "chosen by the user"; on a
+// heterogeneous cluster the right choice is not obvious — Fig 5 shows a
+// gang stretched across slow GPUs gains nothing. The advisor evaluates a
+// job alone on the cluster at each candidate scale (scheduled by Hare with
+// relaxed sync, executed by the simulator) and reports completion time and
+// parallel efficiency = speedup / scale, recommending the largest scale
+// whose efficiency stays above a floor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "workload/job.hpp"
+#include "workload/perf_model.hpp"
+
+namespace hare::core {
+
+struct SyncScaleAdvice {
+  std::uint32_t scale = 1;
+  Time completion = 0.0;   ///< the job alone on the cluster
+  double speedup = 1.0;    ///< vs scale 1
+  double efficiency = 1.0; ///< speedup / scale
+};
+
+/// Evaluate `candidates` for a job of `spec`'s model/rounds/batch on an
+/// otherwise idle `cluster`. Candidates wider than the cluster (or than
+/// the job's memory-feasible GPU set) are skipped.
+[[nodiscard]] std::vector<SyncScaleAdvice> advise_sync_scale(
+    const cluster::Cluster& cluster, workload::JobSpec spec,
+    const workload::PerfModel& perf,
+    const std::vector<std::uint32_t>& candidates = {1, 2, 4, 8});
+
+/// Largest candidate whose parallel efficiency is at least
+/// `efficiency_floor` (falls back to 1).
+[[nodiscard]] std::uint32_t recommend_sync_scale(
+    const cluster::Cluster& cluster, workload::JobSpec spec,
+    const workload::PerfModel& perf, double efficiency_floor = 0.5,
+    const std::vector<std::uint32_t>& candidates = {1, 2, 4, 8});
+
+}  // namespace hare::core

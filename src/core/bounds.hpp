@@ -1,0 +1,57 @@
+// Lower bounds and the α(2+α) approximation-ratio check (§5.3).
+//
+// Two certified lower bounds on the optimal total weighted completion time
+// of a Hare_Sched instance:
+//  * critical path — job n cannot complete before
+//      a_n + Σ_r min_m (T^c + T^s): rounds are sequential and each round
+//      lasts at least one fastest task;
+//  * volume — even splitting work perfectly, the machines cannot process
+//    tasks faster than the speed-weighted capacity allows; applied through
+//    Queyranne's full-set inequality on the "every task on its fastest
+//    machine" load, combined per job by WSPT reasoning (we use the simpler
+//    per-job form: total weighted mean-busy-time bound).
+//
+// The approximation checker divides a schedule's realized objective by the
+// combined lower bound and compares against α(2+α) with
+// α = max{T ratios} (Lemma 3 / Theorem 4).
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "profiler/time_table.hpp"
+#include "sim/metrics.hpp"
+#include "workload/job.hpp"
+
+namespace hare::core {
+
+/// Σ_n w_n (a_n + Σ_r min_m(T^c + T^s)) — valid for any schedule.
+[[nodiscard]] double critical_path_lower_bound(
+    const workload::JobSet& jobs, const profiler::TimeTable& times);
+
+/// Volume bound: order jobs by WSPT on their minimum total work spread over
+/// all machines at fastest speeds; Σ w_n · (prefix work / |M|) is a lower
+/// bound on Σ w_n C_n (machines cannot collectively do better than perfect
+/// malleable splitting at per-task fastest rates).
+[[nodiscard]] double volume_lower_bound(const cluster::Cluster& cluster,
+                                        const workload::JobSet& jobs,
+                                        const profiler::TimeTable& times);
+
+/// max(critical path, volume).
+[[nodiscard]] double combined_lower_bound(const cluster::Cluster& cluster,
+                                          const workload::JobSet& jobs,
+                                          const profiler::TimeTable& times);
+
+struct ApproximationReport {
+  double objective = 0.0;    ///< realized Σ w_n C_n
+  double lower_bound = 0.0;  ///< certified LB on OPT
+  double alpha = 1.0;        ///< heterogeneity ratio of the instance
+  double ratio = 0.0;        ///< objective / lower_bound
+  double guarantee = 0.0;    ///< α(2+α)
+
+  [[nodiscard]] bool within_guarantee() const { return ratio <= guarantee; }
+};
+
+[[nodiscard]] ApproximationReport check_approximation(
+    const cluster::Cluster& cluster, const workload::JobSet& jobs,
+    const profiler::TimeTable& times, const sim::SimResult& result);
+
+}  // namespace hare::core

@@ -1,0 +1,356 @@
+#include "core/hare_scheduler.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <optional>
+
+#include "common/error.hpp"
+#include "workload/feasibility.hpp"
+
+namespace hare::core {
+
+namespace {
+
+struct RoundProgress {
+  int scheduled = 0;       ///< tasks of the round placed so far
+  Time barrier = 0.0;      ///< max realized x̃ + T̃^c + T̃^s
+  std::vector<TaskId> waiting;  ///< deferred tasks blocked on this round
+};
+
+struct BuildState {
+  const sched::SchedulerInput& input;
+  const HareConfig& config;
+  sim::Schedule schedule;
+  std::vector<Time> phi;  ///< GPU available times
+  std::vector<std::vector<RoundProgress>> rounds;  ///< [job][round]
+  std::vector<std::vector<char>> fits;             ///< [job][gpu] memory fit
+  double objective = 0.0;
+
+  explicit BuildState(const sched::SchedulerInput& in, const HareConfig& cfg)
+      : input(in),
+        config(cfg),
+        fits(workload::fitting_matrix(in.cluster, in.jobs)) {
+    schedule.sequences.resize(in.cluster.gpu_count());
+    schedule.predicted_start.assign(in.jobs.task_count(), 0.0);
+    phi.assign(in.cluster.gpu_count(), 0.0);
+    rounds.resize(in.jobs.job_count());
+    for (const auto& job : in.jobs.jobs()) {
+      rounds[static_cast<std::size_t>(job.id.value())].resize(job.rounds());
+    }
+  }
+
+  [[nodiscard]] RoundProgress& progress(JobId job, RoundIndex round) {
+    return rounds[static_cast<std::size_t>(job.value())]
+                 [static_cast<std::size_t>(round)];
+  }
+
+  /// Algorithm 1 lines 12-16 for one task with availability t_i. Returns
+  /// the deferred tasks unblocked by any round completion this causes.
+  std::vector<TaskId> place_task(TaskId task_id, Time available) {
+    const workload::Task& task = input.jobs.task(task_id);
+    const workload::Job& job = input.jobs.job(task.job);
+
+    const auto& job_fits = fits[static_cast<std::size_t>(task.job.value())];
+    std::size_t best = phi.size();
+    if (config.placement == Placement::EarliestAvailable) {
+      for (std::size_t g = 0; g < phi.size(); ++g) {
+        if (!job_fits[g]) continue;
+        if (best == phi.size() || phi[g] < phi[best]) best = g;
+      }
+    } else {
+      Time best_finish = kTimeInfinity;
+      for (std::size_t g = 0; g < phi.size(); ++g) {
+        if (!job_fits[g]) continue;
+        const Time finish =
+            std::max(available, phi[g]) +
+            input.times.tc(task.job, GpuId(static_cast<int>(g)));
+        if (finish < best_finish) {
+          best_finish = finish;
+          best = g;
+        }
+      }
+    }
+    HARE_CHECK_MSG(best < phi.size(), "no feasible GPU for task " << task_id);
+    const GpuId gpu(static_cast<int>(best));
+    const Time start = std::max(available, phi[best]);
+    const Time tc = input.times.tc(task.job, gpu);
+    const Time ts = input.times.ts(task.job, gpu);
+
+    schedule.sequences[best].push_back(task_id);
+    schedule.predicted_start[static_cast<std::size_t>(task_id.value())] =
+        start;
+    phi[best] = start + tc;  // T^s overlaps the GPU's next task (line 16)
+
+    RoundProgress& round = progress(task.job, task.round);
+    round.barrier = std::max(round.barrier, start + tc + ts);
+    ++round.scheduled;
+
+    std::vector<TaskId> unblocked;
+    if (round.scheduled == static_cast<int>(job.tasks_per_round())) {
+      if (static_cast<std::uint32_t>(task.round) + 1 == job.rounds()) {
+        objective += job.spec.weight * round.barrier;
+      }
+      unblocked = std::move(round.waiting);
+      round.waiting.clear();
+    }
+    return unblocked;
+  }
+
+  /// Availability t_i (Algorithm 1 lines 7-11), or nullopt when the
+  /// previous round is not fully scheduled yet (deferral).
+  [[nodiscard]] std::optional<Time> availability(TaskId task_id) {
+    const workload::Task& task = input.jobs.task(task_id);
+    const workload::Job& job = input.jobs.job(task.job);
+    if (task.round == 0) return job.spec.arrival;
+    RoundProgress& prev = progress(task.job, task.round - 1);
+    if (prev.scheduled < static_cast<int>(job.tasks_per_round())) {
+      return std::nullopt;
+    }
+    return std::max(job.spec.arrival, prev.barrier);
+  }
+};
+
+/// Algorithm 1's main loop over a π sequence, with deferral for tasks
+/// whose previous round is not yet fully placed.
+void run_relaxed_pass(BuildState& state, const std::vector<TaskId>& pi) {
+  std::deque<TaskId> queue;
+  std::size_t pi_cursor = 0;
+  while (pi_cursor < pi.size() || !queue.empty()) {
+    TaskId task_id;
+    if (!queue.empty()) {
+      task_id = queue.front();
+      queue.pop_front();
+    } else {
+      task_id = pi[pi_cursor++];
+    }
+    const auto available = state.availability(task_id);
+    if (!available) {
+      const workload::Task& task = state.input.jobs.task(task_id);
+      state.progress(task.job, task.round - 1).waiting.push_back(task_id);
+      continue;
+    }
+    for (TaskId unblocked : state.place_task(task_id, *available)) {
+      queue.push_back(unblocked);
+    }
+  }
+}
+
+sim::Schedule build_relaxed(const sched::SchedulerInput& input,
+                            const HareConfig& config,
+                            const std::vector<TaskId>& pi, double* objective) {
+  BuildState state(input, config);
+  run_relaxed_pass(state, pi);
+  *objective = state.objective;
+  return std::move(state.schedule);
+}
+
+sim::Schedule build_strict(const sched::SchedulerInput& input,
+                           const HareConfig& config,
+                           const std::vector<TaskId>& pi, double* objective) {
+  // Strict scale-fixed: whole rounds gang on distinct GPUs with a common
+  // start. Rounds are visited in the order their first member appears in π.
+  BuildState state(input, config);
+  const auto& jobs = input.jobs;
+
+  struct RoundKey {
+    JobId job;
+    RoundIndex round;
+  };
+  std::vector<RoundKey> round_order;
+  std::vector<char> seen(jobs.task_count(), 0);
+  for (TaskId id : pi) {
+    const workload::Task& task = jobs.task(id);
+    const std::size_t first =
+        static_cast<std::size_t>(jobs.round_tasks(task.job, task.round)
+                                     .front()
+                                     .value());
+    if (!seen[first]) {
+      seen[first] = 1;
+      round_order.push_back(RoundKey{task.job, task.round});
+    }
+  }
+
+  // Deferral queue at round granularity.
+  std::vector<std::vector<std::vector<RoundKey>>> blocked(jobs.job_count());
+  for (const auto& job : jobs.jobs()) {
+    blocked[static_cast<std::size_t>(job.id.value())].resize(job.rounds());
+  }
+
+  std::deque<RoundKey> queue;
+  std::size_t cursor = 0;
+
+  auto gang_place = [&](const RoundKey& key) -> std::vector<RoundKey> {
+    const workload::Job& job = jobs.job(key.job);
+    Time available = job.spec.arrival;
+    if (key.round > 0) {
+      available =
+          std::max(available, state.progress(key.job, key.round - 1).barrier);
+    }
+    // |D_r| distinct earliest-available GPUs (memory-feasible only); the
+    // gang starts together.
+    const std::size_t k = job.tasks_per_round();
+    const auto& job_fits =
+        state.fits[static_cast<std::size_t>(key.job.value())];
+    std::vector<std::size_t> order;
+    order.reserve(state.phi.size());
+    for (std::size_t g = 0; g < state.phi.size(); ++g) {
+      if (job_fits[g]) order.push_back(g);
+    }
+    HARE_CHECK_MSG(order.size() >= k,
+                   "strict sync: job " << key.job << " fits only "
+                                       << order.size() << " GPUs but needs "
+                                       << k);
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(k),
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                        if (state.phi[a] != state.phi[b]) {
+                          return state.phi[a] < state.phi[b];
+                        }
+                        return a < b;
+                      });
+    Time start = available;
+    for (std::size_t i = 0; i < k; ++i) {
+      start = std::max(start, state.phi[order[i]]);
+    }
+    const auto members = jobs.round_tasks(key.job, key.round);
+    RoundProgress& round = state.progress(key.job, key.round);
+    for (std::size_t i = 0; i < k; ++i) {
+      const GpuId gpu(static_cast<int>(order[i]));
+      const TaskId task_id = members[i];
+      const Time tc = input.times.tc(key.job, gpu);
+      const Time ts = input.times.ts(key.job, gpu);
+      state.schedule.sequences[order[i]].push_back(task_id);
+      state.schedule
+          .predicted_start[static_cast<std::size_t>(task_id.value())] = start;
+      state.phi[order[i]] = start + tc;
+      round.barrier = std::max(round.barrier, start + tc + ts);
+      ++round.scheduled;
+    }
+    if (static_cast<std::uint32_t>(key.round) + 1 == job.rounds()) {
+      state.objective += job.spec.weight * round.barrier;
+    }
+    return std::move(
+        blocked[static_cast<std::size_t>(key.job.value())]
+               [static_cast<std::size_t>(key.round)]);
+  };
+
+  while (cursor < round_order.size() || !queue.empty()) {
+    RoundKey key{};
+    if (!queue.empty()) {
+      key = queue.front();
+      queue.pop_front();
+    } else {
+      key = round_order[cursor++];
+    }
+    if (key.round > 0) {
+      const workload::Job& job = jobs.job(key.job);
+      RoundProgress& prev = state.progress(key.job, key.round - 1);
+      if (prev.scheduled < static_cast<int>(job.tasks_per_round())) {
+        blocked[static_cast<std::size_t>(key.job.value())]
+               [static_cast<std::size_t>(key.round - 1)]
+                   .push_back(key);
+        continue;
+      }
+    }
+    for (const RoundKey& unblocked : gang_place(key)) {
+      queue.push_back(unblocked);
+    }
+  }
+  *objective = state.objective;
+  return std::move(state.schedule);
+}
+
+}  // namespace
+
+sim::Schedule HareScheduler::schedule(const sched::SchedulerInput& input) {
+  HARE_CHECK_MSG(input.cluster.gpu_count() > 0, "cluster has no GPUs");
+  for (const auto& job : input.jobs.jobs()) {
+    HARE_CHECK_MSG(job.tasks_per_round() <= input.cluster.gpu_count(),
+                   "job " << job.id << " sync scale exceeds cluster size");
+  }
+
+  const HareRelaxation relaxation(config_.relaxation);
+  last_relaxation_ = relaxation.solve(input.cluster, input.jobs, input.times);
+
+  // Line 4: π sorted by non-descending H (stable on ids for determinism).
+  std::vector<TaskId> pi;
+  pi.reserve(input.jobs.task_count());
+  for (const auto& task : input.jobs.tasks()) pi.push_back(task.id);
+  const auto& h = last_relaxation_.h;
+  std::sort(pi.begin(), pi.end(), [&](TaskId a, TaskId b) {
+    const Time ha = h[static_cast<std::size_t>(a.value())];
+    const Time hb = h[static_cast<std::size_t>(b.value())];
+    if (ha != hb) return ha < hb;
+    return a < b;
+  });
+
+  double objective = 0.0;
+  sim::Schedule result =
+      config_.sync == SyncScheme::Relaxed
+          ? build_relaxed(input, config_, pi, &objective)
+          : build_strict(input, config_, pi, &objective);
+  result.predicted_objective = objective;
+  return result;
+}
+
+double HareScheduler::schedule_jobs(const sched::SchedulerInput& input,
+                                    const std::vector<char>& job_mask,
+                                    IncrementalState& state,
+                                    sim::Schedule& schedule) {
+  HARE_CHECK_MSG(config_.relaxation.mode == RelaxMode::Fluid,
+                 "incremental planning requires the Fluid relaxation");
+  HARE_CHECK_MSG(config_.sync == SyncScheme::Relaxed,
+                 "incremental planning requires relaxed sync");
+  HARE_CHECK_MSG(job_mask.size() == input.jobs.job_count(),
+                 "job mask size mismatch");
+  const std::size_t gpu_count = input.cluster.gpu_count();
+  if (state.phi.empty()) state.phi.assign(gpu_count, 0.0);
+  HARE_CHECK_MSG(state.phi.size() == gpu_count, "phi size mismatch");
+  if (schedule.sequences.empty()) {
+    schedule.sequences.resize(gpu_count);
+    schedule.predicted_start.assign(input.jobs.task_count(), 0.0);
+  }
+
+  SubProblem sub;
+  sub.job_mask = job_mask;
+  sub.initial_phi = state.phi;
+  const HareRelaxation relaxation(config_.relaxation);
+  last_relaxation_ =
+      relaxation.solve(input.cluster, input.jobs, input.times, sub);
+
+  std::vector<TaskId> pi;
+  for (const auto& task : input.jobs.tasks()) {
+    if (job_mask[static_cast<std::size_t>(task.job.value())]) {
+      pi.push_back(task.id);
+    }
+  }
+  const auto& h = last_relaxation_.h;
+  std::sort(pi.begin(), pi.end(), [&](TaskId a, TaskId b) {
+    const Time ha = h[static_cast<std::size_t>(a.value())];
+    const Time hb = h[static_cast<std::size_t>(b.value())];
+    if (ha != hb) return ha < hb;
+    return a < b;
+  });
+
+  BuildState build(input, config_);
+  build.phi = state.phi;
+  run_relaxed_pass(build, pi);
+
+  // Append the batch onto the cumulative plan. φ is monotone, so batch
+  // tasks always start at or after every prior commitment on their GPU.
+  for (std::size_t g = 0; g < gpu_count; ++g) {
+    auto& target = schedule.sequences[g];
+    const auto& batch = build.schedule.sequences[g];
+    target.insert(target.end(), batch.begin(), batch.end());
+  }
+  for (TaskId id : pi) {
+    schedule.predicted_start[static_cast<std::size_t>(id.value())] =
+        build.schedule.predicted_start[static_cast<std::size_t>(id.value())];
+  }
+  state.phi = build.phi;
+  schedule.predicted_objective += build.objective;
+  return build.objective;
+}
+
+}  // namespace hare::core

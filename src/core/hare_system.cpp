@@ -1,0 +1,85 @@
+#include "core/hare_system.hpp"
+
+#include "sched/gavel_fifo.hpp"
+#include "sched/sched_allox.hpp"
+#include "sched/sched_homo.hpp"
+#include "sched/srtf.hpp"
+
+namespace hare::core {
+
+HareSystem::HareSystem(cluster::Cluster cluster)
+    : HareSystem(std::move(cluster), Options()) {}
+
+HareSystem::HareSystem(cluster::Cluster cluster, Options options)
+    : cluster_(std::move(cluster)), options_(options) {}
+
+JobId HareSystem::submit(workload::JobSpec spec) {
+  profiled_fresh_ = false;
+  return jobs_.add_job(std::move(spec));
+}
+
+void HareSystem::submit_all(const workload::JobSet& jobs) {
+  for (const auto& job : jobs.jobs()) submit(job.spec);
+}
+
+void HareSystem::ensure_profiled() {
+  if (profiled_fresh_) return;
+  const workload::PerfModel perf(options_.perf);
+  profiler::Profiler profiler(perf, options_.profiler, options_.seed);
+  profiled_ =
+      profiler.profile(jobs_, cluster_, options_.use_profile_db ? &db_ : nullptr);
+  actual_ = profiler.exact(jobs_, cluster_);
+  profiled_fresh_ = true;
+}
+
+const profiler::TimeTable& HareSystem::profiled_times() {
+  ensure_profiled();
+  return profiled_;
+}
+
+const profiler::TimeTable& HareSystem::actual_times() {
+  ensure_profiled();
+  return actual_;
+}
+
+RunReport HareSystem::run(sched::Scheduler& scheduler) {
+  ensure_profiled();
+  const sched::SchedulerInput input{cluster_, jobs_, profiled_};
+
+  const auto start = std::chrono::steady_clock::now();
+  const sim::Schedule schedule = scheduler.schedule(input);
+  const auto end = std::chrono::steady_clock::now();
+
+  const sim::Simulator simulator(cluster_, jobs_, actual_, options_.sim);
+
+  RunReport report;
+  report.scheduler = std::string(scheduler.name());
+  report.result = simulator.run(schedule);
+  report.planned_objective = schedule.predicted_objective;
+  report.scheduling_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  report.approximation =
+      check_approximation(cluster_, jobs_, actual_, report.result);
+  return report;
+}
+
+std::vector<RunReport> HareSystem::run_comparison(HareConfig hare_config) {
+  std::vector<RunReport> reports;
+  for (const auto& scheduler : make_standard_schedulers(hare_config)) {
+    reports.push_back(run(*scheduler));
+  }
+  return reports;
+}
+
+std::vector<std::unique_ptr<sched::Scheduler>> make_standard_schedulers(
+    HareConfig hare_config) {
+  std::vector<std::unique_ptr<sched::Scheduler>> schedulers;
+  schedulers.push_back(std::make_unique<HareScheduler>(hare_config));
+  schedulers.push_back(std::make_unique<sched::GavelFifoScheduler>());
+  schedulers.push_back(std::make_unique<sched::SrtfScheduler>());
+  schedulers.push_back(std::make_unique<sched::SchedHomoScheduler>());
+  schedulers.push_back(std::make_unique<sched::SchedAlloxScheduler>());
+  return schedulers;
+}
+
+}  // namespace hare::core

@@ -1,0 +1,87 @@
+// HareSystem — the end-to-end facade (Fig 9's system overview).
+//
+// Wires the preparation stage (job submission → profiler + profile DB →
+// scheduling algorithm) to the training stage (executors = the simulator
+// with the fast-task-switching models). One call runs a scheduler against
+// the submitted workload and returns the realized metrics; a comparison
+// helper runs Hare plus the four baselines of §7.1 on identical inputs.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/bounds.hpp"
+#include "core/hare_scheduler.hpp"
+#include "profiler/profile_db.hpp"
+#include "profiler/profiler.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace hare::core {
+
+struct RunReport {
+  std::string scheduler;
+  sim::SimResult result;
+  double planned_objective = 0.0;  ///< scheduler's own prediction
+  double scheduling_ms = 0.0;      ///< wall time of the algorithm itself
+  ApproximationReport approximation;
+};
+
+class HareSystem {
+ public:
+  struct Options {
+    std::uint64_t seed = 42;
+    workload::PerfModelConfig perf{};
+    profiler::ProfilerConfig profiler{};
+    sim::SimConfig sim{};
+    /// Consult/extend the historical profile database.
+    bool use_profile_db = true;
+  };
+
+  explicit HareSystem(cluster::Cluster cluster);
+  HareSystem(cluster::Cluster cluster, Options options);
+
+  /// Submit one job (preparation stage input).
+  JobId submit(workload::JobSpec spec);
+  /// Submit a whole trace.
+  void submit_all(const workload::JobSet& jobs);
+
+  /// Profile (re)runs lazily before the first run() after a submission.
+  [[nodiscard]] RunReport run(sched::Scheduler& scheduler);
+
+  /// Hare + the four §7.1 baselines on the identical instance.
+  [[nodiscard]] std::vector<RunReport> run_comparison(
+      HareConfig hare_config = {});
+
+  [[nodiscard]] const cluster::Cluster& cluster() const { return cluster_; }
+  [[nodiscard]] const workload::JobSet& jobs() const { return jobs_; }
+  [[nodiscard]] const profiler::ProfileDb& profile_db() const { return db_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Profiled table the schedulers plan with (profiles if stale).
+  [[nodiscard]] const profiler::TimeTable& profiled_times();
+  /// Ground-truth table the simulator executes with.
+  [[nodiscard]] const profiler::TimeTable& actual_times();
+
+ private:
+  void ensure_profiled();
+
+  cluster::Cluster cluster_;
+  Options options_;
+  workload::JobSet jobs_;
+  profiler::ProfileDb db_;
+  profiler::TimeTable profiled_;
+  profiler::TimeTable actual_;
+  bool profiled_fresh_ = false;
+};
+
+/// The standard §7.1 line-up: Hare, Gavel_FIFO, SRTF, Sched_Homo,
+/// Sched_Allox.
+[[nodiscard]] std::vector<std::unique_ptr<sched::Scheduler>>
+make_standard_schedulers(HareConfig hare_config = {});
+
+}  // namespace hare::core

@@ -1,0 +1,47 @@
+// Online Hare — the extension the paper leaves as future work (§1,
+// "Limitations of the proposed approach").
+//
+// Offline Hare assumes every job (and its arrival) is known up front. The
+// online scheduler only learns a job when it arrives: it sweeps arrival
+// events in time order, optionally coalescing arrivals within a batching
+// window (amortizing re-planning cost), and at each planning instant runs
+// Algorithm 1 over the newly arrived jobs *on top of* the commitments
+// already made — per-GPU horizons φ carried across batches. Earlier
+// commitments are never revised (tasks may already be running), which is
+// exactly the regret an online algorithm pays; the gap to offline Hare is
+// measured in bench_online.
+#pragma once
+
+#include "core/hare_scheduler.hpp"
+
+namespace hare::core {
+
+struct OnlineHareConfig {
+  HareConfig hare{};  ///< must keep Fluid relaxation + relaxed sync
+  /// Coalesce arrivals within this window into one planning round
+  /// (0 = re-plan at every distinct arrival instant).
+  Time batching_window_s = 0.0;
+};
+
+class OnlineHareScheduler final : public sched::Scheduler {
+ public:
+  explicit OnlineHareScheduler(OnlineHareConfig config = {})
+      : config_(config) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "Hare_Online";
+  }
+  [[nodiscard]] sim::Schedule schedule(
+      const sched::SchedulerInput& input) override;
+
+  /// Number of planning rounds the last schedule() call performed.
+  [[nodiscard]] std::size_t planning_rounds() const {
+    return planning_rounds_;
+  }
+
+ private:
+  OnlineHareConfig config_;
+  std::size_t planning_rounds_ = 0;
+};
+
+}  // namespace hare::core

@@ -1,0 +1,274 @@
+#include "core/relaxation.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+#include "opt/queyranne.hpp"
+#include "opt/simplex.hpp"
+#include "workload/feasibility.hpp"
+
+namespace hare::core {
+
+namespace {
+
+/// Fluid relaxation pass: arrival-adjusted WSPT job sequencing with
+/// earliest-finish-time task placement.
+//
+// Minimizing Σ w_n C_n wants short/heavy jobs *sequenced* ahead of long
+// ones, not fair-shared — the LP relaxation produces exactly that shape in
+// its x̂, so the fluid surrogate orders jobs by a_n + (minimum total
+// work)/w_n and list-schedules each job's rounds in turn. Task placement
+// is earliest-finish over max(release, φ_m) + T^c_{i,m}, which (a) keeps
+// slow GPUs off a round's critical path when waiting for a fast one wins,
+// and (b) *serializes same-round tasks onto one fast GPU* whenever
+// 2·T^c_fast < T^c_slow — the relaxed scale-fixed behaviour of Fig 4(b)
+// falls out of the greedy rather than being special-cased.
+struct FluidPass {
+  std::vector<Time> x_hat;
+  std::vector<GpuId> y_hat;
+  std::vector<Time> finish;  ///< x̂ + T^c + T^s per task
+  double objective = 0.0;
+};
+
+FluidPass run_fluid_pass(const cluster::Cluster& cluster,
+                         const workload::JobSet& jobs,
+                         const profiler::TimeTable& times,
+                         const SubProblem& sub) {
+  const std::size_t task_count = jobs.task_count();
+  const std::size_t gpu_count = cluster.gpu_count();
+  HARE_CHECK_MSG(gpu_count > 0, "cluster has no GPUs");
+
+  FluidPass pass;
+  pass.x_hat.assign(task_count, 0.0);
+  pass.y_hat.assign(task_count, GpuId{});
+  pass.finish.assign(task_count, 0.0);
+
+  // Arrival-adjusted WSPT key: a_n + (minimum possible total work) / w_n.
+  std::vector<JobId> order;
+  order.reserve(jobs.job_count());
+  std::vector<double> key(jobs.job_count(), 0.0);
+  for (const auto& job : jobs.jobs()) {
+    if (!sub.active(job.id)) continue;
+    Time best_round = kTimeInfinity;
+    for (std::size_t g = 0; g < gpu_count; ++g) {
+      best_round = std::min(best_round,
+                            times.total(job.id, GpuId(static_cast<int>(g))));
+    }
+    key[static_cast<std::size_t>(job.id.value())] =
+        job.spec.arrival + static_cast<double>(job.rounds()) *
+                               static_cast<double>(job.tasks_per_round()) *
+                               best_round / job.spec.weight;
+    order.push_back(job.id);
+  }
+  std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    const double ka = key[static_cast<std::size_t>(a.value())];
+    const double kb = key[static_cast<std::size_t>(b.value())];
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+
+  const auto fits = workload::fitting_matrix(cluster, jobs);
+  std::vector<Time> phi(gpu_count, 0.0);
+  for (std::size_t g = 0; g < gpu_count; ++g) phi[g] = sub.phi(g);
+  for (const JobId job_id : order) {
+    const workload::Job& job = jobs.job(job_id);
+    const auto& job_fits = fits[static_cast<std::size_t>(job_id.value())];
+    Time release = job.spec.arrival;
+    for (std::uint32_t r = 0; r < job.rounds(); ++r) {
+      Time barrier = release;
+      for (TaskId task_id :
+           jobs.round_tasks(job_id, static_cast<RoundIndex>(r))) {
+        std::size_t best_gpu = gpu_count;
+        Time best_finish = kTimeInfinity;
+        Time best_start = 0.0;
+        for (std::size_t g = 0; g < gpu_count; ++g) {
+          if (!job_fits[g]) continue;  // task would not fit device memory
+          const Time start = std::max(release, phi[g]);
+          const Time finish =
+              start + times.tc(job_id, GpuId(static_cast<int>(g)));
+          if (finish < best_finish) {
+            best_finish = finish;
+            best_gpu = g;
+            best_start = start;
+          }
+        }
+        HARE_CHECK_MSG(best_gpu < gpu_count, "no feasible GPU for task");
+        const GpuId gpu(static_cast<int>(best_gpu));
+        const std::size_t idx = static_cast<std::size_t>(task_id.value());
+        pass.x_hat[idx] = best_start;
+        pass.y_hat[idx] = gpu;
+        pass.finish[idx] = best_start + times.total(job_id, gpu);
+        phi[best_gpu] = best_start + times.tc(job_id, gpu);  // sync overlaps
+        barrier = std::max(barrier, pass.finish[idx]);
+      }
+      release = barrier;
+    }
+    pass.objective += job.spec.weight * release;
+  }
+  return pass;
+}
+
+std::vector<Time> middle_completion_times(const workload::JobSet& jobs,
+                                          const profiler::TimeTable& times,
+                                          const std::vector<Time>& x_hat) {
+  std::vector<Time> h(jobs.task_count(), 0.0);
+  for (const auto& task : jobs.tasks()) {
+    const std::size_t idx = static_cast<std::size_t>(task.id.value());
+    h[idx] = x_hat[idx] + 0.5 * times.max_tc(task.job);
+  }
+  return h;
+}
+
+}  // namespace
+
+RelaxationResult HareRelaxation::solve(const cluster::Cluster& cluster,
+                                       const workload::JobSet& jobs,
+                                       const profiler::TimeTable& times,
+                                       const SubProblem& sub) const {
+  HARE_CHECK_MSG(times.job_count() == jobs.job_count() &&
+                     times.gpu_count() == cluster.gpu_count(),
+                 "time table does not match instance");
+  switch (config_.mode) {
+    case RelaxMode::Fluid: return solve_fluid(cluster, jobs, times, sub);
+    case RelaxMode::LpCuts: return solve_lp_cuts(cluster, jobs, times, sub);
+  }
+  HARE_CHECK_MSG(false, "unknown relaxation mode");
+  return {};
+}
+
+RelaxationResult HareRelaxation::solve_fluid(
+    const cluster::Cluster& cluster, const workload::JobSet& jobs,
+    const profiler::TimeTable& times, const SubProblem& sub) const {
+  const FluidPass pass = run_fluid_pass(cluster, jobs, times, sub);
+  RelaxationResult result;
+  result.x_hat = pass.x_hat;
+  result.y_hat = pass.y_hat;
+  result.objective = pass.objective;
+  result.h = middle_completion_times(jobs, times, result.x_hat);
+  return result;
+}
+
+RelaxationResult HareRelaxation::solve_lp_cuts(
+    const cluster::Cluster& cluster, const workload::JobSet& jobs,
+    const profiler::TimeTable& times, const SubProblem& sub) const {
+  HARE_CHECK_MSG(sub.job_mask.empty() && sub.initial_phi.empty(),
+                 "LpCuts mode does not support incremental sub-problems; "
+                 "use Fluid for online planning");
+  // Fix ŷ with the fluid pass, then cut-plane the LP over x, round-end
+  // variables E, and job completions C.
+  const FluidPass pass = run_fluid_pass(cluster, jobs, times, sub);
+  const std::size_t task_count = jobs.task_count();
+  const std::size_t gpu_count = cluster.gpu_count();
+
+  opt::LinearProgram lp;
+  // Variables: x_i per task, then E_{n,r} per round, then C_n per job.
+  std::vector<std::size_t> x_var(task_count);
+  for (std::size_t i = 0; i < task_count; ++i) x_var[i] = lp.add_variable(0.0);
+
+  std::vector<std::vector<std::size_t>> e_var(jobs.job_count());
+  std::vector<std::size_t> c_var(jobs.job_count());
+  for (const auto& job : jobs.jobs()) {
+    auto& rounds = e_var[static_cast<std::size_t>(job.id.value())];
+    rounds.resize(job.rounds());
+    for (auto& v : rounds) v = lp.add_variable(0.0);
+    c_var[static_cast<std::size_t>(job.id.value())] =
+        lp.add_variable(job.spec.weight);
+  }
+
+  auto assigned_total = [&](TaskId id) {
+    const workload::Task& task = jobs.task(id);
+    return times.total(task.job,
+                       pass.y_hat[static_cast<std::size_t>(id.value())]);
+  };
+
+  for (const auto& job : jobs.jobs()) {
+    const std::size_t j = static_cast<std::size_t>(job.id.value());
+    for (std::uint32_t r = 0; r < job.rounds(); ++r) {
+      const std::size_t e = e_var[j][r];
+      for (TaskId id : jobs.round_tasks(job.id, static_cast<RoundIndex>(r))) {
+        const std::size_t x = x_var[static_cast<std::size_t>(id.value())];
+        // (4): release — round 0 at arrival, later rounds behind E_{r-1}.
+        if (r == 0) {
+          lp.add_constraint({{x, 1.0}}, opt::Relation::GreaterEqual,
+                            job.spec.arrival);
+        } else {
+          lp.add_constraint({{x, 1.0}, {e_var[j][r - 1], -1.0}},
+                            opt::Relation::GreaterEqual, 0.0);
+        }
+        // Round end dominates every member's completion: E >= x + T.
+        lp.add_constraint({{e, 1.0}, {x, -1.0}}, opt::Relation::GreaterEqual,
+                          assigned_total(id));
+      }
+    }
+    // (6): C_n >= E_{n,last}.
+    lp.add_constraint({{c_var[j], 1.0}, {e_var[j][job.rounds() - 1], -1.0}},
+                      opt::Relation::GreaterEqual, 0.0);
+  }
+
+  // Group tasks per machine under ŷ for separation.
+  std::vector<std::vector<TaskId>> machine_tasks(gpu_count);
+  for (const auto& task : jobs.tasks()) {
+    machine_tasks[static_cast<std::size_t>(
+                      pass.y_hat[static_cast<std::size_t>(task.id.value())]
+                          .value())]
+        .push_back(task.id);
+  }
+
+  RelaxationResult result;
+  result.y_hat = pass.y_hat;
+
+  opt::LpSolution solution = lp.solve();
+  HARE_CHECK_MSG(solution.optimal(), "relaxation LP is infeasible/unbounded");
+  ++result.lp_solves;
+
+  for (std::size_t round = 0; round < config_.max_cut_rounds; ++round) {
+    bool added = false;
+    for (std::size_t g = 0; g < gpu_count; ++g) {
+      const auto& members = machine_tasks[g];
+      if (members.size() < 2) continue;
+      std::vector<double> t(members.size());
+      std::vector<double> point(members.size());
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        const workload::Task& task = jobs.task(members[k]);
+        t[k] = times.tc(task.job, GpuId(static_cast<int>(g)));
+        point[k] =
+            solution.values[x_var[static_cast<std::size_t>(
+                members[k].value())]];
+      }
+      const opt::QueyranneCut cut =
+          opt::separate_queyranne_cut(t, point, config_.cut_tolerance);
+      if (cut.subset.empty()) continue;
+
+      // sum_{i in S} T_i x_i >= 1/2 [ (sum T)^2 - sum T^2 ].
+      std::vector<std::pair<std::size_t, double>> terms;
+      double t_sum = 0.0;
+      double t_sq = 0.0;
+      for (std::size_t k : cut.subset) {
+        terms.emplace_back(
+            x_var[static_cast<std::size_t>(members[k].value())], t[k]);
+        t_sum += t[k];
+        t_sq += t[k] * t[k];
+      }
+      lp.add_constraint(terms, opt::Relation::GreaterEqual,
+                        0.5 * (t_sum * t_sum - t_sq));
+      ++result.cut_count;
+      added = true;
+    }
+    if (!added) break;
+    solution = lp.solve();
+    HARE_CHECK_MSG(solution.optimal(), "cut LP became infeasible");
+    ++result.lp_solves;
+  }
+
+  result.x_hat.resize(task_count);
+  for (std::size_t i = 0; i < task_count; ++i) {
+    result.x_hat[i] = solution.values[x_var[i]];
+  }
+  result.objective = solution.objective;
+  result.h = middle_completion_times(jobs, times, result.x_hat);
+  return result;
+}
+
+}  // namespace hare::core

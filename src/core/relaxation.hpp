@@ -1,0 +1,91 @@
+// Hare_Sched_RL relaxation solvers (§5.2 step 1).
+//
+// The paper relaxes the non-preemption constraint (8) into Queyranne's
+// polyhedral constraint (9) and hands the resulting program to CPLEX /
+// Gurobi. We provide two solvers:
+//
+//  * LpCuts — the honest reproduction for small/medium instances. Task→GPU
+//    assignments ŷ are fixed by an earliest-finish greedy; given ŷ the
+//    program in (x, C, per-round end variables) is a *linear* program whose
+//    (9)-constraints over every machine-subset are added lazily: solve LP,
+//    run Queyranne prefix separation per machine, add the violated cut,
+//    repeat. This is exactly the cutting-plane treatment a commercial
+//    solver applies.
+//  * Fluid — the scalable surrogate for cluster-size instances: one
+//    earliest-finish-time list-scheduling pass over the precedence DAG
+//    yields fluid start times x̂ directly in O(|D|·(log|D| + |M|)).
+//
+// Both produce the quantities Algorithm 1 consumes: x̂_i and the middle
+// completion time H_i = x̂_i + max_m T^c_{i,m} / 2. Tests verify the two
+// modes agree on the Fig 1 toy example and that the LP value lower-bounds
+// the fluid schedule's cost under the same assignment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/types.hpp"
+#include "profiler/time_table.hpp"
+#include "workload/job.hpp"
+
+namespace hare::core {
+
+enum class RelaxMode : std::uint8_t { Fluid, LpCuts };
+
+struct RelaxationResult {
+  std::vector<Time> x_hat;      ///< relaxed start time per task (by id)
+  std::vector<GpuId> y_hat;     ///< assignment used by the relaxation
+  std::vector<Time> h;          ///< H_i = x̂_i + max_m T^c_{i,m} / 2
+  double objective = 0.0;       ///< relaxed Σ w_n C_n (lower bound given ŷ)
+  std::size_t cut_count = 0;    ///< Queyranne cuts added (LpCuts mode)
+  std::size_t lp_solves = 0;    ///< LP iterations (LpCuts mode)
+};
+
+struct RelaxationConfig {
+  RelaxMode mode = RelaxMode::Fluid;
+  /// LpCuts: stop after this many solve→separate rounds.
+  std::size_t max_cut_rounds = 16;
+  /// LpCuts: per-machine cut-violation tolerance.
+  double cut_tolerance = 1e-6;
+};
+
+/// Optional sub-problem view for incremental (online) planning: only jobs
+/// with job_mask[id] != 0 are scheduled, and every GPU m is unavailable
+/// before initial_phi[m] (prior commitments). Empty vectors mean
+/// "all jobs" / "all GPUs free at 0".
+struct SubProblem {
+  std::vector<char> job_mask;
+  std::vector<Time> initial_phi;
+
+  [[nodiscard]] bool active(JobId job) const {
+    return job_mask.empty() ||
+           job_mask[static_cast<std::size_t>(job.value())] != 0;
+  }
+  [[nodiscard]] Time phi(std::size_t gpu) const {
+    return initial_phi.empty() ? 0.0 : initial_phi[gpu];
+  }
+};
+
+class HareRelaxation {
+ public:
+  explicit HareRelaxation(RelaxationConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] RelaxationResult solve(const cluster::Cluster& cluster,
+                                       const workload::JobSet& jobs,
+                                       const profiler::TimeTable& times,
+                                       const SubProblem& sub = {}) const;
+
+ private:
+  [[nodiscard]] RelaxationResult solve_fluid(const cluster::Cluster& cluster,
+                                             const workload::JobSet& jobs,
+                                             const profiler::TimeTable& times,
+                                             const SubProblem& sub) const;
+  [[nodiscard]] RelaxationResult solve_lp_cuts(
+      const cluster::Cluster& cluster, const workload::JobSet& jobs,
+      const profiler::TimeTable& times, const SubProblem& sub) const;
+
+  RelaxationConfig config_;
+};
+
+}  // namespace hare::core

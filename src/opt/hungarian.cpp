@@ -1,0 +1,83 @@
+#include "opt/hungarian.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hare::opt {
+
+AssignmentResult solve_assignment(const std::vector<double>& cost,
+                                  std::size_t rows, std::size_t cols) {
+  HARE_CHECK_MSG(rows <= cols, "assignment requires rows <= cols");
+  HARE_CHECK_MSG(cost.size() == rows * cols, "cost matrix size mismatch");
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t n = rows;
+  const std::size_t m = cols;
+
+  // 1-based potentials formulation (classic O(n^2 m) Hungarian).
+  std::vector<double> u(n + 1, 0.0);  // row potentials
+  std::vector<double> v(m + 1, 0.0);  // column potentials
+  std::vector<int> match(m + 1, 0);   // match[j] = row matched to column j
+  std::vector<int> way(m + 1, 0);
+
+  auto c = [&](std::size_t i, std::size_t j) {
+    return cost[(i - 1) * m + (j - 1)];
+  };
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    match[0] = static_cast<int>(i);
+    std::size_t j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<char> used(m + 1, 0);
+    do {
+      used[j0] = 1;
+      const std::size_t i0 = static_cast<std::size_t>(match[j0]);
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = c(i0, j) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = static_cast<int>(j0);
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[static_cast<std::size_t>(match[j])] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    do {
+      const std::size_t j1 = static_cast<std::size_t>(way[j0]);
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult result;
+  result.assignment.assign(n, -1);
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (match[j] != 0) {
+      result.assignment[static_cast<std::size_t>(match[j] - 1)] =
+          static_cast<int>(j - 1);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    HARE_CHECK_MSG(result.assignment[i] >= 0, "row left unmatched");
+    result.total_cost +=
+        cost[i * m + static_cast<std::size_t>(result.assignment[i])];
+  }
+  return result;
+}
+
+}  // namespace hare::opt

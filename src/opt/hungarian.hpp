@@ -1,0 +1,25 @@
+// Min-cost bipartite assignment (Hungarian algorithm, Jonker-Volgenant
+// potentials formulation, O(n^2 m)).
+//
+// Used by the AlloX baseline (jobs × (GPU, position) matching) and by the
+// LP-mode Hare relaxation to fix per-round task-to-GPU assignments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hare::opt {
+
+struct AssignmentResult {
+  /// assignment[r] = column matched to row r, or -1 when unmatched (only
+  /// possible if rows > columns).
+  std::vector<int> assignment;
+  double total_cost = 0.0;
+};
+
+/// Solve min-cost assignment for a rows × cols cost matrix (row-major).
+/// Requires rows <= cols; every row is matched to a distinct column.
+[[nodiscard]] AssignmentResult solve_assignment(
+    const std::vector<double>& cost, std::size_t rows, std::size_t cols);
+
+}  // namespace hare::opt

@@ -1,0 +1,62 @@
+#include "opt/queyranne.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hare::opt {
+
+QueyranneCut separate_queyranne_cut(const std::vector<double>& t,
+                                    const std::vector<double>& x,
+                                    double tolerance) {
+  HARE_CHECK_MSG(t.size() == x.size(), "times/point size mismatch");
+  const std::size_t n = t.size();
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (x[a] != x[b]) return x[a] < x[b];
+    return a < b;
+  });
+
+  // Scan prefixes of the sorted order, tracking the most violated one.
+  double lhs = 0.0;       // sum T_i x_i over prefix
+  double t_sum = 0.0;     // sum T_i
+  double t_sq_sum = 0.0;  // sum T_i^2
+  double best_violation = tolerance;
+  std::size_t best_prefix = 0;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = order[k];
+    lhs += t[i] * x[i];
+    t_sum += t[i];
+    t_sq_sum += t[i] * t[i];
+    const double rhs = 0.5 * (t_sum * t_sum - t_sq_sum);
+    const double violation = rhs - lhs;
+    if (violation > best_violation) {
+      best_violation = violation;
+      best_prefix = k + 1;
+    }
+  }
+
+  QueyranneCut cut;
+  if (best_prefix > 0) {
+    cut.subset.assign(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(best_prefix));
+    cut.violation = best_violation;
+  }
+  return cut;
+}
+
+double queyranne_full_set_bound(const std::vector<double>& t) {
+  double t_sum = 0.0;
+  double t_sq_sum = 0.0;
+  for (double v : t) {
+    t_sum += v;
+    t_sq_sum += v * v;
+  }
+  return 0.5 * (t_sum * t_sum + t_sq_sum);
+}
+
+}  // namespace hare::opt

@@ -1,0 +1,40 @@
+// Queyranne scheduling-polyhedron cut separation.
+//
+// Constraint (9) of Hare_Sched_RL, imposed over every subset S of the tasks
+// assigned to one machine,
+//
+//   sum_{i in S} T_i x_i  >=  1/2 [ (sum_{i in S} T_i)^2 - sum_{i in S} T_i^2 ]
+//
+// is Queyranne's (1993) polyhedral description of single-machine completion
+// time vectors. There are exponentially many subsets, but the most violated
+// one at a point x̂ is always a *prefix* of the tasks sorted by ascending
+// x̂ — so separation is an O(n log n) sort plus a linear scan. The LP-mode
+// Hare relaxation alternates solve → separate → add-cut until no subset is
+// violated, which reproduces what a commercial solver does with (9).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hare::opt {
+
+struct QueyranneCut {
+  /// Indices (into the caller's task arrays) of the violated subset.
+  std::vector<std::size_t> subset;
+  /// rhs - lhs at the separation point (> 0 means violated).
+  double violation = 0.0;
+};
+
+/// Find the most violated subset constraint at point `x` for tasks with
+/// processing times `t` (both size n). Returns a cut with empty subset when
+/// none is violated beyond `tolerance`.
+[[nodiscard]] QueyranneCut separate_queyranne_cut(
+    const std::vector<double>& t, const std::vector<double>& x,
+    double tolerance = 1e-7);
+
+/// Lower bound on sum of T_i * C_i over any single-machine order of the
+/// given processing times (the full-set Queyranne rhs with C_i = x_i + T_i):
+/// 1/2 [ (sum T)^2 + sum T^2 ].
+[[nodiscard]] double queyranne_full_set_bound(const std::vector<double>& t);
+
+}  // namespace hare::opt

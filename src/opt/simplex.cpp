@@ -1,0 +1,270 @@
+#include "opt/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hare::opt {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau. Columns: structural + slack/surplus + artificial,
+/// plus the rhs column. One basis variable per row.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * (cols + 1), 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * (cols_ + 1) + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * (cols_ + 1) + c];
+  }
+  double& rhs(std::size_t r) { return at(r, cols_); }
+  [[nodiscard]] double rhs(std::size_t r) const { return at(r, cols_); }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double pivot_value = at(pr, pc);
+    const double inv = 1.0 / pivot_value;
+    for (std::size_t c = 0; c <= cols_; ++c) at(pr, c) *= inv;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double factor = at(r, pc);
+      if (std::abs(factor) < kEps) continue;
+      for (std::size_t c = 0; c <= cols_; ++c) {
+        at(r, c) -= factor * at(pr, c);
+      }
+      at(r, pc) = 0.0;
+    }
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+struct SimplexState {
+  Tableau tableau;
+  std::vector<std::size_t> basis;  // basis[r] = column basic in row r
+  std::vector<double> reduced;     // reduced costs, size cols
+  double objective = 0.0;
+};
+
+/// Compute reduced costs z_j - c_j for minimization given objective c over
+/// all tableau columns.
+void compute_reduced_costs(SimplexState& s, const std::vector<double>& c) {
+  const std::size_t cols = s.tableau.cols();
+  s.reduced.assign(cols, 0.0);
+  s.objective = 0.0;
+  for (std::size_t r = 0; r < s.tableau.rows(); ++r) {
+    s.objective += c[s.basis[r]] * s.tableau.rhs(r);
+  }
+  for (std::size_t j = 0; j < cols; ++j) {
+    double z = 0.0;
+    for (std::size_t r = 0; r < s.tableau.rows(); ++r) {
+      const double a = s.tableau.at(r, j);
+      if (a != 0.0) z += c[s.basis[r]] * a;
+    }
+    s.reduced[j] = z - c[j];
+  }
+}
+
+/// Run simplex iterations minimizing objective c. Returns status; updates
+/// state in place. Reduced costs maintained incrementally via re-pricing.
+LpStatus iterate(SimplexState& s, const std::vector<double>& c,
+                 std::size_t max_iterations) {
+  const std::size_t cols = s.tableau.cols();
+  const std::size_t rows = s.tableau.rows();
+  const std::size_t bland_threshold = max_iterations / 2;
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    compute_reduced_costs(s, c);
+    const bool bland = iter >= bland_threshold;
+
+    // Entering column: most positive reduced cost (min problem), or the
+    // lowest-index positive one under Bland's anti-cycling rule.
+    std::size_t enter = cols;
+    double best = kEps;
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (s.reduced[j] > (bland ? kEps : best)) {
+        enter = j;
+        if (bland) break;
+        best = s.reduced[j];
+      }
+    }
+    if (enter == cols) return LpStatus::Optimal;
+
+    // Leaving row: min ratio test.
+    std::size_t leave = rows;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double a = s.tableau.at(r, enter);
+      if (a > kEps) {
+        const double ratio = s.tableau.rhs(r) / a;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps && leave < rows &&
+             s.basis[r] < s.basis[leave])) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == rows) return LpStatus::Unbounded;
+
+    s.tableau.pivot(leave, enter);
+    s.basis[leave] = enter;
+  }
+  return LpStatus::IterationLimit;
+}
+
+}  // namespace
+
+std::size_t LinearProgram::add_variable(double objective_coefficient) {
+  objective_.push_back(objective_coefficient);
+  return objective_.size() - 1;
+}
+
+void LinearProgram::add_constraint(
+    const std::vector<std::pair<std::size_t, double>>& terms, Relation rel,
+    double rhs) {
+  for (const auto& [var, coeff] : terms) {
+    HARE_CHECK_MSG(var < objective_.size(),
+                   "constraint references unknown variable " << var);
+    (void)coeff;
+  }
+  rows_.push_back(Row{terms, rel, rhs});
+}
+
+LpSolution LinearProgram::solve(std::size_t max_iterations) const {
+  const std::size_t n = objective_.size();
+  const std::size_t m = rows_.size();
+
+  // Count auxiliary columns: slack for <=, surplus for >=, artificial for
+  // >= and =. After sign normalization (rhs >= 0).
+  std::size_t slack_count = 0;
+  std::size_t artificial_count = 0;
+  std::vector<Row> rows = rows_;
+  for (auto& row : rows) {
+    if (row.rhs < 0.0) {
+      row.rhs = -row.rhs;
+      for (auto& [var, coeff] : row.terms) coeff = -coeff;
+      if (row.rel == Relation::LessEqual) {
+        row.rel = Relation::GreaterEqual;
+      } else if (row.rel == Relation::GreaterEqual) {
+        row.rel = Relation::LessEqual;
+      }
+    }
+    switch (row.rel) {
+      case Relation::LessEqual: ++slack_count; break;
+      case Relation::GreaterEqual:
+        ++slack_count;
+        ++artificial_count;
+        break;
+      case Relation::Equal: ++artificial_count; break;
+    }
+  }
+
+  const std::size_t total = n + slack_count + artificial_count;
+  SimplexState state{Tableau(m, total), {}, {}, 0.0};
+  state.basis.assign(m, 0);
+
+  std::size_t next_slack = n;
+  std::size_t next_artificial = n + slack_count;
+  std::vector<bool> is_artificial(total, false);
+
+  for (std::size_t r = 0; r < m; ++r) {
+    const Row& row = rows[r];
+    for (const auto& [var, coeff] : row.terms) {
+      state.tableau.at(r, var) += coeff;
+    }
+    state.tableau.rhs(r) = row.rhs;
+    switch (row.rel) {
+      case Relation::LessEqual:
+        state.tableau.at(r, next_slack) = 1.0;
+        state.basis[r] = next_slack++;
+        break;
+      case Relation::GreaterEqual:
+        state.tableau.at(r, next_slack) = -1.0;
+        ++next_slack;
+        state.tableau.at(r, next_artificial) = 1.0;
+        is_artificial[next_artificial] = true;
+        state.basis[r] = next_artificial++;
+        break;
+      case Relation::Equal:
+        state.tableau.at(r, next_artificial) = 1.0;
+        is_artificial[next_artificial] = true;
+        state.basis[r] = next_artificial++;
+        break;
+    }
+  }
+
+  LpSolution solution;
+
+  // Phase 1: drive artificials to zero.
+  if (artificial_count > 0) {
+    std::vector<double> phase1(total, 0.0);
+    for (std::size_t j = 0; j < total; ++j) {
+      if (is_artificial[j]) phase1[j] = 1.0;
+    }
+    const LpStatus status = iterate(state, phase1, max_iterations);
+    if (status == LpStatus::IterationLimit) {
+      solution.status = status;
+      return solution;
+    }
+    compute_reduced_costs(state, phase1);
+    if (state.objective > 1e-6) {
+      solution.status = LpStatus::Infeasible;
+      return solution;
+    }
+    // Pivot any artificial still (degenerately) basic out of the basis.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!is_artificial[state.basis[r]]) continue;
+      std::size_t enter = total;
+      for (std::size_t j = 0; j < n + slack_count; ++j) {
+        if (std::abs(state.tableau.at(r, j)) > kEps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < total) {
+        state.tableau.pivot(r, enter);
+        state.basis[r] = enter;
+      }
+      // Otherwise the row is all-zero (redundant); the artificial stays at
+      // value 0 and never re-enters because phase 2 ignores it.
+    }
+  }
+
+  // Phase 2: original objective; artificials are fenced out with +inf-like
+  // cost so they never re-enter.
+  std::vector<double> phase2(total, 0.0);
+  for (std::size_t j = 0; j < n; ++j) phase2[j] = objective_[j];
+  constexpr double kBigM = 1e12;
+  for (std::size_t j = 0; j < total; ++j) {
+    if (is_artificial[j]) phase2[j] = kBigM;
+  }
+  const LpStatus status = iterate(state, phase2, max_iterations);
+  solution.status = status;
+  if (status != LpStatus::Optimal) return solution;
+
+  solution.values.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (state.basis[r] < n) {
+      solution.values[state.basis[r]] = state.tableau.rhs(r);
+    }
+  }
+  solution.objective = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    solution.objective += objective_[j] * solution.values[j];
+  }
+  return solution;
+}
+
+}  // namespace hare::opt

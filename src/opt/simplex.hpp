@@ -1,0 +1,57 @@
+// Dense two-phase primal simplex LP solver.
+//
+// Stands in for the commercial solver (CPLEX/Gurobi) the paper uses for the
+// Hare_Sched_RL relaxation. Problems are stated in the natural form
+//   minimize cᵀx   s.t.  aᵀx {<=,>=,=} b,  x >= 0
+// and converted internally to standard form with slack/surplus/artificial
+// variables. Sized for the LP-mode relaxation on small/medium instances
+// (hundreds of variables); the fluid relaxation covers cluster scale.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hare::opt {
+
+enum class Relation { LessEqual, GreaterEqual, Equal };
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<double> values;
+
+  [[nodiscard]] bool optimal() const { return status == LpStatus::Optimal; }
+};
+
+class LinearProgram {
+ public:
+  /// Add a variable with the given objective coefficient (x >= 0 implicit).
+  /// Returns the variable's index.
+  std::size_t add_variable(double objective_coefficient);
+
+  /// Add a constraint sum(coeff[i] * x[var[i]]) rel rhs. Terms may repeat a
+  /// variable; coefficients accumulate.
+  void add_constraint(const std::vector<std::pair<std::size_t, double>>& terms,
+                      Relation rel, double rhs);
+
+  [[nodiscard]] std::size_t variable_count() const { return objective_.size(); }
+  [[nodiscard]] std::size_t constraint_count() const { return rows_.size(); }
+
+  /// Minimize. `max_iterations` guards against cycling (Bland's rule is
+  /// engaged automatically after a stall).
+  [[nodiscard]] LpSolution solve(std::size_t max_iterations = 100000) const;
+
+ private:
+  struct Row {
+    std::vector<std::pair<std::size_t, double>> terms;
+    Relation rel = Relation::LessEqual;
+    double rhs = 0.0;
+  };
+
+  std::vector<double> objective_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace hare::opt

@@ -1,0 +1,71 @@
+#include "profiler/profile_db.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace hare::profiler {
+
+std::optional<ProfileEntry> ProfileDb::lookup(const ProfileKey& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void ProfileDb::store(const ProfileKey& key, const ProfileEntry& entry) {
+  entries_[key] = entry;
+}
+
+namespace {
+constexpr std::string_view kDbHeader = "hare-profiledb-v1";
+}
+
+void ProfileDb::save(std::ostream& os) const {
+  os << kDbHeader << ' ' << entries_.size() << '\n';
+  os.precision(17);
+  for (const auto& [key, entry] : entries_) {
+    os << static_cast<int>(key.model) << ' ' << static_cast<int>(key.gpu)
+       << ' ' << key.batch_size << ' ' << key.batches_per_task << ' '
+       << key.network_mbps << ' ' << entry.tc << ' ' << entry.ts << ' '
+       << entry.sample_count << '\n';
+  }
+}
+
+void ProfileDb::load(std::istream& is) {
+  std::string header;
+  std::size_t count = 0;
+  is >> header >> count;
+  HARE_CHECK_MSG(header == kDbHeader, "not a hare profile DB (bad header)");
+  for (std::size_t i = 0; i < count; ++i) {
+    int model = 0;
+    int gpu = 0;
+    ProfileKey key;
+    ProfileEntry entry;
+    is >> model >> gpu >> key.batch_size >> key.batches_per_task >>
+        key.network_mbps >> entry.tc >> entry.ts >> entry.sample_count;
+    HARE_CHECK_MSG(static_cast<bool>(is), "truncated profile DB at " << i);
+    key.model = static_cast<workload::ModelType>(model);
+    key.gpu = static_cast<cluster::GpuType>(gpu);
+    entries_[key] = entry;
+  }
+}
+
+void ProfileDb::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  HARE_CHECK_MSG(os.good(), "cannot open profile DB for writing: " << path);
+  save(os);
+}
+
+void ProfileDb::load_file(const std::string& path) {
+  std::ifstream is(path);
+  HARE_CHECK_MSG(is.good(), "cannot open profile DB: " << path);
+  load(is);
+}
+
+}  // namespace hare::profiler

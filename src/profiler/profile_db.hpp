@@ -1,0 +1,71 @@
+// Historical profiling database (§3, system overview).
+//
+// Jobs are often re-submitted (periodic retraining); the scheduler first
+// consults a database of past profiling results keyed by
+// (model, GPU type, batch size, batches per task, uplink bandwidth) and
+// only profiles on a miss. The DB round-trips through a plain-text file so
+// a long-lived deployment accumulates profiles across runs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cluster/gpu.hpp"
+#include "common/types.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace hare::profiler {
+
+struct ProfileKey {
+  workload::ModelType model{};
+  cluster::GpuType gpu{};
+  std::uint32_t batch_size = 0;
+  std::uint32_t batches_per_task = 0;
+  /// Machine uplink in Mbit/s, rounded — sync time depends on it.
+  std::uint32_t network_mbps = 0;
+
+  friend bool operator==(const ProfileKey&, const ProfileKey&) = default;
+};
+
+struct ProfileKeyHash {
+  std::size_t operator()(const ProfileKey& k) const noexcept {
+    std::size_t h = static_cast<std::size_t>(k.model);
+    h = h * 131 + static_cast<std::size_t>(k.gpu);
+    h = h * 131 + k.batch_size;
+    h = h * 131 + k.batches_per_task;
+    h = h * 131 + k.network_mbps;
+    return h;
+  }
+};
+
+struct ProfileEntry {
+  Time tc = 0.0;  ///< task training time
+  Time ts = 0.0;  ///< task synchronization time
+  std::uint32_t sample_count = 0;
+};
+
+class ProfileDb {
+ public:
+  [[nodiscard]] std::optional<ProfileEntry> lookup(const ProfileKey& key) const;
+  void store(const ProfileKey& key, const ProfileEntry& entry);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t misses() const { return misses_; }
+  void reset_counters() { hits_ = misses_ = 0; }
+
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+  void save_file(const std::string& path) const;
+  void load_file(const std::string& path);
+
+ private:
+  std::unordered_map<ProfileKey, ProfileEntry, ProfileKeyHash> entries_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+}  // namespace hare::profiler

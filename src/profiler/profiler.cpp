@@ -1,0 +1,90 @@
+#include "profiler/profiler.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hare::profiler {
+
+namespace {
+
+ProfileKey make_key(const workload::Job& job, const cluster::Gpu& gpu,
+                    double network_gbps) {
+  ProfileKey key;
+  key.model = job.spec.model;
+  key.gpu = gpu.type;
+  key.batch_size = job.effective_batch_size();
+  key.batches_per_task = job.spec.batches_per_task;
+  key.network_mbps = static_cast<std::uint32_t>(network_gbps * 1000.0 + 0.5);
+  return key;
+}
+
+}  // namespace
+
+TimeTable Profiler::profile(const workload::JobSet& jobs,
+                            const cluster::Cluster& cluster, ProfileDb* db) {
+  TimeTable table(jobs.job_count(), cluster.gpu_count());
+  profiling_cost_ = 0.0;
+
+  for (const auto& job : jobs.jobs()) {
+    const auto batch = job.effective_batch_size();
+    for (const auto& gpu : cluster.gpus()) {
+      const double uplink = cluster.machine(gpu.machine).network_gbps;
+      const ProfileKey key = make_key(job, gpu, uplink);
+
+      if (db != nullptr) {
+        if (const auto hit = db->lookup(key)) {
+          table.set(job.id, gpu.id, hit->tc, hit->ts);
+          continue;
+        }
+      }
+
+      // Measure: warmups discarded, then average `sample_batches` noisy
+      // batch times. Noise is multiplicative log-normal with the configured
+      // CV, matching how testbed batch times scatter around their mean.
+      const Time true_batch = perf_.batch_time(job.spec.model, gpu.type, batch);
+      const double sigma =
+          std::sqrt(std::log(1.0 + config_.measurement_noise_cv *
+                                       config_.measurement_noise_cv));
+      for (std::uint32_t w = 0; w < config_.warmup_batches; ++w) {
+        profiling_cost_ += true_batch * rng_.log_normal(-sigma * sigma / 2.0,
+                                                        sigma) *
+                           2.0;  // warmup batches run slower (cold caches)
+      }
+      Time measured_sum = 0.0;
+      const std::uint32_t samples = std::max(1u, config_.sample_batches);
+      for (std::uint32_t s = 0; s < samples; ++s) {
+        const Time one = true_batch * rng_.log_normal(-sigma * sigma / 2.0, sigma);
+        measured_sum += one;
+        profiling_cost_ += one;
+      }
+      const Time measured_batch = measured_sum / samples;
+
+      ProfileEntry entry;
+      entry.tc = measured_batch * job.spec.batches_per_task;
+      entry.ts = perf_.sync_time(job.spec.model, uplink);
+      entry.sample_count = samples;
+      table.set(job.id, gpu.id, entry.tc, entry.ts);
+      if (db != nullptr) db->store(key, entry);
+    }
+  }
+  return table;
+}
+
+TimeTable Profiler::exact(const workload::JobSet& jobs,
+                          const cluster::Cluster& cluster) const {
+  TimeTable table(jobs.job_count(), cluster.gpu_count());
+  for (const auto& job : jobs.jobs()) {
+    const auto batch = job.effective_batch_size();
+    for (const auto& gpu : cluster.gpus()) {
+      const double uplink = cluster.machine(gpu.machine).network_gbps;
+      const Time tc = perf_.task_compute_time(job.spec.model, gpu.type, batch,
+                                              job.spec.batches_per_task);
+      const Time ts = perf_.sync_time(job.spec.model, uplink);
+      table.set(job.id, gpu.id, tc, ts);
+    }
+  }
+  return table;
+}
+
+}  // namespace hare::profiler

@@ -1,0 +1,60 @@
+// Task profiler (§3 preparation stage).
+//
+// The real profiler trains a small slice of data per (job, GPU) pair and
+// records batch times. Offline, "running a batch" means sampling the
+// analytic performance model with multiplicative measurement noise
+// (testbed jitter: input pipeline variance, clock throttling, network).
+// The profiler averages `sample_batches` draws after `warmup_batches`
+// discarded warmups, which is exactly the shape of the real measurement
+// loop, and optionally consults/extends a ProfileDb to skip repeat work.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "profiler/profile_db.hpp"
+#include "profiler/time_table.hpp"
+#include "workload/job.hpp"
+#include "workload/perf_model.hpp"
+
+namespace hare::profiler {
+
+struct ProfilerConfig {
+  std::uint32_t warmup_batches = 2;
+  std::uint32_t sample_batches = 5;
+  /// Coefficient of variation of one measured batch (testbed jitter).
+  double measurement_noise_cv = 0.03;
+};
+
+class Profiler {
+ public:
+  Profiler(workload::PerfModel perf, ProfilerConfig config, std::uint64_t seed)
+      : perf_(perf), config_(config), rng_(seed) {}
+
+  /// Profile every (job, GPU) pair; uses `db` when provided (lookups keyed
+  /// by GPU *type*, so a 160-GPU cluster needs only |models| × |types|
+  /// actual profiling runs).
+  [[nodiscard]] TimeTable profile(const workload::JobSet& jobs,
+                                  const cluster::Cluster& cluster,
+                                  ProfileDb* db = nullptr);
+
+  /// Exact (noise-free) table straight from the performance model — the
+  /// simulator's ground truth.
+  [[nodiscard]] TimeTable exact(const workload::JobSet& jobs,
+                                const cluster::Cluster& cluster) const;
+
+  /// Total simulated profiling cost in GPU-seconds of the last profile()
+  /// call (what the ProfileDb saves on repeat submissions).
+  [[nodiscard]] Time last_profiling_cost() const { return profiling_cost_; }
+
+  [[nodiscard]] const workload::PerfModel& perf_model() const { return perf_; }
+
+ private:
+  workload::PerfModel perf_;
+  ProfilerConfig config_;
+  common::Rng rng_;
+  Time profiling_cost_ = 0.0;
+};
+
+}  // namespace hare::profiler

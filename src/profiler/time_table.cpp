@@ -1,0 +1,68 @@
+#include "profiler/time_table.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hare::profiler {
+
+namespace {
+template <typename Fn>
+Time reduce_over_gpus(std::size_t gpu_count, Fn&& value, bool want_min) {
+  HARE_CHECK_MSG(gpu_count > 0, "time table has no GPUs");
+  Time best = value(0);
+  for (std::size_t g = 1; g < gpu_count; ++g) {
+    const Time v = value(g);
+    best = want_min ? std::min(best, v) : std::max(best, v);
+  }
+  return best;
+}
+}  // namespace
+
+Time TimeTable::min_tc(JobId job) const {
+  return reduce_over_gpus(
+      gpu_count_, [&](std::size_t g) { return tc(job, GpuId(static_cast<int>(g))); },
+      true);
+}
+
+Time TimeTable::max_tc(JobId job) const {
+  return reduce_over_gpus(
+      gpu_count_, [&](std::size_t g) { return tc(job, GpuId(static_cast<int>(g))); },
+      false);
+}
+
+Time TimeTable::min_ts(JobId job) const {
+  return reduce_over_gpus(
+      gpu_count_, [&](std::size_t g) { return ts(job, GpuId(static_cast<int>(g))); },
+      true);
+}
+
+Time TimeTable::max_ts(JobId job) const {
+  return reduce_over_gpus(
+      gpu_count_, [&](std::size_t g) { return ts(job, GpuId(static_cast<int>(g))); },
+      false);
+}
+
+GpuId TimeTable::fastest_gpu(JobId job) const {
+  HARE_CHECK_MSG(gpu_count_ > 0, "time table has no GPUs");
+  GpuId best(0);
+  for (std::size_t g = 1; g < gpu_count_; ++g) {
+    const GpuId candidate(static_cast<int>(g));
+    if (tc(job, candidate) < tc(job, best)) best = candidate;
+  }
+  return best;
+}
+
+double TimeTable::alpha() const {
+  double alpha = 1.0;
+  for (std::size_t j = 0; j < job_count(); ++j) {
+    const JobId job(static_cast<int>(j));
+    const Time tc_min = min_tc(job);
+    const Time ts_min = min_ts(job);
+    if (tc_min > 0.0) alpha = std::max(alpha, max_tc(job) / tc_min);
+    if (ts_min > 0.0) alpha = std::max(alpha, max_ts(job) / ts_min);
+  }
+  return alpha;
+}
+
+}  // namespace hare::profiler

@@ -1,0 +1,68 @@
+// Profiled task time tables: T^c_{i,m} and T^s_{i,m}.
+//
+// §5.1 (Fig 11) observes that per-round training and sync times are stable,
+// so times are indexed by (job, GPU) — all tasks of a job share the same
+// profile, exactly as the real profiler feeds Algorithm 1. The table also
+// exposes α = max_i max{T^c max/min, T^s max/min}, the heterogeneity ratio
+// in the α(2+α) approximation bound (Lemma 3 / Theorem 4).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hare::profiler {
+
+class TimeTable {
+ public:
+  TimeTable() = default;
+  TimeTable(std::size_t job_count, std::size_t gpu_count)
+      : gpu_count_(gpu_count),
+        tc_(job_count * gpu_count, 0.0),
+        ts_(job_count * gpu_count, 0.0) {}
+
+  [[nodiscard]] std::size_t job_count() const {
+    return gpu_count_ ? tc_.size() / gpu_count_ : 0;
+  }
+  [[nodiscard]] std::size_t gpu_count() const { return gpu_count_; }
+
+  [[nodiscard]] Time tc(JobId job, GpuId gpu) const {
+    return tc_[index(job, gpu)];
+  }
+  [[nodiscard]] Time ts(JobId job, GpuId gpu) const {
+    return ts_[index(job, gpu)];
+  }
+  void set(JobId job, GpuId gpu, Time compute, Time sync) {
+    tc_[index(job, gpu)] = compute;
+    ts_[index(job, gpu)] = sync;
+  }
+
+  /// Total (compute + sync) time of one task of `job` on `gpu`.
+  [[nodiscard]] Time total(JobId job, GpuId gpu) const {
+    return tc(job, gpu) + ts(job, gpu);
+  }
+
+  /// Fastest compute time of a job's task across GPUs.
+  [[nodiscard]] Time min_tc(JobId job) const;
+  [[nodiscard]] Time max_tc(JobId job) const;
+  [[nodiscard]] Time min_ts(JobId job) const;
+  [[nodiscard]] Time max_ts(JobId job) const;
+
+  /// GPU with the smallest T^c for this job.
+  [[nodiscard]] GpuId fastest_gpu(JobId job) const;
+
+  /// α = max over tasks of max{T^c,max/T^c,min, T^s,max/T^s,min} (Lemma 3).
+  [[nodiscard]] double alpha() const;
+
+ private:
+  [[nodiscard]] std::size_t index(JobId job, GpuId gpu) const {
+    return static_cast<std::size_t>(job.value()) * gpu_count_ +
+           static_cast<std::size_t>(gpu.value());
+  }
+
+  std::size_t gpu_count_ = 0;
+  std::vector<Time> tc_;
+  std::vector<Time> ts_;
+};
+
+}  // namespace hare::profiler

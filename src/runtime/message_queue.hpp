@@ -1,0 +1,83 @@
+// Blocking MPSC message queue used between runtime components.
+//
+// The prototype's scheduler and executors exchange control messages over
+// gRPC (§6); inside one process the same roles are played by these queues:
+// executors push gradient-ready messages, the parameter-server hub pops
+// them, and shutdown is signalled by closing the queue.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace hare::runtime {
+
+template <typename Message>
+class MessageQueue {
+ public:
+  /// Push a message; returns false if the queue is already closed.
+  bool push(Message message) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (closed_) return false;
+      queue_.push_back(std::move(message));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Block until a message or close. nullopt = closed and drained.
+  std::optional<Message> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    Message message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  /// Block until a message, the deadline, or close. nullopt = timed out or
+  /// closed-and-drained (check closed() to distinguish).
+  std::optional<Message> pop_until(
+      std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock lock(mutex_);
+    cv_.wait_until(lock, deadline,
+                   [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    Message message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  /// Non-blocking variant.
+  std::optional<Message> try_pop() {
+    std::scoped_lock lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    Message message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  void close() {
+    {
+      std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace hare::runtime

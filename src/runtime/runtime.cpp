@@ -1,0 +1,247 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+
+#include "common/error.hpp"
+#include "runtime/message_queue.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace hare::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Virtual clock: simulated seconds <-> real time points.
+class VirtualClock {
+ public:
+  explicit VirtualClock(double us_per_sim_second)
+      : us_per_s_(us_per_sim_second), start_(Clock::now()) {}
+
+  [[nodiscard]] Time now() const {
+    const auto elapsed =
+        std::chrono::duration<double, std::micro>(Clock::now() - start_);
+    return elapsed.count() / us_per_s_;
+  }
+
+  [[nodiscard]] Clock::time_point real_deadline(Time virtual_time) const {
+    return start_ + std::chrono::microseconds(static_cast<std::int64_t>(
+                        virtual_time * us_per_s_));
+  }
+
+  void sleep_until(Time virtual_time) const {
+    std::this_thread::sleep_until(real_deadline(virtual_time));
+  }
+
+  void sleep_for(Time virtual_duration) const {
+    if (virtual_duration <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        static_cast<std::int64_t>(virtual_duration * us_per_s_)));
+  }
+
+ private:
+  double us_per_s_;
+  Clock::time_point start_;
+};
+
+struct GradientMessage {
+  JobId job;
+  RoundIndex round = 0;
+  Time sync_end = 0.0;  ///< virtual time the PS finishes applying it
+};
+
+/// Barrier and completion bookkeeping shared by the hub and the executors.
+struct SharedState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::vector<int>> remaining;  ///< [job][round]
+  std::vector<std::vector<Time>> barrier;   ///< [job][round] virtual time
+  std::vector<Time> job_completion;
+  std::size_t jobs_finished = 0;
+
+  explicit SharedState(const workload::JobSet& jobs) {
+    remaining.resize(jobs.job_count());
+    barrier.resize(jobs.job_count());
+    job_completion.assign(jobs.job_count(), 0.0);
+    for (const auto& job : jobs.jobs()) {
+      const auto j = static_cast<std::size_t>(job.id.value());
+      remaining[j].assign(job.rounds(),
+                          static_cast<int>(job.tasks_per_round()));
+      barrier[j].assign(job.rounds(), 0.0);
+    }
+  }
+
+  /// Executor side: block until round `r` of `job` has fully synchronized;
+  /// returns the barrier's virtual time.
+  Time wait_round(JobId job, RoundIndex r) {
+    std::unique_lock lock(mutex);
+    const auto j = static_cast<std::size_t>(job.value());
+    const auto round = static_cast<std::size_t>(r);
+    cv.wait(lock, [&] { return remaining[j][round] == 0; });
+    return barrier[j][round];
+  }
+
+  /// Hub side: apply one synchronized gradient.
+  void apply(const workload::JobSet& jobs, const GradientMessage& message) {
+    std::scoped_lock lock(mutex);
+    const auto j = static_cast<std::size_t>(message.job.value());
+    const auto round = static_cast<std::size_t>(message.round);
+    HARE_CHECK_MSG(remaining[j][round] > 0, "round over-synchronized");
+    barrier[j][round] = std::max(barrier[j][round], message.sync_end);
+    if (--remaining[j][round] == 0) {
+      const workload::Job& job = jobs.job(message.job);
+      if (round + 1 == job.rounds()) {
+        job_completion[j] = barrier[j][round];
+        ++jobs_finished;
+      }
+      cv.notify_all();
+    }
+  }
+};
+
+/// Parameter-server hub: receives gradient messages and applies each at
+/// its (virtual) synchronization completion time.
+void hub_loop(const workload::JobSet& jobs, const VirtualClock& clock,
+              MessageQueue<GradientMessage>& queue, SharedState& shared) {
+  auto later = [](const GradientMessage& a, const GradientMessage& b) {
+    return a.sync_end > b.sync_end;
+  };
+  std::priority_queue<GradientMessage, std::vector<GradientMessage>,
+                      decltype(later)>
+      pending(later);
+
+  for (;;) {
+    if (!queue.closed()) {
+      const auto deadline =
+          pending.empty() ? Clock::now() + std::chrono::milliseconds(50)
+                          : clock.real_deadline(pending.top().sync_end);
+      if (auto message = queue.pop_until(deadline)) {
+        pending.push(*message);
+      }
+    } else {
+      // Shutdown: drain stragglers, then sleep out the remaining syncs.
+      while (auto message = queue.try_pop()) pending.push(*message);
+      if (pending.empty()) return;
+      std::this_thread::sleep_until(
+          clock.real_deadline(pending.top().sync_end));
+    }
+    while (!pending.empty() && clock.now() >= pending.top().sync_end) {
+      shared.apply(jobs, pending.top());
+      pending.pop();
+    }
+  }
+}
+
+}  // namespace
+
+ExecutorRuntime::ExecutorRuntime(const cluster::Cluster& cluster,
+                                 const workload::JobSet& jobs,
+                                 const profiler::TimeTable& times,
+                                 RuntimeConfig config)
+    : cluster_(cluster), jobs_(jobs), times_(times), config_(config) {
+  HARE_CHECK_MSG(config_.microseconds_per_sim_second > 0.0,
+                 "virtual clock rate must be positive");
+}
+
+RuntimeResult ExecutorRuntime::run(const sim::Schedule& schedule) {
+  HARE_CHECK_MSG(schedule.gpu_count() == cluster_.gpu_count(),
+                 "schedule does not match cluster");
+  sim::validate_schedule(schedule, jobs_);
+
+  const VirtualClock clock(config_.microseconds_per_sim_second);
+  MessageQueue<GradientMessage> gradients;
+  SharedState shared(jobs_);
+  const switching::SwitchCostModel switch_model(config_.switching);
+
+  std::atomic<std::size_t> switch_count{0};
+  std::atomic<std::size_t> resident_hits{0};
+
+  // Per-GPU executor threads (§6: trainer processes inside each executor).
+  std::vector<std::thread> executors;
+  executors.reserve(cluster_.gpu_count());
+  for (std::size_t g = 0; g < cluster_.gpu_count(); ++g) {
+    executors.emplace_back([&, g] {
+      const GpuId gpu_id(static_cast<int>(g));
+      const cluster::Gpu& hw = cluster_.gpu(gpu_id);
+      std::optional<switching::SpeculativeMemoryManager> memory;
+      const bool hare_policy =
+          config_.switching.policy == switching::SwitchPolicy::Hare;
+      if (config_.use_memory_manager && hare_policy) {
+        memory.emplace(hw.spec().memory);
+      }
+      std::optional<JobId> previous_job;
+
+      // Virtual cursor: the GPU's intended timeline. Real sleeps only
+      // *pace* the thread (sleep_until the absolute deadline); virtual
+      // timestamps are computed, never measured, so OS wakeup jitter does
+      // not accumulate into the results.
+      Time cursor = 0.0;
+      for (TaskId task_id : schedule.sequences[g]) {
+        const workload::Task& task = jobs_.task(task_id);
+        const workload::Job& job = jobs_.job(task.job);
+
+        cursor = std::max(cursor, job.spec.arrival);
+        if (task.round > 0) {
+          const Time barrier = shared.wait_round(task.job, task.round - 1);
+          cursor = std::max(cursor, barrier);
+        }
+
+        const switching::SwitchBreakdown breakdown = switch_model.switch_cost(
+            task.job, job.spec.model, hw.type, previous_job,
+            memory ? &*memory : nullptr);
+        if (memory) {
+          const workload::ModelSpec& model =
+              workload::model_spec(job.spec.model);
+          memory->on_task_start(
+              task.job,
+              workload::task_memory_footprint(model,
+                                              job.effective_batch_size()),
+              workload::model_state_bytes(model));
+        }
+        if (previous_job && *previous_job != task.job) {
+          switch_count.fetch_add(1, std::memory_order_relaxed);
+          if (breakdown.model_resident) {
+            resident_hits.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        previous_job = task.job;
+
+        cursor += breakdown.total() + times_.tc(task.job, gpu_id);
+        clock.sleep_until(cursor);  // pace real time to the virtual plan
+        if (memory) memory->on_task_complete(cursor);
+
+        GradientMessage message;
+        message.job = task.job;
+        message.round = task.round;
+        message.sync_end = cursor + times_.ts(task.job, gpu_id);
+        HARE_CHECK_MSG(gradients.push(message), "hub closed prematurely");
+      }
+    });
+  }
+
+  std::thread hub(
+      [&] { hub_loop(jobs_, clock, gradients, shared); });
+
+  for (auto& executor : executors) executor.join();
+  gradients.close();
+  hub.join();
+
+  RuntimeResult result;
+  result.job_completion = shared.job_completion;
+  for (const auto& job : jobs_.jobs()) {
+    const auto j = static_cast<std::size_t>(job.id.value());
+    HARE_CHECK_MSG(shared.remaining[j].back() == 0,
+                   "job " << job.id << " did not finish in the runtime");
+    result.makespan = std::max(result.makespan, result.job_completion[j]);
+    result.weighted_completion += job.spec.weight * result.job_completion[j];
+    result.weighted_jct +=
+        job.spec.weight * (result.job_completion[j] - job.spec.arrival);
+  }
+  result.switch_count = switch_count.load();
+  result.resident_hits = resident_hits.load();
+  return result;
+}
+
+}  // namespace hare::runtime

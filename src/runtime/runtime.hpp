@@ -1,0 +1,73 @@
+// Multi-threaded executor runtime (§6's scheduler/executor architecture).
+//
+// The prototype runs a central scheduler process plus per-machine executors
+// that train tasks in the sequence received from the scheduler, posting
+// gradients to per-job parameter servers. This module reproduces that
+// architecture with real threads inside one process:
+//
+//   * one executor thread per GPU, consuming its task sequence in order,
+//     honouring job arrivals and round barriers, charging switch costs via
+//     the same SwitchCostModel + SpeculativeMemoryManager the simulator
+//     uses, and "training" by sleeping the (scaled) task duration;
+//   * a parameter-server hub thread that receives gradient messages,
+//     applies each task's synchronization delay, maintains per-round
+//     barriers, and wakes executors blocked on them;
+//   * a virtual clock mapping simulated seconds to real microseconds so a
+//     multi-minute workload executes in milliseconds of wall time.
+//
+// The runtime's results (per-job virtual completion times) are validated
+// against the discrete-event simulator in the tests: both enforce the same
+// constraints, so they must agree up to scheduling jitter.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "profiler/time_table.hpp"
+#include "sim/schedule.hpp"
+#include "switching/switch_model.hpp"
+#include "workload/job.hpp"
+
+namespace hare::runtime {
+
+struct RuntimeConfig {
+  /// Real microseconds per simulated second (virtual clock rate).
+  double microseconds_per_sim_second = 100.0;
+  switching::SwitchModelConfig switching{};
+  bool use_memory_manager = true;
+};
+
+struct RuntimeResult {
+  /// Virtual-time completion per job (last round fully synchronized).
+  std::vector<Time> job_completion;
+  /// Virtual-time makespan.
+  Time makespan = 0.0;
+  /// Σ w_n C_n and Σ w_n (C_n - a_n) over virtual time.
+  double weighted_completion = 0.0;
+  double weighted_jct = 0.0;
+  /// Cross-job switches observed, and speculative-memory hits among them.
+  std::size_t switch_count = 0;
+  std::size_t resident_hits = 0;
+};
+
+class ExecutorRuntime {
+ public:
+  ExecutorRuntime(const cluster::Cluster& cluster,
+                  const workload::JobSet& jobs,
+                  const profiler::TimeTable& times,
+                  RuntimeConfig config = {});
+
+  /// Execute the plan with real threads; blocks until every job finishes.
+  [[nodiscard]] RuntimeResult run(const sim::Schedule& schedule);
+
+ private:
+  const cluster::Cluster& cluster_;
+  const workload::JobSet& jobs_;
+  const profiler::TimeTable& times_;
+  RuntimeConfig config_;
+};
+
+}  // namespace hare::runtime

@@ -1,0 +1,195 @@
+#include "sched/backfill.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "workload/feasibility.hpp"
+
+namespace hare::sched {
+
+namespace {
+
+struct Running {
+  JobId job;
+  Time completion = 0.0;
+  std::vector<GpuId> gang;
+};
+
+/// Fastest `count` memory-feasible GPUs for `job` from `pool`.
+std::vector<GpuId> fastest_fitting(const SchedulerInput& input, JobId job,
+                                   const std::vector<GpuId>& pool,
+                                   std::size_t count) {
+  std::vector<GpuId> fitting;
+  for (GpuId g : pool) {
+    if (workload::task_fits(input.jobs.job(job), input.cluster.gpu(g))) {
+      fitting.push_back(g);
+    }
+  }
+  std::sort(fitting.begin(), fitting.end(), [&](GpuId a, GpuId b) {
+    const Time ta = input.times.tc(job, a);
+    const Time tb = input.times.tc(job, b);
+    if (ta != tb) return ta < tb;
+    return a < b;
+  });
+  if (fitting.size() > count) fitting.resize(count);
+  return fitting;
+}
+
+Time gang_completion(const SchedulerInput& input, JobId job,
+                     const std::vector<GpuId>& gang, Time start) {
+  Time slowest = 0.0;
+  for (GpuId g : gang) slowest = std::max(slowest, input.times.total(job, g));
+  return start +
+         static_cast<double>(input.jobs.job(job).rounds()) * slowest;
+}
+
+}  // namespace
+
+sim::Schedule BackfillScheduler::schedule(const SchedulerInput& input) {
+  const auto& jobs = input.jobs;
+  const auto& cluster = input.cluster;
+  for (const auto& job : jobs.jobs()) {
+    HARE_CHECK_MSG(job.tasks_per_round() <= cluster.gpu_count(),
+                   "job " << job.id << " sync scale exceeds cluster size");
+  }
+
+  sim::Schedule schedule;
+  schedule.sequences.resize(cluster.gpu_count());
+  schedule.predicted_start.assign(jobs.task_count(), 0.0);
+
+  std::vector<JobId> by_arrival;
+  for (const auto& job : jobs.jobs()) by_arrival.push_back(job.id);
+  std::sort(by_arrival.begin(), by_arrival.end(), [&](JobId a, JobId b) {
+    const Time aa = jobs.job(a).spec.arrival;
+    const Time ab = jobs.job(b).spec.arrival;
+    if (aa != ab) return aa < ab;
+    return a < b;
+  });
+
+  std::vector<GpuId> free_gpus;
+  for (const auto& gpu : cluster.gpus()) free_gpus.push_back(gpu.id);
+  std::vector<Running> running;
+  std::vector<JobId> queue;  // waiting, arrival order
+  std::size_t next_arrival = 0;
+  Time now = 0.0;
+  double objective = 0.0;
+  std::size_t done = 0;
+
+  auto start_job = [&](JobId job_id, const std::vector<GpuId>& gang) {
+    const workload::Job& job = jobs.job(job_id);
+    const Time completion = gang_completion(input, job_id, gang, now);
+    Time slowest = 0.0;
+    for (GpuId g : gang) {
+      slowest = std::max(slowest, input.times.total(job_id, g));
+    }
+    for (std::uint32_t r = 0; r < job.rounds(); ++r) {
+      const auto round = jobs.round_tasks(job_id, static_cast<RoundIndex>(r));
+      for (std::uint32_t k = 0; k < job.tasks_per_round(); ++k) {
+        schedule.sequences[static_cast<std::size_t>(gang[k].value())]
+            .push_back(round[k]);
+        schedule.predicted_start[static_cast<std::size_t>(
+            round[k].value())] = now + static_cast<double>(r) * slowest;
+      }
+    }
+    for (GpuId g : gang) {
+      free_gpus.erase(std::find(free_gpus.begin(), free_gpus.end(), g));
+    }
+    running.push_back(Running{job_id, completion, gang});
+    objective += job.spec.weight * completion;
+    ++done;
+  };
+
+  while (done < jobs.job_count()) {
+    while (next_arrival < by_arrival.size() &&
+           jobs.job(by_arrival[next_arrival]).spec.arrival <= now + 1e-12) {
+      queue.push_back(by_arrival[next_arrival++]);
+    }
+
+    bool dispatched_any = true;
+    while (dispatched_any) {
+      dispatched_any = false;
+      // Start queue heads as long as they fit.
+      while (!queue.empty()) {
+        const JobId head = queue.front();
+        const std::size_t need = jobs.job(head).tasks_per_round();
+        const auto gang = fastest_fitting(input, head, free_gpus, need);
+        if (gang.size() < need) break;
+        start_job(head, gang);
+        queue.erase(queue.begin());
+        dispatched_any = true;
+      }
+      if (queue.empty()) break;
+
+      // Head blocked: compute its reservation time T_res — the earliest
+      // instant enough fitting GPUs exist, assuming running gangs release
+      // at their predicted completions.
+      const JobId head = queue.front();
+      const std::size_t need = jobs.job(head).tasks_per_round();
+      std::size_t have = 0;
+      for (GpuId g : free_gpus) {
+        if (workload::task_fits(jobs.job(head), cluster.gpu(g))) ++have;
+      }
+      std::vector<std::pair<Time, std::size_t>> releases;  // (time, count)
+      for (const auto& r : running) {
+        std::size_t fitting = 0;
+        for (GpuId g : r.gang) {
+          if (workload::task_fits(jobs.job(head), cluster.gpu(g))) ++fitting;
+        }
+        if (fitting > 0) releases.emplace_back(r.completion, fitting);
+      }
+      std::sort(releases.begin(), releases.end());
+      Time reservation = kTimeInfinity;
+      for (const auto& [time, count] : releases) {
+        have += count;
+        if (have >= need) {
+          reservation = time;
+          break;
+        }
+      }
+      HARE_CHECK_MSG(std::isfinite(reservation),
+                     "head job " << head << " can never acquire its gang");
+
+      // EASY backfill: later jobs may start now iff they fit and their
+      // predicted completion does not cross the head's reservation.
+      for (std::size_t q = 1; q < queue.size();) {
+        const JobId candidate = queue[q];
+        const std::size_t cneed = jobs.job(candidate).tasks_per_round();
+        const auto gang = fastest_fitting(input, candidate, free_gpus, cneed);
+        if (gang.size() == cneed &&
+            gang_completion(input, candidate, gang, now) <=
+                reservation + 1e-9) {
+          start_job(candidate, gang);
+          queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(q));
+          dispatched_any = true;
+        } else {
+          ++q;
+        }
+      }
+    }
+
+    // Advance to the next event.
+    Time next_time = std::numeric_limits<Time>::infinity();
+    for (const auto& r : running) next_time = std::min(next_time, r.completion);
+    if (next_arrival < by_arrival.size()) {
+      next_time = std::min(next_time,
+                           jobs.job(by_arrival[next_arrival]).spec.arrival);
+    }
+    if (!std::isfinite(next_time)) break;
+    now = std::max(now, next_time);
+    for (auto it = running.begin(); it != running.end();) {
+      if (it->completion <= now + 1e-12) {
+        free_gpus.insert(free_gpus.end(), it->gang.begin(), it->gang.end());
+        it = running.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  HARE_CHECK_MSG(done == jobs.job_count(), "backfill planner stalled");
+  schedule.predicted_objective = objective;
+  return schedule;
+}
+
+}  // namespace hare::sched

@@ -1,0 +1,27 @@
+// FIFO + EASY backfill baseline (extension beyond the paper's line-up).
+//
+// Gavel_FIFO's weakness is head-of-line blocking: a wide job waiting for
+// its gang idles GPUs smaller jobs could use. EASY backfilling (the
+// classic HPC policy) fixes exactly that: the queue head gets a
+// *reservation* at the earliest instant its gang can exist, and jobs
+// behind it may jump ahead only if their predicted completion does not
+// push that reservation back. With exact predicted runtimes (Fig 11's
+// stability) the head is provably never delayed — starvation-free — while
+// the idle holes in front of it get filled. Hare still wins (it reshapes
+// placement and intra-job parallelism, not just queue order), which the
+// extensions bench quantifies.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace hare::sched {
+
+class BackfillScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "FIFO_Backfill";
+  }
+  [[nodiscard]] sim::Schedule schedule(const SchedulerInput& input) override;
+};
+
+}  // namespace hare::sched

@@ -1,0 +1,130 @@
+#include "sched/gang_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hare::sched {
+
+sim::Schedule run_gang_planner(const SchedulerInput& input,
+                               const GangPlannerHooks& hooks) {
+  const auto& jobs = input.jobs;
+  const auto& cluster = input.cluster;
+
+  for (const auto& job : jobs.jobs()) {
+    HARE_CHECK_MSG(job.tasks_per_round() <= cluster.gpu_count(),
+                   "job " << job.id << " needs " << job.tasks_per_round()
+                          << " GPUs but the cluster has "
+                          << cluster.gpu_count());
+  }
+
+  sim::Schedule schedule;
+  schedule.sequences.resize(cluster.gpu_count());
+  schedule.predicted_start.assign(jobs.task_count(), 0.0);
+
+  // Arrival order.
+  std::vector<JobId> by_arrival;
+  by_arrival.reserve(jobs.job_count());
+  for (const auto& job : jobs.jobs()) by_arrival.push_back(job.id);
+  std::sort(by_arrival.begin(), by_arrival.end(), [&](JobId a, JobId b) {
+    const Time aa = jobs.job(a).spec.arrival;
+    const Time ab = jobs.job(b).spec.arrival;
+    if (aa != ab) return aa < ab;
+    return a < b;
+  });
+
+  std::vector<GpuId> free_gpus;
+  free_gpus.reserve(cluster.gpu_count());
+  for (const auto& gpu : cluster.gpus()) free_gpus.push_back(gpu.id);
+
+  struct Running {
+    JobId job;
+    Time completion = 0.0;
+    std::vector<GpuId> gang;
+  };
+  std::vector<Running> running;
+  std::vector<JobId> waiting;
+  std::size_t next_arrival = 0;
+  Time now = 0.0;
+  double objective = 0.0;
+  std::size_t dispatched = 0;
+
+  while (dispatched < jobs.job_count() || !running.empty()) {
+    // Admit arrivals up to `now`.
+    while (next_arrival < by_arrival.size() &&
+           jobs.job(by_arrival[next_arrival]).spec.arrival <= now + 1e-12) {
+      waiting.push_back(by_arrival[next_arrival++]);
+    }
+
+    // Dispatch greedily until the hook declines.
+    for (;;) {
+      if (waiting.empty() || free_gpus.empty()) break;
+      const std::size_t pick = hooks.pick_job(waiting, free_gpus, now);
+      if (pick >= waiting.size()) break;
+      const JobId job_id = waiting[pick];
+      const workload::Job& job = jobs.job(job_id);
+      HARE_CHECK_MSG(job.tasks_per_round() <= free_gpus.size(),
+                     "pick_job chose a job that does not fit");
+
+      std::vector<GpuId> gang = hooks.pick_gpus(job_id, free_gpus);
+      HARE_CHECK_MSG(gang.size() == job.tasks_per_round(),
+                     "pick_gpus returned wrong gang size");
+      for (GpuId g : gang) {
+        const auto it = std::find(free_gpus.begin(), free_gpus.end(), g);
+        HARE_CHECK_MSG(it != free_gpus.end(), "pick_gpus chose a busy GPU");
+        free_gpus.erase(it);
+      }
+
+      const Time round_time = hooks.round_time(job_id, gang);
+      HARE_CHECK_MSG(round_time > 0.0, "round time must be positive");
+      const Time completion =
+          now + static_cast<double>(job.rounds()) * round_time;
+
+      // Emit this job's tasks: slot k of every round on gang[k].
+      for (std::uint32_t r = 0; r < job.rounds(); ++r) {
+        const auto round_tasks = jobs.round_tasks(job_id,
+                                                  static_cast<RoundIndex>(r));
+        for (std::uint32_t k = 0; k < job.tasks_per_round(); ++k) {
+          const TaskId task = round_tasks[k];
+          schedule.sequences[static_cast<std::size_t>(gang[k].value())]
+              .push_back(task);
+          schedule.predicted_start[static_cast<std::size_t>(task.value())] =
+              now + static_cast<double>(r) * round_time;
+        }
+      }
+
+      running.push_back(Running{job_id, completion, std::move(gang)});
+      waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(pick));
+      objective += job.spec.weight * completion;
+      ++dispatched;
+    }
+
+    // Advance to the next event: a completion or an arrival.
+    Time next_time = std::numeric_limits<Time>::infinity();
+    for (const auto& r : running) next_time = std::min(next_time, r.completion);
+    if (next_arrival < by_arrival.size()) {
+      next_time = std::min(next_time,
+                           jobs.job(by_arrival[next_arrival]).spec.arrival);
+    }
+    HARE_CHECK_MSG(std::isfinite(next_time),
+                   "gang planner stalled: nothing runs and nothing arrives");
+    now = std::max(now, next_time);
+
+    // Release finished gangs.
+    for (auto it = running.begin(); it != running.end();) {
+      if (it->completion <= now + 1e-12) {
+        free_gpus.insert(free_gpus.end(), it->gang.begin(), it->gang.end());
+        it = running.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  schedule.predicted_objective = objective;
+  return schedule;
+}
+
+}  // namespace hare::sched

@@ -1,0 +1,43 @@
+// Shared machinery for job-level gang-scheduling baselines.
+//
+// Gavel_FIFO, SRTF and Sched_Homo all follow the same skeleton: jobs are
+// unsplittable units; a job grabs |D_r| whole GPUs (strict scale-fixed
+// sync, §2.2.3), runs all of its rounds on them without preemption, and
+// releases them at completion. The baselines differ only in *which waiting
+// job dispatches next* and *which free GPUs it takes*, expressed as hooks.
+// The planner simulates dispatch with the scheduler's predicted times and
+// emits the per-GPU task sequences the simulator then executes with actual
+// times.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace hare::sched {
+
+struct GangPlannerHooks {
+  /// Choose the next job to dispatch among `waiting` (already arrived, not
+  /// yet started) given currently `free_gpus`, or return `waiting.size()`
+  /// to dispatch nothing at this instant (e.g. FIFO head-of-line blocking,
+  /// or nothing fits).
+  std::function<std::size_t(const std::vector<JobId>& waiting,
+                            const std::vector<GpuId>& free_gpus, Time now)>
+      pick_job;
+  /// Choose exactly tasks_per_round GPUs for `job` out of `free_gpus`
+  /// (pre-checked to be large enough).
+  std::function<std::vector<GpuId>(JobId job,
+                                   const std::vector<GpuId>& free_gpus)>
+      pick_gpus;
+  /// Planner's belief about one round's duration for `job` on `gpus`
+  /// (drives the simulated clock; an oblivious scheduler may misestimate).
+  std::function<Time(JobId job, const std::vector<GpuId>& gpus)> round_time;
+};
+
+/// Simulate gang dispatch and return the plan. Every job runs all rounds
+/// on one fixed GPU gang chosen at its dispatch instant.
+[[nodiscard]] sim::Schedule run_gang_planner(const SchedulerInput& input,
+                                             const GangPlannerHooks& hooks);
+
+}  // namespace hare::sched

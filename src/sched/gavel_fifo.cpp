@@ -1,0 +1,65 @@
+#include "sched/gavel_fifo.hpp"
+
+#include <algorithm>
+
+#include "sched/gang_planner.hpp"
+#include "workload/feasibility.hpp"
+
+namespace hare::sched {
+
+sim::Schedule GavelFifoScheduler::schedule(const SchedulerInput& input) {
+  GangPlannerHooks hooks;
+
+  auto fitting = [&input](JobId job, const std::vector<GpuId>& gpus) {
+    std::vector<GpuId> out;
+    out.reserve(gpus.size());
+    for (GpuId g : gpus) {
+      if (workload::task_fits(input.jobs.job(job), input.cluster.gpu(g))) {
+        out.push_back(g);
+      }
+    }
+    return out;
+  };
+
+  hooks.pick_job = [&input, fitting](const std::vector<JobId>& waiting,
+                                     const std::vector<GpuId>& free_gpus,
+                                     Time /*now*/) -> std::size_t {
+    // Head of line = earliest arrival (ties by id). Blocks if it does not
+    // fit — no job may overtake it.
+    std::size_t head = 0;
+    for (std::size_t i = 1; i < waiting.size(); ++i) {
+      const Time ai = input.jobs.job(waiting[i]).spec.arrival;
+      const Time ah = input.jobs.job(waiting[head]).spec.arrival;
+      if (ai < ah || (ai == ah && waiting[i] < waiting[head])) head = i;
+    }
+    const auto need = input.jobs.job(waiting[head]).tasks_per_round();
+    return need <= fitting(waiting[head], free_gpus).size() ? head
+                                                            : waiting.size();
+  };
+
+  hooks.pick_gpus = [&input, fitting](JobId job,
+                                      const std::vector<GpuId>& free_gpus) {
+    // Fastest available memory-feasible GPUs for this job's model.
+    std::vector<GpuId> sorted = fitting(job, free_gpus);
+    std::sort(sorted.begin(), sorted.end(), [&](GpuId a, GpuId b) {
+      const Time ta = input.times.tc(job, a);
+      const Time tb = input.times.tc(job, b);
+      if (ta != tb) return ta < tb;
+      return a < b;
+    });
+    sorted.resize(input.jobs.job(job).tasks_per_round());
+    return sorted;
+  };
+
+  hooks.round_time = [&input](JobId job, const std::vector<GpuId>& gang) {
+    Time slowest = 0.0;
+    for (GpuId g : gang) {
+      slowest = std::max(slowest, input.times.total(job, g));
+    }
+    return slowest;
+  };
+
+  return run_gang_planner(input, hooks);
+}
+
+}  // namespace hare::sched

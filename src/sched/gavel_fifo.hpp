@@ -1,0 +1,19 @@
+// Gavel_FIFO baseline (§7.1).
+//
+// FIFO in arrival order with strict head-of-line semantics: the queue head
+// waits until its full gang of GPUs is free, blocking everything behind it.
+// Heterogeneity-aware in Gavel's sense: when the head dispatches, it takes
+// the *fastest* available GPUs for its model.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace hare::sched {
+
+class GavelFifoScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Gavel_FIFO"; }
+  [[nodiscard]] sim::Schedule schedule(const SchedulerInput& input) override;
+};
+
+}  // namespace hare::sched

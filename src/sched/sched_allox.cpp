@@ -1,0 +1,115 @@
+#include "sched/sched_allox.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "opt/hungarian.hpp"
+#include "workload/feasibility.hpp"
+
+namespace hare::sched {
+
+sim::Schedule SchedAlloxScheduler::schedule(const SchedulerInput& input) {
+  const auto& jobs = input.jobs;
+  const auto& cluster = input.cluster;
+  const std::size_t n = jobs.job_count();
+  const std::size_t m = cluster.gpu_count();
+  HARE_CHECK_MSG(m > 0, "cluster has no GPUs");
+
+  // Whole-job processing time on GPU g: every round serializes its |D_r|
+  // tasks on the single GPU, then synchronizes once (model update through
+  // the PS, still a push+pull).
+  auto job_time_on = [&](JobId job_id, GpuId gpu) {
+    const workload::Job& job = jobs.job(job_id);
+    const Time round = static_cast<double>(job.tasks_per_round()) *
+                           input.times.tc(job_id, gpu) +
+                       input.times.ts(job_id, gpu);
+    return static_cast<double>(job.rounds()) * round;
+  };
+
+  // Positions per GPU: enough to host every job even on one GPU's queue is
+  // overkill; ceil(n/m) + 1 covers the optimum (some slack for skew).
+  const std::size_t positions = n / m + 2;
+  const std::size_t cols = m * positions;
+  HARE_CHECK_MSG(n <= cols, "not enough (GPU, position) slots");
+
+  // A job may only match slots of GPUs with enough memory; huge (but
+  // finite) costs keep the assignment problem feasible while making such
+  // matches impossible whenever any fitting slot exists.
+  const auto fits = workload::fitting_matrix(cluster, jobs);
+  constexpr double kForbidden = 1e18;
+
+  std::vector<double> cost(n * cols, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const JobId job_id(static_cast<int>(j));
+    const double w = jobs.job(job_id).spec.weight;
+    const Time arrival = jobs.job(job_id).spec.arrival;
+    for (std::size_t g = 0; g < m; ++g) {
+      if (!fits[j][g]) {
+        for (std::size_t k = 0; k < positions; ++k) {
+          cost[j * cols + g * positions + k] = kForbidden;
+        }
+        continue;
+      }
+      const Time p = job_time_on(job_id, GpuId(static_cast<int>(g)));
+      for (std::size_t k = 0; k < positions; ++k) {
+        // Position k=0 is the *last* job on the GPU (delays only itself);
+        // k-th from the end delays k+1 jobs' completions by p. The arrival
+        // term charges the job's own unavoidable wait.
+        cost[j * cols + g * positions + k] =
+            w * (static_cast<double>(k + 1) * p + arrival);
+      }
+    }
+  }
+
+  const opt::AssignmentResult matching = opt::solve_assignment(cost, n, cols);
+
+  // Group jobs per GPU and order by descending position-from-end (the job
+  // with the largest k runs first).
+  std::vector<std::vector<std::pair<std::size_t, JobId>>> queues(m);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto slot = static_cast<std::size_t>(matching.assignment[j]);
+    const std::size_t gpu = slot / positions;
+    HARE_CHECK_MSG(fits[j][gpu],
+                   "matching ran out of memory-feasible slots for job " << j
+                       << "; raise the per-GPU position count");
+    const std::size_t position = slot % positions;
+    queues[gpu].emplace_back(position, JobId(static_cast<int>(j)));
+  }
+  for (auto& queue : queues) {
+    std::sort(queue.begin(), queue.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+  }
+
+  sim::Schedule schedule;
+  schedule.sequences.resize(m);
+  schedule.predicted_start.assign(jobs.task_count(), 0.0);
+  double objective = 0.0;
+
+  for (std::size_t g = 0; g < m; ++g) {
+    const GpuId gpu(static_cast<int>(g));
+    Time cursor = 0.0;
+    for (const auto& [position, job_id] : queues[g]) {
+      (void)position;
+      const workload::Job& job = jobs.job(job_id);
+      cursor = std::max(cursor, job.spec.arrival);
+      for (std::uint32_t r = 0; r < job.rounds(); ++r) {
+        for (TaskId task :
+             jobs.round_tasks(job_id, static_cast<RoundIndex>(r))) {
+          schedule.sequences[g].push_back(task);
+          schedule.predicted_start[static_cast<std::size_t>(task.value())] =
+              cursor;
+          cursor += input.times.tc(job_id, gpu);
+        }
+        cursor += input.times.ts(job_id, gpu);
+      }
+      objective += job.spec.weight * cursor;
+    }
+  }
+  schedule.predicted_objective = objective;
+  return schedule;
+}
+
+}  // namespace hare::sched

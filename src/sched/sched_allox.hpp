@@ -1,0 +1,23 @@
+// Sched_Allox baseline — AlloX (EuroSys'20) adapted as in §7.1 / Fig 1(b).
+//
+// Job-level, heterogeneity-aware, no intra-job parallelism: each job runs
+// entirely on one GPU (its rounds' tasks serialize there). Scheduling is a
+// min-cost bipartite matching between jobs and (GPU, position) slots: a job
+// placed k-th from the end of GPU m's queue delays itself and everything
+// after it by p_{n,m}, so its weighted cost is w_n · k · p_{n,m} (plus an
+// arrival-time term). The Hungarian solver computes the optimal matching;
+// per GPU, jobs then execute in descending-position (i.e. shortest-
+// weighted-first) order.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace hare::sched {
+
+class SchedAlloxScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Sched_Allox"; }
+  [[nodiscard]] sim::Schedule schedule(const SchedulerInput& input) override;
+};
+
+}  // namespace hare::sched

@@ -1,0 +1,85 @@
+#include "sched/sched_homo.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sched/gang_planner.hpp"
+#include "workload/feasibility.hpp"
+
+namespace hare::sched {
+
+namespace {
+
+/// Free GPUs with enough memory for `job` (even an oblivious scheduler
+/// cannot place a task that does not fit).
+std::vector<GpuId> fitting_gpus(const SchedulerInput& input, JobId job,
+                                const std::vector<GpuId>& free_gpus) {
+  std::vector<GpuId> out;
+  out.reserve(free_gpus.size());
+  for (GpuId g : free_gpus) {
+    if (workload::task_fits(input.jobs.job(job), input.cluster.gpu(g))) {
+      out.push_back(g);
+    }
+  }
+  return out;
+}
+
+/// Cluster-average round time — what a homogeneity-assuming planner
+/// believes a round costs, irrespective of which GPUs it lands on.
+Time average_round_time(const SchedulerInput& input, JobId job) {
+  Time sum = 0.0;
+  const std::size_t gpus = input.times.gpu_count();
+  for (std::size_t g = 0; g < gpus; ++g) {
+    sum += input.times.total(job, GpuId(static_cast<int>(g)));
+  }
+  return sum / static_cast<double>(gpus);
+}
+
+}  // namespace
+
+sim::Schedule SchedHomoScheduler::schedule(const SchedulerInput& input) {
+  GangPlannerHooks hooks;
+
+  hooks.pick_job = [&input](const std::vector<JobId>& waiting,
+                            const std::vector<GpuId>& free_gpus,
+                            Time /*now*/) -> std::size_t {
+    // Weighted shortest (believed) remaining time first.
+    std::size_t best = waiting.size();
+    double best_key = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < waiting.size(); ++i) {
+      const workload::Job& job = input.jobs.job(waiting[i]);
+      if (job.tasks_per_round() >
+          fitting_gpus(input, waiting[i], free_gpus).size()) {
+        continue;
+      }
+      const double key = static_cast<double>(job.rounds()) *
+                         average_round_time(input, waiting[i]) /
+                         job.spec.weight;
+      if (key < best_key || (key == best_key && best < waiting.size() &&
+                             waiting[i] < waiting[best])) {
+        best_key = key;
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  hooks.pick_gpus = [&input](JobId job, const std::vector<GpuId>& free_gpus) {
+    // GPUs are interchangeable under the homogeneity assumption: take the
+    // first free (memory-feasible) ones.
+    std::vector<GpuId> gang = fitting_gpus(input, job, free_gpus);
+    gang.resize(input.jobs.job(job).tasks_per_round());
+    return gang;
+  };
+
+  hooks.round_time = [&input](JobId job, const std::vector<GpuId>& gang) {
+    // The planner's clock advances by its *belief* (the average), not the
+    // true slowest-member time; its plan is built on that misestimate.
+    (void)gang;
+    return average_round_time(input, job);
+  };
+
+  return run_gang_planner(input, hooks);
+}
+
+}  // namespace hare::sched

@@ -1,0 +1,23 @@
+// Sched_Homo baseline — Zhang et al. (2020), §7.1.
+//
+// Exploits inter- and intra-job parallelism to minimize weighted JCT like
+// Hare, but assumes *homogeneous* GPUs and forbids GPU preemption during a
+// job. Being heterogeneity-oblivious, it plans with the cluster-average
+// round time for every job, picks whichever free GPUs come first (GPUs are
+// interchangeable in its model), and orders jobs by weighted shortest
+// remaining (average) time. On a heterogeneous cluster its gangs routinely
+// mix fast and slow GPUs, so the fast ones idle at every round barrier —
+// the pathology Fig 5/6 demonstrates.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace hare::sched {
+
+class SchedHomoScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Sched_Homo"; }
+  [[nodiscard]] sim::Schedule schedule(const SchedulerInput& input) override;
+};
+
+}  // namespace hare::sched

@@ -1,0 +1,34 @@
+// Scheduler interface.
+//
+// A scheduler maps a problem instance — cluster, job set, profiled time
+// table — to an execution plan (per-GPU task sequences). Hare's scheduler
+// lives in core/; this module hosts the four comparison baselines of §7.1:
+// Gavel_FIFO, SRTF, Sched_Homo (Zhang et al.), and Sched_Allox.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "cluster/cluster.hpp"
+#include "profiler/time_table.hpp"
+#include "sim/schedule.hpp"
+#include "workload/job.hpp"
+
+namespace hare::sched {
+
+struct SchedulerInput {
+  const cluster::Cluster& cluster;
+  const workload::JobSet& jobs;
+  /// Profiled (possibly noisy) times the scheduler plans with; the
+  /// simulator executes with its own ground-truth table.
+  const profiler::TimeTable& times;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual sim::Schedule schedule(const SchedulerInput& input) = 0;
+};
+
+}  // namespace hare::sched

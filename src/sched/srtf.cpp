@@ -1,0 +1,81 @@
+#include "sched/srtf.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sched/gang_planner.hpp"
+#include "workload/feasibility.hpp"
+
+namespace hare::sched {
+
+namespace {
+
+/// Fastest `count` memory-feasible free GPUs for `job` (by the job's own
+/// T^c); fewer than `count` when the job does not fit enough of them.
+std::vector<GpuId> fastest_gpus(const SchedulerInput& input, JobId job,
+                                const std::vector<GpuId>& free_gpus,
+                                std::size_t count) {
+  std::vector<GpuId> sorted;
+  sorted.reserve(free_gpus.size());
+  for (GpuId g : free_gpus) {
+    if (workload::task_fits(input.jobs.job(job), input.cluster.gpu(g))) {
+      sorted.push_back(g);
+    }
+  }
+  std::sort(sorted.begin(), sorted.end(), [&](GpuId a, GpuId b) {
+    const Time ta = input.times.tc(job, a);
+    const Time tb = input.times.tc(job, b);
+    if (ta != tb) return ta < tb;
+    return a < b;
+  });
+  if (sorted.size() > count) sorted.resize(count);
+  return sorted;
+}
+
+Time gang_round_time(const SchedulerInput& input, JobId job,
+                     const std::vector<GpuId>& gang) {
+  Time slowest = 0.0;
+  for (GpuId g : gang) slowest = std::max(slowest, input.times.total(job, g));
+  return slowest;
+}
+
+}  // namespace
+
+sim::Schedule SrtfScheduler::schedule(const SchedulerInput& input) {
+  GangPlannerHooks hooks;
+
+  hooks.pick_job = [&input](const std::vector<JobId>& waiting,
+                            const std::vector<GpuId>& free_gpus,
+                            Time /*now*/) -> std::size_t {
+    std::size_t best = waiting.size();
+    Time best_remaining = std::numeric_limits<Time>::infinity();
+    for (std::size_t i = 0; i < waiting.size(); ++i) {
+      const workload::Job& job = input.jobs.job(waiting[i]);
+      const auto gang = fastest_gpus(input, waiting[i], free_gpus,
+                                     job.tasks_per_round());
+      if (gang.size() < job.tasks_per_round()) continue;  // doesn't fit yet
+      const Time remaining = static_cast<double>(job.rounds()) *
+                             gang_round_time(input, waiting[i], gang);
+      if (remaining < best_remaining ||
+          (remaining == best_remaining && best < waiting.size() &&
+           waiting[i] < waiting[best])) {
+        best_remaining = remaining;
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  hooks.pick_gpus = [&input](JobId job, const std::vector<GpuId>& free_gpus) {
+    return fastest_gpus(input, job, free_gpus,
+                        input.jobs.job(job).tasks_per_round());
+  };
+
+  hooks.round_time = [&input](JobId job, const std::vector<GpuId>& gang) {
+    return gang_round_time(input, job, gang);
+  };
+
+  return run_gang_planner(input, hooks);
+}
+
+}  // namespace hare::sched

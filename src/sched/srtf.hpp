@@ -1,0 +1,20 @@
+// SRTF (Shortest Remaining Time First) baseline (§7.1).
+//
+// At every dispatch opportunity, among the waiting jobs whose gang fits the
+// free GPUs, start the one whose predicted completion (rounds × slowest
+// gang member round time, on the fastest free GPUs it could take) is
+// smallest. Jobs are non-preemptive once running, per the baseline's
+// job-level semantics.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace hare::sched {
+
+class SrtfScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "SRTF"; }
+  [[nodiscard]] sim::Schedule schedule(const SchedulerInput& input) override;
+};
+
+}  // namespace hare::sched

@@ -1,0 +1,103 @@
+#include "sched/themis_fair.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sched/gang_planner.hpp"
+#include "workload/feasibility.hpp"
+
+namespace hare::sched {
+
+namespace {
+
+std::vector<GpuId> fastest_fitting(const SchedulerInput& input, JobId job,
+                                   const std::vector<GpuId>& pool,
+                                   std::size_t count) {
+  std::vector<GpuId> fitting;
+  for (GpuId g : pool) {
+    if (workload::task_fits(input.jobs.job(job), input.cluster.gpu(g))) {
+      fitting.push_back(g);
+    }
+  }
+  std::sort(fitting.begin(), fitting.end(), [&](GpuId a, GpuId b) {
+    const Time ta = input.times.tc(job, a);
+    const Time tb = input.times.tc(job, b);
+    if (ta != tb) return ta < tb;
+    return a < b;
+  });
+  if (fitting.size() > count) fitting.resize(count);
+  return fitting;
+}
+
+Time gang_round_time(const SchedulerInput& input, JobId job,
+                     const std::vector<GpuId>& gang) {
+  Time slowest = 0.0;
+  for (GpuId g : gang) slowest = std::max(slowest, input.times.total(job, g));
+  return slowest;
+}
+
+/// Exclusive runtime: the job with the whole cluster to itself (its gang
+/// on the globally fastest fitting GPUs).
+Time exclusive_runtime(const SchedulerInput& input, JobId job) {
+  std::vector<GpuId> all;
+  for (const auto& gpu : input.cluster.gpus()) all.push_back(gpu.id);
+  const auto gang = fastest_fitting(input, job, all,
+                                    input.jobs.job(job).tasks_per_round());
+  return static_cast<double>(input.jobs.job(job).rounds()) *
+         gang_round_time(input, job, gang);
+}
+
+}  // namespace
+
+sim::Schedule ThemisFairScheduler::schedule(const SchedulerInput& input) {
+  // Precompute exclusive runtimes once.
+  std::vector<Time> exclusive(input.jobs.job_count(), 0.0);
+  for (const auto& job : input.jobs.jobs()) {
+    exclusive[static_cast<std::size_t>(job.id.value())] =
+        std::max(1e-9, exclusive_runtime(input, job.id));
+  }
+
+  GangPlannerHooks hooks;
+
+  hooks.pick_job = [&input, exclusive](const std::vector<JobId>& waiting,
+                                       const std::vector<GpuId>& free_gpus,
+                                       Time now) -> std::size_t {
+    // Finish-time fairness: rho = (wait so far + remaining on the gang it
+    // could get now) / exclusive runtime. Serve the largest rho that fits.
+    std::size_t best = waiting.size();
+    double best_rho = -1.0;
+    for (std::size_t i = 0; i < waiting.size(); ++i) {
+      const workload::Job& job = input.jobs.job(waiting[i]);
+      const auto gang = fastest_fitting(input, waiting[i], free_gpus,
+                                        job.tasks_per_round());
+      if (gang.size() < job.tasks_per_round()) continue;
+      const Time shared_finish =
+          (now - job.spec.arrival) +
+          static_cast<double>(job.rounds()) *
+              gang_round_time(input, waiting[i], gang);
+      const double rho =
+          shared_finish /
+          exclusive[static_cast<std::size_t>(waiting[i].value())];
+      if (rho > best_rho ||
+          (rho == best_rho && best < waiting.size() &&
+           waiting[i] < waiting[best])) {
+        best_rho = rho;
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  hooks.pick_gpus = [&input](JobId job, const std::vector<GpuId>& free_gpus) {
+    return fastest_fitting(input, job, free_gpus,
+                           input.jobs.job(job).tasks_per_round());
+  };
+
+  hooks.round_time = [&input](JobId job, const std::vector<GpuId>& gang) {
+    return gang_round_time(input, job, gang);
+  };
+
+  return run_gang_planner(input, hooks);
+}
+
+}  // namespace hare::sched

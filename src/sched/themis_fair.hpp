@@ -1,0 +1,25 @@
+// Themis-style finish-time-fairness baseline (related work, §8).
+//
+// Themis (NSDI'20) allocates by *finish-time fairness*: ρ = (predicted
+// completion under sharing) / (completion with the whole cluster to
+// itself). The most-disadvantaged job (largest ρ) gets resources next.
+// Adapted to this framework's gang semantics: at every dispatch point the
+// waiting job with the highest ρ estimate — its age so far plus its
+// remaining time on the fastest free gang, normalized by its exclusive
+// runtime — is started. Fairness-first ordering trades total weighted JCT
+// for evenness, which the extensions bench quantifies against Hare.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace hare::sched {
+
+class ThemisFairScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "Themis_Fair";
+  }
+  [[nodiscard]] sim::Schedule schedule(const SchedulerInput& input) override;
+};
+
+}  // namespace hare::sched

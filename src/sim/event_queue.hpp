@@ -1,0 +1,51 @@
+// Deterministic discrete-event queue.
+//
+// Events at equal timestamps pop in insertion order (monotonic sequence
+// numbers), so floating-point time never causes nondeterministic ordering
+// and identical seeds replay identical simulations.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hare::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    Time time = 0.0;
+    std::uint64_t sequence = 0;
+    Payload payload{};
+  };
+
+  void push(Time time, Payload payload) {
+    heap_.push(Event{time, next_sequence_++, std::move(payload)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] const Event& top() const { return heap_.top(); }
+
+  Event pop() {
+    Event event = heap_.top();
+    heap_.pop();
+    return event;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace hare::sim

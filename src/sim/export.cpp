@@ -1,0 +1,61 @@
+#include "sim/export.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace hare::sim {
+
+void export_task_csv(const cluster::Cluster& cluster,
+                     const workload::JobSet& jobs, const SimResult& result,
+                     std::ostream& os) {
+  os << "task,job,job_name,model,round,slot,gpu,gpu_type,ready,start,"
+        "switch_s,compute_start,compute_end,sync_end,model_resident\n";
+  os.precision(9);
+  for (const auto& task : jobs.tasks()) {
+    const auto& record =
+        result.tasks[static_cast<std::size_t>(task.id.value())];
+    const auto& job = jobs.job(task.job);
+    os << task.id << ',' << task.job << ',' << job.spec.name << ','
+       << workload::model_name(job.spec.model) << ',' << task.round << ','
+       << task.slot << ',' << record.gpu << ','
+       << cluster.gpu(record.gpu).spec().name << ',' << record.ready << ','
+       << record.start << ',' << record.switch_time << ','
+       << record.compute_start << ',' << record.compute_end << ','
+       << record.sync_end << ',' << (record.model_resident ? 1 : 0) << '\n';
+  }
+}
+
+void export_job_csv(const workload::JobSet& jobs, const SimResult& result,
+                    std::ostream& os) {
+  os << "job,name,model,weight,arrival,completion,jct,rounds,"
+        "tasks_per_round\n";
+  os.precision(9);
+  for (const auto& job : jobs.jobs()) {
+    const auto& record =
+        result.jobs[static_cast<std::size_t>(job.id.value())];
+    os << job.id << ',' << job.spec.name << ','
+       << workload::model_name(job.spec.model) << ',' << job.spec.weight
+       << ',' << record.arrival << ',' << record.completion << ','
+       << record.jct() << ',' << job.rounds() << ','
+       << job.tasks_per_round() << '\n';
+  }
+}
+
+void export_result_files(const cluster::Cluster& cluster,
+                         const workload::JobSet& jobs,
+                         const SimResult& result, const std::string& prefix) {
+  {
+    std::ofstream os(prefix + "_tasks.csv");
+    HARE_CHECK_MSG(os.good(), "cannot write " << prefix << "_tasks.csv");
+    export_task_csv(cluster, jobs, result, os);
+  }
+  {
+    std::ofstream os(prefix + "_jobs.csv");
+    HARE_CHECK_MSG(os.good(), "cannot write " << prefix << "_jobs.csv");
+    export_job_csv(jobs, result, os);
+  }
+}
+
+}  // namespace hare::sim

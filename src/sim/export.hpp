@@ -1,0 +1,33 @@
+// CSV export of simulation results for external analysis/plotting.
+//
+// Two flat files: one row per task (placement and full timing breakdown)
+// and one row per job (completion, JCT, weight). Columns are stable and
+// documented here so downstream notebooks can rely on them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "sim/metrics.hpp"
+#include "workload/job.hpp"
+
+namespace hare::sim {
+
+/// Columns: task,job,job_name,model,round,slot,gpu,gpu_type,ready,start,
+/// switch_s,compute_start,compute_end,sync_end,model_resident
+void export_task_csv(const cluster::Cluster& cluster,
+                     const workload::JobSet& jobs, const SimResult& result,
+                     std::ostream& os);
+
+/// Columns: job,name,model,weight,arrival,completion,jct,rounds,
+/// tasks_per_round
+void export_job_csv(const workload::JobSet& jobs, const SimResult& result,
+                    std::ostream& os);
+
+/// Write `<prefix>_tasks.csv` and `<prefix>_jobs.csv`.
+void export_result_files(const cluster::Cluster& cluster,
+                         const workload::JobSet& jobs,
+                         const SimResult& result, const std::string& prefix);
+
+}  // namespace hare::sim

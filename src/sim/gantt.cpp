@@ -1,0 +1,78 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hare::sim {
+
+namespace {
+
+char job_glyph(JobId job) {
+  static constexpr char kGlyphs[] =
+      "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  constexpr std::size_t kCount = sizeof(kGlyphs) - 1;
+  return kGlyphs[static_cast<std::size_t>(job.value()) % kCount];
+}
+
+}  // namespace
+
+std::string render_gantt(const cluster::Cluster& cluster,
+                         const workload::JobSet& jobs,
+                         const SimResult& result,
+                         const GanttOptions& options) {
+  HARE_CHECK_MSG(options.width >= 10, "gantt needs at least 10 columns");
+  const Time horizon = std::max(result.makespan, 1e-9);
+  const double scale = static_cast<double>(options.width) / horizon;
+
+  // Rasterize tasks into per-GPU rows.
+  std::vector<std::string> rows(cluster.gpu_count(),
+                                std::string(options.width, '.'));
+  for (const auto& task : jobs.tasks()) {
+    const TaskRecord& record =
+        result.tasks[static_cast<std::size_t>(task.id.value())];
+    auto& row = rows[static_cast<std::size_t>(record.gpu.value())];
+    const auto begin = static_cast<std::size_t>(record.start * scale);
+    auto end = static_cast<std::size_t>(record.compute_end * scale);
+    end = std::min(end, options.width - 1);
+    for (std::size_t c = begin; c <= end && c < options.width; ++c) {
+      row[c] = job_glyph(task.job);
+    }
+  }
+
+  // Label column width.
+  std::size_t label_width = 0;
+  std::vector<std::string> labels(cluster.gpu_count());
+  for (const auto& gpu : cluster.gpus()) {
+    std::ostringstream os;
+    os << gpu.spec().name << " #" << gpu.id.value();
+    labels[static_cast<std::size_t>(gpu.id.value())] = os.str();
+    label_width = std::max(label_width, os.str().size());
+  }
+
+  std::ostringstream out;
+  out << std::string(label_width, ' ') << " 0s" << std::string(options.width - 8, ' ')
+      << static_cast<long long>(horizon) << "s\n";
+  for (std::size_t g = 0; g < rows.size(); ++g) {
+    out << labels[g] << std::string(label_width - labels[g].size(), ' ')
+        << " |" << rows[g] << "|\n";
+  }
+
+  if (options.show_legend) {
+    out << "legend:";
+    const std::size_t shown = std::min<std::size_t>(jobs.job_count(), 12);
+    for (std::size_t j = 0; j < shown; ++j) {
+      const auto& job = jobs.job(JobId(static_cast<int>(j)));
+      out << ' ' << job_glyph(job.id) << '='
+          << (job.spec.name.empty()
+                  ? std::string(workload::model_name(job.spec.model))
+                  : job.spec.name);
+    }
+    if (jobs.job_count() > shown) out << " ...";
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace hare::sim

@@ -1,0 +1,31 @@
+// ASCII Gantt rendering of a simulated schedule.
+//
+// One row per GPU, time on the x-axis scaled into `width` columns; each
+// task cell shows its job's glyph (0-9, a-z, A-Z cycling), '.' for idle.
+// Used by the CLI and examples to make schedules inspectable at a glance:
+//
+//   V100 #0 |000001111....2222|
+//   K80  #2 |3333333333333....|
+#pragma once
+
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "sim/metrics.hpp"
+#include "sim/schedule.hpp"
+#include "workload/job.hpp"
+
+namespace hare::sim {
+
+struct GanttOptions {
+  std::size_t width = 80;   ///< columns for the time axis
+  bool show_legend = true;  ///< append a job glyph -> name legend
+};
+
+/// Render the executed schedule (task records from `result`).
+[[nodiscard]] std::string render_gantt(const cluster::Cluster& cluster,
+                                       const workload::JobSet& jobs,
+                                       const SimResult& result,
+                                       const GanttOptions& options = {});
+
+}  // namespace hare::sim

@@ -1,0 +1,108 @@
+// Simulation result records and aggregate metrics.
+//
+// The simulator fills one record per task, job, and GPU, plus per-model
+// switching statistics (Table 3) and optional busy-interval timelines
+// (utilization figures). Aggregates cover the paper's reported metrics:
+// total weighted job completion time (the Hare_Sched objective), makespan,
+// JCT distribution (Fig 13's CDF), and per-GPU utilization.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace hare::sim {
+
+struct TaskRecord {
+  GpuId gpu;
+  Time ready = 0.0;          ///< all predecessors (arrival/barrier) satisfied
+  Time start = 0.0;          ///< switching begins
+  Time switch_time = 0.0;
+  Time compute_start = 0.0;
+  Time compute_end = 0.0;
+  Time sync_end = 0.0;
+  bool model_resident = false;
+};
+
+struct JobRecord {
+  Time arrival = 0.0;
+  Time completion = 0.0;  ///< last round's barrier (all tasks synced)
+  double weight = 1.0;
+
+  [[nodiscard]] Time jct() const { return completion - arrival; }
+};
+
+struct GpuRecord {
+  Time busy_compute = 0.0;
+  Time busy_switch = 0.0;
+  Time last_busy_end = 0.0;
+  std::size_t task_count = 0;
+
+  /// Compute utilization relative to a horizon (usually the makespan).
+  [[nodiscard]] double utilization(Time horizon) const {
+    return horizon > 0.0 ? busy_compute / horizon : 0.0;
+  }
+};
+
+struct SwitchStat {
+  std::size_t switch_count = 0;   ///< cross-job switches
+  Time total_switch_time = 0.0;
+  Time total_compute_time = 0.0;  ///< tasks of this model, for the % column
+  std::size_t resident_hits = 0;  ///< speculative-memory hits
+
+  [[nodiscard]] Time mean_switch() const {
+    return switch_count ? total_switch_time /
+                              static_cast<double>(switch_count)
+                        : 0.0;
+  }
+  /// Switching share of total task time (Table 3's parenthesized %).
+  [[nodiscard]] double overhead_fraction() const {
+    const Time denom = total_switch_time + total_compute_time;
+    return denom > 0.0 ? total_switch_time / denom : 0.0;
+  }
+};
+
+struct SimResult {
+  std::vector<TaskRecord> tasks;  ///< by TaskId value
+  std::vector<JobRecord> jobs;    ///< by JobId value
+  std::vector<GpuRecord> gpus;    ///< by GpuId value
+  std::array<SwitchStat, workload::kModelCount> switch_stats{};
+
+  Time makespan = 0.0;
+  /// The Hare_Sched objective: sum over jobs of w_n * C_n.
+  double weighted_completion = 0.0;
+  /// Flow-time variant: sum of w_n * (C_n - a_n); the JCT figures use this.
+  double weighted_jct = 0.0;
+
+  /// Busy (switch+compute) intervals per GPU; filled when
+  /// SimConfig::record_timeline is set.
+  std::vector<std::vector<std::pair<Time, Time>>> busy_intervals;
+
+  [[nodiscard]] common::Distribution jct_distribution() const {
+    common::Distribution d;
+    for (const auto& job : jobs) d.add(job.jct());
+    return d;
+  }
+
+  [[nodiscard]] double mean_gpu_utilization() const {
+    if (gpus.empty() || makespan <= 0.0) return 0.0;
+    double sum = 0.0;
+    for (const auto& g : gpus) sum += g.utilization(makespan);
+    return sum / static_cast<double>(gpus.size());
+  }
+
+  [[nodiscard]] Time total_switch_time() const {
+    Time total = 0.0;
+    for (const auto& s : switch_stats) total += s.total_switch_time;
+    return total;
+  }
+
+  /// Fraction of a time window [lo, hi) a GPU spent busy (needs
+  /// record_timeline).
+  [[nodiscard]] double busy_fraction(GpuId gpu, Time lo, Time hi) const;
+};
+
+}  // namespace hare::sim

@@ -1,0 +1,55 @@
+// Execution plans.
+//
+// Every scheduler (Hare and all baselines) emits a `Schedule`: an ordered
+// task sequence per GPU, optionally annotated with the planner's predicted
+// start times. The simulator executes sequences in order under the real
+// constraints (arrival, round barriers, non-preemption, switching cost),
+// so a plan built from *predicted* times replays correctly under *actual*
+// times: the dependency graph (per-GPU chains + round-precedence edges) is
+// fixed by the sequences and was acyclic under the planner's timing, and
+// acyclicity does not depend on durations.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/job.hpp"
+
+namespace hare::sim {
+
+struct Schedule {
+  /// sequences[g] = ordered tasks GPU g runs (index = GpuId value).
+  std::vector<std::vector<TaskId>> sequences;
+  /// Planner's predicted start time per task (by TaskId value); empty when
+  /// the planner does not predict (then validation skips timing checks).
+  std::vector<Time> predicted_start;
+  /// Planner's predicted objective (sum of weighted completion times), when
+  /// available; 0 otherwise.
+  double predicted_objective = 0.0;
+
+  [[nodiscard]] std::size_t gpu_count() const { return sequences.size(); }
+  [[nodiscard]] std::size_t task_count() const {
+    std::size_t n = 0;
+    for (const auto& s : sequences) n += s.size();
+    return n;
+  }
+};
+
+/// Structural validation: every task of `jobs` appears exactly once across
+/// the sequences and the chain+precedence graph is acyclic (executable).
+/// Throws hare::common::Error with a diagnostic on violation.
+void validate_schedule(const Schedule& schedule, const workload::JobSet& jobs);
+
+/// Plain-text plan serialization — the offline workflow's hand-off
+/// artifact (§3: the scheduler sends task sequences to the executors).
+/// Round-trips exactly; `load_schedule` validates against `jobs`.
+void save_schedule(const Schedule& schedule, std::ostream& os);
+[[nodiscard]] Schedule load_schedule(std::istream& is,
+                                     const workload::JobSet& jobs);
+void save_schedule_file(const Schedule& schedule, const std::string& path);
+[[nodiscard]] Schedule load_schedule_file(const std::string& path,
+                                          const workload::JobSet& jobs);
+
+}  // namespace hare::sim

@@ -1,0 +1,339 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+
+namespace hare::sim {
+
+namespace {
+
+constexpr double kTimeEps = 1e-9;
+
+enum class EventKind : std::uint8_t { TryStart, ComputeDone, SyncDone };
+
+struct EventPayload {
+  EventKind kind = EventKind::TryStart;
+  GpuId gpu;
+  TaskId task;
+};
+
+struct GpuState {
+  std::size_t next_index = 0;  ///< cursor into the GPU's sequence
+  bool busy = false;
+  bool waiting = false;  ///< registered on a round barrier
+  std::optional<JobId> previous_job;
+  std::optional<switching::SpeculativeMemoryManager> memory;
+};
+
+struct RoundState {
+  int remaining = 0;
+  Time barrier = 0.0;
+  bool done = false;
+  std::vector<GpuId> waiters;
+};
+
+struct JobState {
+  std::vector<RoundState> rounds;
+  bool finished = false;
+};
+
+}  // namespace
+
+double SimResult::busy_fraction(GpuId gpu, Time lo, Time hi) const {
+  HARE_CHECK_MSG(!busy_intervals.empty(),
+                 "busy_fraction requires record_timeline");
+  HARE_CHECK_MSG(hi > lo, "empty window");
+  const auto& intervals =
+      busy_intervals[static_cast<std::size_t>(gpu.value())];
+  Time busy = 0.0;
+  for (const auto& [start, end] : intervals) {
+    busy += std::max(0.0, std::min(end, hi) - std::max(start, lo));
+  }
+  return busy / (hi - lo);
+}
+
+Simulator::Simulator(const cluster::Cluster& cluster,
+                     const workload::JobSet& jobs,
+                     const profiler::TimeTable& actual, SimConfig config)
+    : cluster_(cluster), jobs_(jobs), actual_(actual), config_(config) {
+  HARE_CHECK_MSG(actual.job_count() == jobs.job_count(),
+                 "time table covers " << actual.job_count() << " jobs, set has "
+                                      << jobs.job_count());
+  HARE_CHECK_MSG(actual.gpu_count() == cluster.gpu_count(),
+                 "time table covers " << actual.gpu_count()
+                                      << " GPUs, cluster has "
+                                      << cluster.gpu_count());
+}
+
+SimResult Simulator::run(const Schedule& schedule) const {
+  HARE_CHECK_MSG(schedule.gpu_count() == cluster_.gpu_count(),
+                 "schedule covers " << schedule.gpu_count()
+                                    << " GPUs, cluster has "
+                                    << cluster_.gpu_count());
+  validate_schedule(schedule, jobs_);
+
+  const std::size_t task_count = jobs_.task_count();
+  const std::size_t gpu_count = cluster_.gpu_count();
+
+  // Pre-drawn per-task noise keeps actual durations independent of event
+  // order (deterministic replay regardless of schedule shape).
+  std::vector<double> tc_noise(task_count, 1.0);
+  std::vector<double> ts_noise(task_count, 1.0);
+  if (config_.runtime_noise_cv > 0.0) {
+    common::Rng rng(config_.noise_seed);
+    const double cv = config_.runtime_noise_cv;
+    const double sigma = std::sqrt(std::log(1.0 + cv * cv));
+    for (std::size_t i = 0; i < task_count; ++i) {
+      tc_noise[i] = rng.log_normal(-sigma * sigma / 2.0, sigma);
+      ts_noise[i] = rng.log_normal(-sigma * sigma / 2.0, sigma);
+    }
+  }
+
+  const switching::SwitchCostModel switch_model(config_.switching);
+  const bool with_memory =
+      config_.use_memory_manager &&
+      config_.switching.policy == switching::SwitchPolicy::Hare;
+
+  std::vector<GpuState> gpus(gpu_count);
+  for (std::size_t g = 0; g < gpu_count; ++g) {
+    if (with_memory) {
+      gpus[g].memory.emplace(
+          cluster_.gpu(GpuId(static_cast<int>(g))).spec().memory);
+    }
+  }
+
+  std::vector<JobState> job_states(jobs_.job_count());
+  for (const auto& job : jobs_.jobs()) {
+    auto& state = job_states[static_cast<std::size_t>(job.id.value())];
+    state.rounds.resize(job.rounds());
+    for (auto& round : state.rounds) {
+      round.remaining = static_cast<int>(job.tasks_per_round());
+    }
+  }
+
+  SimResult result;
+  result.tasks.assign(task_count, {});
+  result.jobs.resize(jobs_.job_count());
+  for (const auto& job : jobs_.jobs()) {
+    auto& record = result.jobs[static_cast<std::size_t>(job.id.value())];
+    record.arrival = job.spec.arrival;
+    record.weight = job.spec.weight;
+  }
+  result.gpus.assign(gpu_count, {});
+  if (config_.record_timeline) result.busy_intervals.resize(gpu_count);
+
+  EventQueue<EventPayload> events;
+  NetworkModel network(cluster_);
+  std::unordered_map<NetworkModel::TransferId, TaskId> inflight_syncs;
+
+  // --- helpers -----------------------------------------------------------
+
+  auto start_task = [&](GpuId gpu_id, TaskId task_id, Time now, Time ready) {
+    GpuState& gpu = gpus[static_cast<std::size_t>(gpu_id.value())];
+    const workload::Task& task = jobs_.task(task_id);
+    const workload::Job& job = jobs_.job(task.job);
+    const workload::ModelSpec& model = workload::model_spec(job.spec.model);
+    const cluster::Gpu& hw = cluster_.gpu(gpu_id);
+
+    const switching::SpeculativeMemoryManager* memory_view =
+        gpu.memory ? &*gpu.memory : nullptr;
+    const switching::SwitchBreakdown breakdown = switch_model.switch_cost(
+        task.job, job.spec.model, hw.type, gpu.previous_job, memory_view);
+    if (gpu.memory) {
+      gpu.memory->on_task_start(
+          task.job,
+          workload::task_memory_footprint(model, job.effective_batch_size()),
+          workload::model_state_bytes(model));
+    }
+
+    const double tc =
+        actual_.tc(task.job, gpu_id) *
+        tc_noise[static_cast<std::size_t>(task_id.value())];
+    const Time switch_time = breakdown.total();
+
+    TaskRecord& record =
+        result.tasks[static_cast<std::size_t>(task_id.value())];
+    record.gpu = gpu_id;
+    record.ready = ready;
+    record.start = now;
+    record.switch_time = switch_time;
+    record.compute_start = now + switch_time;
+    record.compute_end = record.compute_start + tc;
+    record.model_resident = breakdown.model_resident;
+
+    GpuRecord& gpu_record =
+        result.gpus[static_cast<std::size_t>(gpu_id.value())];
+    gpu_record.busy_switch += switch_time;
+    gpu_record.busy_compute += tc;
+    gpu_record.last_busy_end = record.compute_end;
+    ++gpu_record.task_count;
+    if (config_.record_timeline) {
+      result.busy_intervals[static_cast<std::size_t>(gpu_id.value())]
+          .emplace_back(now, record.compute_end);
+    }
+
+    auto& stat =
+        result.switch_stats[static_cast<std::size_t>(job.spec.model)];
+    stat.total_compute_time += tc;
+    if (gpu.previous_job && *gpu.previous_job != task.job) {
+      ++stat.switch_count;
+      stat.total_switch_time += switch_time;
+      if (breakdown.model_resident) ++stat.resident_hits;
+    }
+
+    gpu.busy = true;
+    gpu.previous_job = task.job;
+    ++gpu.next_index;
+    events.push(record.compute_end,
+                EventPayload{EventKind::ComputeDone, gpu_id, task_id});
+  };
+
+  auto try_start = [&](GpuId gpu_id, Time now) {
+    GpuState& gpu = gpus[static_cast<std::size_t>(gpu_id.value())];
+    if (gpu.busy || gpu.waiting) return;
+    const auto& sequence =
+        schedule.sequences[static_cast<std::size_t>(gpu_id.value())];
+    if (gpu.next_index >= sequence.size()) return;
+
+    const TaskId task_id = sequence[gpu.next_index];
+    const workload::Task& task = jobs_.task(task_id);
+    const workload::Job& job = jobs_.job(task.job);
+
+    Time ready = job.spec.arrival;
+    if (task.round > 0) {
+      RoundState& prev = job_states[static_cast<std::size_t>(
+          task.job.value())].rounds[static_cast<std::size_t>(task.round - 1)];
+      if (!prev.done) {
+        prev.waiters.push_back(gpu_id);
+        gpu.waiting = true;
+        return;
+      }
+      ready = std::max(ready, prev.barrier);
+    }
+
+    if (ready > now + kTimeEps) {
+      events.push(ready, EventPayload{EventKind::TryStart, gpu_id, TaskId{}});
+      return;
+    }
+    start_task(gpu_id, task_id, now, ready);
+  };
+
+  auto handle_sync_done = [&](TaskId task_id, Time now) {
+    const workload::Task& task = jobs_.task(task_id);
+    result.tasks[static_cast<std::size_t>(task_id.value())].sync_end = now;
+
+    JobState& job_state =
+        job_states[static_cast<std::size_t>(task.job.value())];
+    RoundState& round =
+        job_state.rounds[static_cast<std::size_t>(task.round)];
+    round.barrier = std::max(round.barrier, now);
+    HARE_CHECK_MSG(round.remaining > 0, "round over-completed");
+    if (--round.remaining > 0) return;
+
+    round.done = true;
+    const workload::Job& job = jobs_.job(task.job);
+    if (static_cast<std::uint32_t>(task.round) + 1 == job.rounds()) {
+      job_state.finished = true;
+      auto& record = result.jobs[static_cast<std::size_t>(task.job.value())];
+      record.completion = round.barrier;
+      for (auto& gpu : gpus) {
+        if (gpu.memory) gpu.memory->on_job_finished(task.job);
+      }
+    }
+    // Wake GPUs whose heads were blocked on this barrier. Their start time
+    // is the barrier, which may be earlier than `now` only by sync-ordering
+    // slack; use the barrier as the ready stamp.
+    std::vector<GpuId> waiters = std::move(round.waiters);
+    round.waiters.clear();
+    for (GpuId waiter : waiters) {
+      gpus[static_cast<std::size_t>(waiter.value())].waiting = false;
+      try_start(waiter, now);
+    }
+  };
+
+  auto handle_compute_done = [&](GpuId gpu_id, TaskId task_id, Time now) {
+    GpuState& gpu = gpus[static_cast<std::size_t>(gpu_id.value())];
+    gpu.busy = false;
+    if (gpu.memory) gpu.memory->on_task_complete(now);
+
+    const workload::Task& task = jobs_.task(task_id);
+    const workload::Job& job = jobs_.job(task.job);
+    if (config_.model_network_contention) {
+      const workload::ModelSpec& model = workload::model_spec(job.spec.model);
+      const double bytes =
+          2.0 * static_cast<double>(model.parameter_bytes) *
+          config_.sync_volume_factor;
+      const auto id = network.start_transfer(
+          cluster_.gpu(gpu_id).machine, bytes, now);
+      inflight_syncs.emplace(id, task_id);
+    } else {
+      const double ts =
+          actual_.ts(task.job, gpu_id) *
+          ts_noise[static_cast<std::size_t>(task_id.value())];
+      events.push(now + ts,
+                  EventPayload{EventKind::SyncDone, gpu_id, task_id});
+    }
+    try_start(gpu_id, now);
+  };
+
+  // --- main loop ---------------------------------------------------------
+
+  for (std::size_t g = 0; g < gpu_count; ++g) {
+    events.push(0.0, EventPayload{EventKind::TryStart,
+                                  GpuId(static_cast<int>(g)), TaskId{}});
+  }
+
+  while (!events.empty() || network.active_count() > 0) {
+    const Time network_time = network.next_completion();
+    const Time event_time =
+        events.empty() ? kTimeInfinity : events.top().time;
+
+    if (network_time <= event_time) {
+      for (const auto transfer : network.complete_at(network_time)) {
+        const auto it = inflight_syncs.find(transfer);
+        HARE_CHECK_MSG(it != inflight_syncs.end(), "unknown transfer");
+        // RPC/aggregation latency lands after the transfer completes.
+        events.push(network_time + config_.sync_latency_s,
+                    EventPayload{EventKind::SyncDone, GpuId{}, it->second});
+        inflight_syncs.erase(it);
+      }
+      continue;
+    }
+
+    const auto event = events.pop();
+    switch (event.payload.kind) {
+      case EventKind::TryStart:
+        try_start(event.payload.gpu, event.time);
+        break;
+      case EventKind::ComputeDone:
+        handle_compute_done(event.payload.gpu, event.payload.task, event.time);
+        break;
+      case EventKind::SyncDone:
+        handle_sync_done(event.payload.task, event.time);
+        break;
+    }
+  }
+
+  // --- aggregates --------------------------------------------------------
+
+  for (const auto& job : jobs_.jobs()) {
+    const auto& state = job_states[static_cast<std::size_t>(job.id.value())];
+    HARE_CHECK_MSG(state.finished,
+                   "job " << job.id << " did not finish (scheduler bug)");
+  }
+  for (const auto& record : result.jobs) {
+    result.makespan = std::max(result.makespan, record.completion);
+    result.weighted_completion += record.weight * record.completion;
+    result.weighted_jct += record.weight * record.jct();
+  }
+  return result;
+}
+
+}  // namespace hare::sim

@@ -1,0 +1,57 @@
+#include "switching/context_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace hare::switching {
+
+ContextPool::Acquire ContextPool::acquire(JobId job) {
+  HARE_CHECK_MSG(!slots_.empty(), "context pool has no slots");
+  ++clock_;
+
+  // Pass 1: a standby process that last hosted this very job.
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    if (!s.busy && s.last_job && *s.last_job == job) {
+      s.busy = true;
+      s.last_job = job;
+      s.last_used = clock_;
+      ++warm_hits_;
+      return {true, i};
+    }
+  }
+  // Pass 2: least-recently-used standby process.
+  std::uint32_t best = static_cast<std::uint32_t>(slots_.size());
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].busy) continue;
+    if (best == slots_.size() || slots_[i].last_used < slots_[best].last_used) {
+      best = i;
+    }
+  }
+  if (best < slots_.size()) {
+    Slot& s = slots_[best];
+    s.busy = true;
+    s.last_job = job;
+    s.last_used = clock_;
+    ++warm_hits_;
+    return {true, best};
+  }
+  // Every process is busy: the caller must create a context synchronously.
+  ++cold_misses_;
+  return {false, 0};
+}
+
+void ContextPool::release(std::uint32_t slot) {
+  HARE_CHECK_MSG(slot < slots_.size(), "invalid context pool slot");
+  HARE_CHECK_MSG(slots_[slot].busy, "releasing an idle slot");
+  slots_[slot].busy = false;
+}
+
+std::uint32_t ContextPool::busy_count() const {
+  std::uint32_t busy = 0;
+  for (const auto& s : slots_) {
+    if (s.busy) ++busy;
+  }
+  return busy;
+}
+
+}  // namespace hare::switching

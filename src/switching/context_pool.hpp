@@ -1,0 +1,60 @@
+// Standby trainer-process pool with pre-created CUDA contexts (§6).
+//
+// The prototype keeps three trainer processes per executor, each having
+// created its CUDA context in advance (torch.randn(10, device='cuda')).
+// An arriving task binds to a standby process and inherits its warm
+// context; the process returns to standby on completion and a fresh
+// context is (re)created off the critical path. The pool therefore hides
+// context-creation latency entirely as long as at least one standby
+// process exists; the Default policy (no pool) pays it every cross-job
+// switch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hare::switching {
+
+class ContextPool {
+ public:
+  explicit ContextPool(std::uint32_t size) : slots_(size) {}
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+  struct Acquire {
+    bool warm = false;        ///< a pre-created context was available
+    std::uint32_t slot = 0;   ///< which standby process hosts the task
+  };
+
+  /// Bind a task of `job` to a standby process. Prefers a slot that last
+  /// hosted the same job (its per-process model cache is then warm too);
+  /// otherwise takes the least-recently-used free slot. Returns cold only
+  /// when every process is busy — which cannot happen with one task per
+  /// GPU, but the pool supports oversubscription for tests.
+  Acquire acquire(JobId job);
+
+  /// Release the process bound to `slot` back to standby.
+  void release(std::uint32_t slot);
+
+  [[nodiscard]] std::size_t warm_hits() const { return warm_hits_; }
+  [[nodiscard]] std::size_t cold_misses() const { return cold_misses_; }
+  [[nodiscard]] std::uint32_t busy_count() const;
+
+ private:
+  struct Slot {
+    bool busy = false;
+    std::optional<JobId> last_job;
+    std::uint64_t last_used = 0;
+  };
+  std::vector<Slot> slots_;
+  std::uint64_t clock_ = 0;
+  std::size_t warm_hits_ = 0;
+  std::size_t cold_misses_ = 0;
+};
+
+}  // namespace hare::switching

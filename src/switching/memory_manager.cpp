@@ -1,0 +1,102 @@
+#include "switching/memory_manager.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hare::switching {
+
+SpeculativeMemoryManager::StartInfo SpeculativeMemoryManager::on_task_start(
+    JobId job, Bytes footprint, Bytes state_bytes) {
+  HARE_CHECK_MSG(!active_.has_value(),
+                 "a task is already active on this GPU (non-preemption)");
+  HARE_CHECK_MSG(state_bytes <= footprint,
+                 "model state cannot exceed the task footprint");
+  HARE_CHECK_MSG(footprint <= capacity_,
+                 "task footprint " << footprint
+                                   << " exceeds GPU memory " << capacity_);
+
+  StartInfo info;
+
+  // If this job's state is already resident, the incoming task reuses it:
+  // only the workspace (activations etc.) must be carved out.
+  const auto kept_it =
+      std::find_if(kept_.begin(), kept_.end(),
+                   [&](const KeptState& k) { return k.job == job; });
+  const bool was_resident = kept_it != kept_.end();
+  const Bytes extra_needed = was_resident ? footprint - state_bytes : footprint;
+
+  const Bytes free_now = capacity_ - used();
+  if (extra_needed > free_now) {
+    info.evicted_bytes = evict_until_fits(extra_needed - free_now, job);
+  }
+  HARE_CHECK_MSG(extra_needed <= capacity_ - used(),
+                 "eviction could not make room for the incoming task");
+
+  if (was_resident) {
+    info.model_resident = true;
+    info.bytes_to_load = 0;
+    ++hits_;
+    // The kept state is absorbed into the active footprint.
+    kept_.erase(std::find_if(kept_.begin(), kept_.end(), [&](const KeptState& k) {
+      return k.job == job;
+    }));
+  } else {
+    info.model_resident = false;
+    info.bytes_to_load = state_bytes;
+    ++misses_;
+  }
+
+  active_ = ActiveTask{job, footprint, state_bytes};
+  return info;
+}
+
+void SpeculativeMemoryManager::on_task_complete(Time now) {
+  HARE_CHECK_MSG(active_.has_value(), "no active task to complete");
+  const ActiveTask task = *active_;
+  active_.reset();
+  // Greedy keep: the state always fits because the full footprint just did.
+  if (task.state_bytes > 0) {
+    kept_.push_back(KeptState{task.job, task.state_bytes, now});
+  }
+}
+
+void SpeculativeMemoryManager::on_job_finished(JobId job) {
+  kept_.erase(std::remove_if(kept_.begin(), kept_.end(),
+                             [&](const KeptState& k) { return k.job == job; }),
+              kept_.end());
+}
+
+bool SpeculativeMemoryManager::resident(JobId job) const {
+  return std::any_of(kept_.begin(), kept_.end(),
+                     [&](const KeptState& k) { return k.job == job; });
+}
+
+Bytes SpeculativeMemoryManager::used() const {
+  Bytes total = kept_bytes();
+  if (active_) total += active_->footprint;
+  return total;
+}
+
+Bytes SpeculativeMemoryManager::kept_bytes() const {
+  Bytes total = 0;
+  for (const auto& k : kept_) total += k.bytes;
+  return total;
+}
+
+Bytes SpeculativeMemoryManager::evict_until_fits(Bytes needed, JobId protect) {
+  // kept_ is maintained in completion order; evict from the front
+  // (earliest completed) so the most recently finished states survive.
+  Bytes evicted = 0;
+  for (auto it = kept_.begin(); it != kept_.end() && evicted < needed;) {
+    if (it->job == protect) {
+      ++it;
+      continue;
+    }
+    evicted += it->bytes;
+    it = kept_.erase(it);
+  }
+  return evicted;
+}
+
+}  // namespace hare::switching

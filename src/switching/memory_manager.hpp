@@ -1,0 +1,81 @@
+// GPU memory accounting and speculative memory management (§4).
+//
+// One manager instance models one GPU's device memory. At any moment it
+// holds (a) the single active task's full footprint (non-preemption: one
+// task per GPU) and (b) a set of *kept* model states — weights + optimizer
+// state of previously completed tasks that Hare leaves resident so a later
+// task of the same job skips the host→device transfer entirely.
+//
+// The keep policy is the paper's heuristic verbatim: the next (incoming)
+// task always has memory priority, and completed states are kept greedily,
+// evicting the *earliest*-completed kept states first when space is needed
+// (i.e. the latest-completed states survive).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hare::switching {
+
+class SpeculativeMemoryManager {
+ public:
+  explicit SpeculativeMemoryManager(Bytes capacity) : capacity_(capacity) {}
+
+  struct StartInfo {
+    bool model_resident = false;  ///< job's state was kept; no reload needed
+    Bytes bytes_to_load = 0;      ///< host→device traffic for this start
+    Bytes evicted_bytes = 0;      ///< kept state dropped to make room
+  };
+
+  /// Admit a task of `job` with the given total footprint, of which
+  /// `state_bytes` is the persistent model state. Evicts kept states
+  /// (earliest-completed first, never the job's own) until the footprint
+  /// fits. The task's footprint must fit in an empty GPU.
+  StartInfo on_task_start(JobId job, Bytes footprint, Bytes state_bytes);
+
+  /// The active task finished at `now`: release its workspace; keep its
+  /// model state resident if it still fits (it does by construction, since
+  /// state <= footprint).
+  void on_task_complete(Time now);
+
+  /// Drop a finished job's kept state (its last round completed).
+  void on_job_finished(JobId job);
+
+  [[nodiscard]] bool resident(JobId job) const;
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] Bytes used() const;
+  [[nodiscard]] Bytes kept_bytes() const;
+  [[nodiscard]] std::size_t kept_count() const { return kept_.size(); }
+  [[nodiscard]] bool has_active() const { return active_.has_value(); }
+
+  /// Cumulative statistics for reports.
+  [[nodiscard]] std::size_t hit_count() const { return hits_; }
+  [[nodiscard]] std::size_t miss_count() const { return misses_; }
+
+ private:
+  struct KeptState {
+    JobId job;
+    Bytes bytes = 0;
+    Time completed_at = 0.0;
+  };
+  struct ActiveTask {
+    JobId job;
+    Bytes footprint = 0;
+    Bytes state_bytes = 0;
+  };
+
+  /// Evict earliest-completed kept states (skipping `protect`) until at
+  /// least `needed` bytes are free. Returns bytes evicted.
+  Bytes evict_until_fits(Bytes needed, JobId protect);
+
+  Bytes capacity_;
+  std::optional<ActiveTask> active_;
+  std::vector<KeptState> kept_;  ///< kept in completion-time order
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace hare::switching

@@ -1,0 +1,204 @@
+#include "switching/memory_planner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace hare::switching {
+
+namespace {
+
+/// Tasks of one job share a model, so their state and footprint must be
+/// identical throughout a sequence (a task trains the same network on the
+/// same batch size every round).
+void check_consistent_sizes(const std::vector<PlannedTask>& sequence) {
+  std::map<JobId, std::pair<Bytes, Bytes>> sizes;
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    const PlannedTask& task = sequence[i];
+    HARE_CHECK_MSG(task.state_bytes <= task.footprint,
+                   "state exceeds footprint at task " << i);
+    const auto [it, inserted] = sizes.try_emplace(
+        task.job, task.footprint, task.state_bytes);
+    HARE_CHECK_MSG(inserted || (it->second.first == task.footprint &&
+                                it->second.second == task.state_bytes),
+                   "job " << task.job
+                          << " changes footprint/state mid-sequence");
+  }
+}
+
+/// next_use[i] = index of the next task of the same job after i, or n.
+std::vector<std::size_t> next_use_index(
+    const std::vector<PlannedTask>& sequence) {
+  const std::size_t n = sequence.size();
+  std::vector<std::size_t> next(n, n);
+  std::map<JobId, std::size_t> last_seen;
+  for (std::size_t i = n; i-- > 0;) {
+    const auto it = last_seen.find(sequence[i].job);
+    if (it != last_seen.end()) next[i] = it->second;
+    last_seen[sequence[i].job] = i;
+  }
+  return next;
+}
+
+}  // namespace
+
+MemoryPlan evaluate_plan(const std::vector<PlannedTask>& sequence,
+                         Bytes capacity, const std::vector<char>& keep) {
+  HARE_CHECK_MSG(keep.size() == sequence.size(),
+                 "keep vector size mismatch");
+  check_consistent_sizes(sequence);
+  MemoryPlan plan;
+  plan.keep = keep;
+
+  std::map<JobId, Bytes> resident;
+  Bytes resident_bytes = 0;
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    const PlannedTask& task = sequence[i];
+    HARE_CHECK_MSG(task.footprint <= capacity,
+                   "task " << i << " cannot fit the GPU at all");
+
+    const auto it = resident.find(task.job);
+    if (it != resident.end()) {
+      ++plan.resident_hits;
+      resident_bytes -= it->second;  // absorbed into the running footprint
+      resident.erase(it);
+    } else {
+      plan.transferred_bytes += task.state_bytes;
+    }
+    HARE_CHECK_MSG(resident_bytes + task.footprint <= capacity,
+                   "plan infeasible: kept states leave no room for task "
+                       << i);
+    if (keep[i]) {
+      resident[task.job] = task.state_bytes;
+      resident_bytes += task.state_bytes;
+    }
+  }
+  return plan;
+}
+
+MemoryPlan plan_greedy(const std::vector<PlannedTask>& sequence,
+                       Bytes capacity) {
+  check_consistent_sizes(sequence);
+  const std::size_t n = sequence.size();
+  MemoryPlan plan;
+  plan.keep.assign(n, 0);
+
+  struct Kept {
+    JobId job;
+    Bytes bytes;
+    std::size_t completed_at;
+  };
+  std::vector<Kept> kept;  // completion order (earliest first)
+  Bytes kept_bytes = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const PlannedTask& task = sequence[i];
+    HARE_CHECK_MSG(task.footprint <= capacity,
+                   "task " << i << " cannot fit the GPU at all");
+
+    const auto it =
+        std::find_if(kept.begin(), kept.end(),
+                     [&](const Kept& k) { return k.job == task.job; });
+    if (it != kept.end()) {
+      ++plan.resident_hits;
+      plan.keep[it->completed_at] = 1;  // the kept state got reused
+      kept_bytes -= it->bytes;          // absorbed into the task footprint
+      kept.erase(it);
+    } else {
+      plan.transferred_bytes += task.state_bytes;
+    }
+    // Evict earliest-completed states until the full footprint fits next
+    // to the surviving kept states.
+    while (kept_bytes + task.footprint > capacity) {
+      HARE_CHECK_MSG(!kept.empty(), "greedy eviction underflow");
+      kept_bytes -= kept.front().bytes;
+      kept.erase(kept.begin());
+    }
+    // Greedy keep: always retain the finished task's state.
+    if (task.state_bytes > 0) {
+      kept.push_back(Kept{task.job, task.state_bytes, i});
+      kept_bytes += task.state_bytes;
+    }
+  }
+  // States still resident at the end count as kept.
+  for (const Kept& k : kept) plan.keep[k.completed_at] = 1;
+  return plan;
+}
+
+namespace {
+
+struct Search {
+  const std::vector<PlannedTask>& sequence;
+  const std::vector<std::size_t>& next_use;
+  Bytes capacity;
+  Bytes best_transferred = std::numeric_limits<Bytes>::max();
+  std::vector<char> best_keep;
+  std::vector<char> keep;
+  std::map<JobId, Bytes> resident;
+  Bytes resident_bytes = 0;
+
+  void dfs(std::size_t i, Bytes transferred) {
+    if (transferred >= best_transferred) return;  // bound: cost only grows
+    if (i == sequence.size()) {
+      best_transferred = transferred;
+      best_keep = keep;
+      return;
+    }
+    const PlannedTask& task = sequence[i];
+
+    // Execute task i: hit or cold load, then feasibility.
+    const auto it = resident.find(task.job);
+    const bool hit = it != resident.end();
+    Bytes absorbed = 0;
+    if (hit) {
+      absorbed = it->second;
+      resident_bytes -= absorbed;
+      resident.erase(task.job);
+    } else {
+      transferred += task.state_bytes;
+    }
+    if (resident_bytes + task.footprint <= capacity &&
+        transferred < best_transferred) {
+      // Branch: keep the state (only useful if the job runs again and the
+      // state is non-empty), then drop.
+      if (task.state_bytes > 0 && next_use[i] < sequence.size()) {
+        keep[i] = 1;
+        resident[task.job] = task.state_bytes;
+        resident_bytes += task.state_bytes;
+        dfs(i + 1, transferred);
+        resident_bytes -= task.state_bytes;
+        resident.erase(task.job);
+        keep[i] = 0;
+      }
+      dfs(i + 1, transferred);
+    }
+    if (hit) {
+      resident[task.job] = absorbed;
+      resident_bytes += absorbed;
+    }
+  }
+};
+
+}  // namespace
+
+MemoryPlan plan_optimal(const std::vector<PlannedTask>& sequence,
+                        Bytes capacity) {
+  check_consistent_sizes(sequence);
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    HARE_CHECK_MSG(sequence[i].footprint <= capacity,
+                   "task " << i << " cannot fit the GPU at all");
+  }
+  const auto next_use = next_use_index(sequence);
+  Search search{sequence, next_use, capacity, std::numeric_limits<Bytes>::max(),
+                {}, std::vector<char>(sequence.size(), 0), {}, 0};
+  search.dfs(0, 0);
+  HARE_CHECK_MSG(search.best_transferred !=
+                     std::numeric_limits<Bytes>::max(),
+                 "no feasible plan (should be impossible: all-drop is "
+                 "always feasible)");
+  return evaluate_plan(sequence, capacity, search.best_keep);
+}
+
+}  // namespace hare::switching

@@ -1,0 +1,64 @@
+// Offline GPU-memory keep/evict planning (§4, speculative memory
+// management).
+//
+// The paper keeps models of the latest completed tasks greedily and notes
+// that the problem "can be formulated as an optimization problem and
+// solved to get the optimal solution", but that the heuristic suffices.
+// This module provides both:
+//
+//  * plan_greedy — the paper's heuristic: after each task, keep its model
+//    state; when an incoming task needs room, evict the earliest-completed
+//    kept states first (exactly SpeculativeMemoryManager's behaviour,
+//    reproduced here as a pure planning function so the two can be
+//    compared).
+//  * plan_optimal — exact minimization of total host→device transfer bytes
+//    over the keep decisions, by depth-first search over keep/drop choices
+//    with branch-and-bound (admissible bound: remaining cold loads can't
+//    be negative). Exponential in the worst case, intended for the short
+//    per-GPU sequences where validating the heuristic matters.
+//
+// The planning input is one GPU's task sequence — job id, footprint, and
+// persistent state bytes per task — which the offline scheduler knows in
+// advance (that foreknowledge is what makes speculation safe).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hare::switching {
+
+struct PlannedTask {
+  JobId job;
+  Bytes footprint = 0;    ///< full memory needed while running
+  Bytes state_bytes = 0;  ///< persistent model state (weights + optimizer)
+};
+
+struct MemoryPlan {
+  /// keep[i] = keep task i's model state resident after it completes.
+  std::vector<char> keep;
+  /// Total bytes transferred host→device across the sequence (first loads
+  /// are unavoidable; repeats are saved when the state was kept).
+  Bytes transferred_bytes = 0;
+  /// Number of resident hits (a task whose job state was kept earlier).
+  std::size_t resident_hits = 0;
+};
+
+/// The paper's greedy keep-latest heuristic, as a planning function.
+[[nodiscard]] MemoryPlan plan_greedy(const std::vector<PlannedTask>& sequence,
+                                     Bytes capacity);
+
+/// Exact optimum (minimum transferred bytes) via branch-and-bound.
+/// Sequences up to a few dozen tasks are practical.
+[[nodiscard]] MemoryPlan plan_optimal(const std::vector<PlannedTask>& sequence,
+                                      Bytes capacity);
+
+/// Simulate an explicit keep vector; used to score candidate plans and to
+/// verify feasibility (throws if a task cannot fit even after dropping
+/// every kept state).
+[[nodiscard]] MemoryPlan evaluate_plan(const std::vector<PlannedTask>& sequence,
+                                       Bytes capacity,
+                                       const std::vector<char>& keep);
+
+}  // namespace hare::switching

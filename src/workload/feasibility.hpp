@@ -1,0 +1,42 @@
+// Memory feasibility: which GPUs can host a job's tasks at all.
+//
+// A task's footprint (weights + gradients + optimizer state + batch
+// activations + framework reserve) must fit the device memory. Every
+// scheduler filters its GPU choices through this predicate — a 2xB0
+// Transformer batch, for example, fits a 16 GiB V100 but not an 8 GiB M60.
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "common/error.hpp"
+#include "workload/job.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace hare::workload {
+
+/// True when one task of `job` fits `gpu`'s device memory.
+[[nodiscard]] inline bool task_fits(const Job& job, const cluster::Gpu& gpu) {
+  return task_memory_footprint(model_spec(job.spec.model),
+                               job.effective_batch_size()) <=
+         gpu.spec().memory;
+}
+
+/// Per-job bitmap over the cluster's GPUs; throws if some job fits nowhere.
+[[nodiscard]] inline std::vector<std::vector<char>> fitting_matrix(
+    const cluster::Cluster& cluster, const JobSet& jobs) {
+  std::vector<std::vector<char>> fits(jobs.job_count());
+  for (const auto& job : jobs.jobs()) {
+    auto& row = fits[static_cast<std::size_t>(job.id.value())];
+    row.resize(cluster.gpu_count());
+    bool any = false;
+    for (const auto& gpu : cluster.gpus()) {
+      const bool ok = task_fits(job, gpu);
+      row[static_cast<std::size_t>(gpu.id.value())] = ok ? 1 : 0;
+      any = any || ok;
+    }
+    HARE_CHECK_MSG(any, "job " << job.id << " (" << job.spec.name
+                               << ") fits no GPU in the cluster");
+  }
+  return fits;
+}
+
+}  // namespace hare::workload

@@ -1,0 +1,91 @@
+// Jobs, rounds, tasks (§5.1 problem structure).
+//
+// A job n has arrival time a_n, weight w_n, and R_n training rounds. Every
+// round launches the same fixed number of tasks |D_r| (the job's
+// synchronization scale, fixed per the scale-fixed scheme of §2.2.3); each
+// task trains `batches_per_task` mini-batches and then synchronizes
+// gradients through the job's parameter server. Round r+1 may only start
+// after every task of round r has finished and synchronized (constraint 7).
+//
+// `JobSet` owns the jobs and a flattened task table with global `TaskId`s;
+// schedulers and the simulator index tasks through it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace hare::workload {
+
+struct JobSpec {
+  ModelType model = ModelType::ResNet50;
+  Time arrival = 0.0;
+  double weight = 1.0;
+  std::uint32_t rounds = 1;           ///< |R_n|
+  std::uint32_t tasks_per_round = 1;  ///< |D_r|, the synchronization scale
+  std::uint32_t batch_size = 0;       ///< 0 = model default (Table 2)
+  std::uint32_t batches_per_task = 20;
+  std::string name;  ///< optional human label
+};
+
+struct Job {
+  JobId id;
+  JobSpec spec;
+  /// Global ids of this job's tasks, round-major
+  /// (`tasks[r * tasks_per_round + k]` = slot k of round r).
+  std::vector<TaskId> tasks;
+
+  [[nodiscard]] std::uint32_t rounds() const { return spec.rounds; }
+  [[nodiscard]] std::uint32_t tasks_per_round() const {
+    return spec.tasks_per_round;
+  }
+  [[nodiscard]] std::size_t task_count() const { return tasks.size(); }
+  [[nodiscard]] std::uint32_t effective_batch_size() const {
+    return spec.batch_size != 0 ? spec.batch_size
+                                : model_spec(spec.model).default_batch_size;
+  }
+};
+
+struct Task {
+  TaskId id;
+  JobId job;
+  RoundIndex round = 0;
+  std::uint32_t slot = 0;  ///< position within the round, [0, |D_r|)
+};
+
+class JobSet {
+ public:
+  JobSet() = default;
+
+  /// Append a job; validates the spec. Returns the new job's id.
+  JobId add_job(JobSpec spec);
+
+  [[nodiscard]] std::size_t job_count() const { return jobs_.size(); }
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+
+  [[nodiscard]] const Job& job(JobId id) const;
+  [[nodiscard]] const Task& task(TaskId id) const;
+  [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
+  [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
+
+  /// Tasks of one round of one job.
+  [[nodiscard]] std::span<const TaskId> round_tasks(JobId job,
+                                                    RoundIndex round) const;
+
+  /// Earliest arrival across jobs (0 when empty).
+  [[nodiscard]] Time earliest_arrival() const;
+
+  /// Sum of weights (normalization for weighted JCT reports).
+  [[nodiscard]] double total_weight() const;
+
+ private:
+  std::vector<Job> jobs_;
+  std::vector<Task> tasks_;
+};
+
+}  // namespace hare::workload

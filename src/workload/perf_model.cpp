@@ -1,0 +1,86 @@
+#include "workload/perf_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hare::workload {
+
+namespace {
+
+constexpr std::size_t kArchCount = 6;
+constexpr std::size_t kFamilyCount = 4;
+
+// eff[arch][family]; families: ConvNet, Transformer, Recurrent, Graph.
+// Calibrated to the Fig 2 speedup matrix (see perf_model.hpp).
+constexpr double kEfficiency[kArchCount][kFamilyCount] = {
+    // ConvNet  Transf.  Recur.  Graph
+    {0.200, 0.200, 0.200, 0.200},  // Kepler (K80)
+    {0.200, 0.200, 0.200, 0.200},  // Maxwell (M60)
+    {0.280, 0.300, 0.250, 0.250},  // Pascal (P100)
+    {0.400, 0.445, 0.278, 0.300},  // Volta (V100)
+    {0.210, 0.268, 0.215, 0.150},  // Turing (T4)
+    {0.450, 0.500, 0.320, 0.350},  // Ampere (A100)
+};
+
+}  // namespace
+
+double PerfModel::efficiency(cluster::GpuArch arch, ModelFamily family) {
+  const auto a = static_cast<std::size_t>(arch);
+  const auto f = static_cast<std::size_t>(family);
+  HARE_CHECK_MSG(a < kArchCount && f < kFamilyCount,
+                 "efficiency table index out of range");
+  return kEfficiency[a][f];
+}
+
+Time PerfModel::compute_time(ModelType model, cluster::GpuType gpu,
+                             std::uint32_t batch_size) const {
+  const ModelSpec& m = model_spec(model);
+  const cluster::GpuSpec& g = cluster::gpu_spec(gpu);
+  const double achieved_tflops =
+      g.fp32_tflops * efficiency(g.arch, m.family);
+  const double gflops =
+      static_cast<double>(batch_size) * m.train_gflops_per_sample;
+  return gflops / (achieved_tflops * 1e3);
+}
+
+Time PerfModel::input_time(ModelType model, std::uint32_t batch_size) const {
+  const ModelSpec& m = model_spec(model);
+  return static_cast<double>(batch_size) * m.input_pipeline_s_per_sample;
+}
+
+Time PerfModel::batch_time(ModelType model, cluster::GpuType gpu,
+                           std::uint32_t batch_size) const {
+  return std::max(compute_time(model, gpu, batch_size),
+                  input_time(model, batch_size));
+}
+
+Time PerfModel::task_compute_time(ModelType model, cluster::GpuType gpu,
+                                  std::uint32_t batch_size,
+                                  std::uint32_t batches_per_task) const {
+  return static_cast<double>(batches_per_task) *
+         batch_time(model, gpu, batch_size);
+}
+
+Time PerfModel::sync_time(ModelType model, double network_gbps) const {
+  HARE_CHECK_MSG(network_gbps > 0.0, "bandwidth must be positive");
+  const ModelSpec& m = model_spec(model);
+  const double bytes_per_second = network_gbps * 1e9 / 8.0;
+  const double volume =
+      2.0 * static_cast<double>(m.parameter_bytes) * config_.sync_volume_factor;
+  return config_.sync_latency_s + volume / bytes_per_second;
+}
+
+double PerfModel::speedup_vs_k80(ModelType model, cluster::GpuType gpu,
+                                 std::uint32_t batch_size) const {
+  return batch_time(model, cluster::GpuType::K80, batch_size) /
+         batch_time(model, gpu, batch_size);
+}
+
+double PerfModel::gpu_utilization(ModelType model, cluster::GpuType gpu,
+                                  std::uint32_t batch_size) const {
+  const Time total = batch_time(model, gpu, batch_size);
+  return total > 0.0 ? compute_time(model, gpu, batch_size) / total : 0.0;
+}
+
+}  // namespace hare::workload

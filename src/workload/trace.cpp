@@ -1,0 +1,164 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hare::workload {
+
+WorkloadMix WorkloadMix::favour(JobCategory category, double share) {
+  HARE_CHECK_MSG(share > 0.0 && share < 1.0,
+                 "favoured share must be in (0, 1)");
+  WorkloadMix mix;
+  const double rest = (1.0 - share) / 3.0;
+  for (auto& w : mix.category_weight) w = rest;
+  mix.category_weight[static_cast<std::size_t>(category)] = share;
+  return mix;
+}
+
+ModelType TraceGenerator::draw_model(const WorkloadMix& mix) {
+  // First pick a category by weight, then a model uniformly inside it.
+  double total = 0.0;
+  for (double w : mix.category_weight) total += w;
+  HARE_CHECK_MSG(total > 0.0, "workload mix weights must not all be zero");
+  double r = rng_.uniform() * total;
+  std::size_t category = 0;
+  for (; category + 1 < mix.category_weight.size(); ++category) {
+    if (r < mix.category_weight[category]) break;
+    r -= mix.category_weight[category];
+  }
+
+  std::vector<ModelType> members;
+  for (ModelType m : workload_models()) {
+    if (static_cast<std::size_t>(model_spec(m).category) == category) {
+      members.push_back(m);
+    }
+  }
+  HARE_CHECK_MSG(!members.empty(), "category has no models");
+  return members[rng_.uniform_int(members.size())];
+}
+
+JobSet TraceGenerator::generate(const TraceConfig& config) {
+  HARE_CHECK_MSG(config.job_count > 0, "trace needs at least one job");
+  HARE_CHECK_MSG(config.base_arrival_rate > 0.0,
+                 "arrival rate must be positive");
+
+  JobSet jobs;
+  Time clock = 0.0;
+  bool bursting = false;
+  std::size_t burst_remaining = 0;
+
+  for (std::size_t i = 0; i < config.job_count; ++i) {
+    // Two-state MMPP: occasionally enter a burst whose arrivals come at
+    // burst_rate_multiplier times the base rate for ~mean_burst_length jobs.
+    if (!bursting && rng_.bernoulli(config.burst_probability)) {
+      bursting = true;
+      burst_remaining = 1 + static_cast<std::size_t>(rng_.exponential(
+                                1.0 / std::max(1.0, config.mean_burst_length)));
+    }
+    const double rate = bursting ? config.base_arrival_rate *
+                                       config.burst_rate_multiplier
+                                 : config.base_arrival_rate;
+    clock += rng_.exponential(rate);
+    if (bursting && --burst_remaining == 0) bursting = false;
+
+    JobSpec spec;
+    spec.model = draw_model(config.mix);
+    spec.arrival = clock;
+
+    // Sync scale |D_r|.
+    double scale_total = 0.0;
+    for (double w : config.sync_scale_weight) scale_total += w;
+    double r = rng_.uniform() * scale_total;
+    std::size_t pick = 0;
+    for (; pick + 1 < config.sync_scales.size(); ++pick) {
+      if (r < config.sync_scale_weight[pick]) break;
+      r -= config.sync_scale_weight[pick];
+    }
+    spec.tasks_per_round = config.sync_scales[pick];
+
+    const ModelSpec& model = model_spec(spec.model);
+    const double rounds_scale =
+        rng_.uniform(config.rounds_scale_min, config.rounds_scale_max);
+    spec.rounds = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               static_cast<double>(model.typical_rounds) * rounds_scale));
+
+    double odds_total = 0.0;
+    for (double w : config.weight_odds) odds_total += w;
+    double wr = rng_.uniform() * odds_total;
+    if (wr < config.weight_odds[0]) {
+      spec.weight = 1.0;
+    } else if (wr < config.weight_odds[0] + config.weight_odds[1]) {
+      spec.weight = 2.0;
+    } else {
+      spec.weight = 4.0;
+    }
+
+    spec.batch_size = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               static_cast<double>(model.default_batch_size) *
+               config.batch_scale));
+    spec.batches_per_task = config.batches_per_task;
+    spec.name = std::string(model.name) + "-" + std::to_string(i);
+    jobs.add_job(std::move(spec));
+  }
+  return jobs;
+}
+
+namespace {
+constexpr std::string_view kTraceHeader = "hare-trace-v1";
+}
+
+void save_trace(const JobSet& jobs, std::ostream& os) {
+  os << kTraceHeader << ' ' << jobs.job_count() << '\n';
+  os.precision(17);
+  for (const auto& job : jobs.jobs()) {
+    const auto& s = job.spec;
+    os << static_cast<int>(s.model) << ' ' << s.arrival << ' ' << s.weight
+       << ' ' << s.rounds << ' ' << s.tasks_per_round << ' ' << s.batch_size
+       << ' ' << s.batches_per_task << ' '
+       << (s.name.empty() ? "-" : s.name) << '\n';
+  }
+}
+
+JobSet load_trace(std::istream& is) {
+  std::string header;
+  std::size_t count = 0;
+  is >> header >> count;
+  HARE_CHECK_MSG(header == kTraceHeader, "not a hare trace (bad header)");
+  JobSet jobs;
+  for (std::size_t i = 0; i < count; ++i) {
+    int model = 0;
+    JobSpec spec;
+    is >> model >> spec.arrival >> spec.weight >> spec.rounds >>
+        spec.tasks_per_round >> spec.batch_size >> spec.batches_per_task >>
+        spec.name;
+    HARE_CHECK_MSG(static_cast<bool>(is), "truncated trace at job " << i);
+    HARE_CHECK_MSG(model >= 0 && static_cast<std::size_t>(model) < kModelCount,
+                   "trace references unknown model " << model);
+    spec.model = static_cast<ModelType>(model);
+    if (spec.name == "-") spec.name.clear();
+    jobs.add_job(std::move(spec));
+  }
+  return jobs;
+}
+
+void save_trace_file(const JobSet& jobs, const std::string& path) {
+  std::ofstream os(path);
+  HARE_CHECK_MSG(os.good(), "cannot open trace file for writing: " << path);
+  save_trace(jobs, os);
+}
+
+JobSet load_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  HARE_CHECK_MSG(is.good(), "cannot open trace file: " << path);
+  return load_trace(is);
+}
+
+}  // namespace hare::workload

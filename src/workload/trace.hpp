@@ -1,0 +1,80 @@
+// Workload trace synthesis (stand-in for the Google cluster trace, §7.1).
+//
+// Arrival times come from a two-state Markov-modulated Poisson process
+// (quiet / burst), matching the bursty shape of the Google trace the paper
+// replays. Job parameters (model, sync scale, rounds, weight) are drawn
+// from a configurable mix; the default mix is Table 2's 25% CV / 25% NLP /
+// 25% Speech / 25% Rec split. Everything is driven by a seeded Rng, and
+// traces round-trip through a plain-text format so experiments can be
+// re-run bit-identically from a saved file.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "workload/job.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace hare::workload {
+
+/// Fractions per job category (CV, NLP, Speech, Rec); needs not be
+/// normalized. Fig 17 raises one class's share while keeping the others.
+struct WorkloadMix {
+  std::array<double, 4> category_weight = {1.0, 1.0, 1.0, 1.0};
+
+  [[nodiscard]] static WorkloadMix uniform() { return {}; }
+  [[nodiscard]] static WorkloadMix favour(JobCategory category, double share);
+};
+
+struct TraceConfig {
+  std::size_t job_count = 100;
+  WorkloadMix mix{};
+
+  /// Mean arrival rate (jobs/second) in the quiet state.
+  double base_arrival_rate = 0.05;
+  /// Burst multiplier and burst dwell probability of the MMPP.
+  double burst_rate_multiplier = 6.0;
+  double burst_probability = 0.15;
+  double mean_burst_length = 5.0;  ///< jobs per burst on average
+
+  /// Sync scales (|D_r|) to draw from, with weights.
+  std::array<std::uint32_t, 4> sync_scales = {1, 2, 4, 8};
+  std::array<double, 4> sync_scale_weight = {0.25, 0.35, 0.25, 0.15};
+
+  /// Job rounds = model typical_rounds scaled by U[min,max].
+  double rounds_scale_min = 0.5;
+  double rounds_scale_max = 1.5;
+
+  /// Job weights drawn uniformly from {1, 2, 4} with these odds; all-equal
+  /// by default (the paper's objective is weighted; weights default to 1).
+  std::array<double, 3> weight_odds = {1.0, 0.0, 0.0};
+
+  /// Global batch-size multiplier (Fig 19; 1.0 = Table 2 defaults = B0).
+  double batch_scale = 1.0;
+
+  std::uint32_t batches_per_task = 20;
+};
+
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  /// Synthesize a JobSet according to `config`.
+  [[nodiscard]] JobSet generate(const TraceConfig& config);
+
+ private:
+  ModelType draw_model(const WorkloadMix& mix);
+  common::Rng rng_;
+};
+
+/// Plain-text trace serialization: one header line, then one line per job
+/// `model arrival weight rounds tasks_per_round batch_size batches_per_task`.
+void save_trace(const JobSet& jobs, std::ostream& os);
+[[nodiscard]] JobSet load_trace(std::istream& is);
+void save_trace_file(const JobSet& jobs, const std::string& path);
+[[nodiscard]] JobSet load_trace_file(const std::string& path);
+
+}  // namespace hare::workload

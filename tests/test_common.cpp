@@ -1,0 +1,328 @@
+// Unit tests for the common substrate: RNG, statistics, tables, thread
+// pool, and error handling.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+
+namespace hare {
+namespace {
+
+using common::Distribution;
+using common::Rng;
+using common::Summary;
+using common::Table;
+using common::ThreadPool;
+
+// ---------------------------------------------------------------- types --
+
+TEST(Types, IdDefaultIsInvalid) {
+  JobId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), -1);
+}
+
+TEST(Types, IdEqualityAndOrdering) {
+  EXPECT_EQ(JobId(3), JobId(3));
+  EXPECT_NE(JobId(3), JobId(4));
+  EXPECT_LT(JobId(3), JobId(4));
+}
+
+TEST(Types, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<JobId, TaskId>);
+  static_assert(!std::is_same_v<GpuId, MachineId>);
+}
+
+TEST(Types, ByteLiterals) {
+  EXPECT_EQ(1_MiB, 1024ull * 1024ull);
+  EXPECT_EQ(2_GiB, 2ull * 1024 * 1024 * 1024);
+}
+
+TEST(Types, IdHashUsableInContainers) {
+  std::set<JobId> ids{JobId(1), JobId(2), JobId(1)};
+  EXPECT_EQ(ids.size(), 2u);
+}
+
+// ------------------------------------------------------------------ rng --
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  Summary s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(std::int64_t{5}, std::int64_t{9});
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntZeroIsZero) {
+  Rng rng(13);
+  EXPECT_EQ(rng.uniform_int(std::uint64_t{0}), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  Summary s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  Summary s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, LogNormalPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.log_normal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, SplitIndependence) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // Child and a fresh draw of the parent should not track each other.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitDeterministic) {
+  Rng a(37);
+  Rng b(37);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+// ---------------------------------------------------------------- stats --
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, MergeMatchesConcatenation) {
+  Rng rng(41);
+  Summary a;
+  Summary b;
+  Summary all;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal();
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a;
+  a.add(5.0);
+  Summary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(Distribution, QuantilesExact) {
+  Distribution d;
+  for (double v : {4.0, 1.0, 3.0, 2.0}) d.add(v);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(d.median(), 2.5);
+}
+
+TEST(Distribution, CdfSteps) {
+  Distribution d;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) d.add(v);
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(10.0), 1.0);
+}
+
+TEST(Distribution, CdfCurveMonotone) {
+  Distribution d;
+  Rng rng(43);
+  for (int i = 0; i < 500; ++i) d.add(rng.uniform(0.0, 100.0));
+  const auto curve = d.cdf_curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Distribution, EmptyIsSafe) {
+  const Distribution d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.quantile(0.5), 0.0);
+  EXPECT_EQ(d.cdf(1.0), 0.0);
+  EXPECT_TRUE(d.cdf_curve(10).empty());
+}
+
+TEST(Stats, RelativeDifference) {
+  EXPECT_DOUBLE_EQ(common::relative_difference(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(common::relative_difference(100.0, 95.0), 0.05);
+  EXPECT_DOUBLE_EQ(common::relative_difference(95.0, 100.0), 0.05);
+}
+
+// ---------------------------------------------------------------- table --
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.5);
+  t.row().cell("b").cell(22.125, 3);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22.125"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.row().cell("has,comma").cell("has\"quote");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, MissingCellsRenderEmpty) {
+  Table t({"a", "b", "c"});
+  t.row().cell("only");
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("only"), std::string::npos);
+}
+
+// ----------------------------------------------------------- threadpool --
+
+TEST(ThreadPool, RunsAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for_each(100, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroTasksIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for_each(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_each(
+                   10,
+                   [](std::size_t i) {
+                     if (i == 3) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, MoreTasksThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  pool.parallel_for_each(1000, [&](std::size_t i) {
+    sum += static_cast<int>(i % 7);
+  });
+  int expected = 0;
+  for (int i = 0; i < 1000; ++i) expected += i % 7;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, SizeDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+// ---------------------------------------------------------------- error --
+
+TEST(Error, CheckThrowsWithContext) {
+  try {
+    HARE_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const common::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  HARE_CHECK(1 + 1 == 2);
+  HARE_CHECK_MSG(true, "never rendered");
+}
+
+}  // namespace
+}  // namespace hare

@@ -1,0 +1,214 @@
+// Tests for the extension modules: EASY backfill, fairness metrics, and
+// CSV result export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/hare.hpp"
+#include "sched/backfill.hpp"
+#include "sim/export.hpp"
+#include "sim/fairness.hpp"
+#include "test_util.hpp"
+
+namespace hare {
+namespace {
+
+using testing::Instance;
+using testing::make_random_instance;
+using testing::make_uniform_instance;
+
+// ---------------------------------------------------------------- backfill --
+
+class BackfillValidityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BackfillValidityTest, ValidCompleteSchedules) {
+  const Instance inst = make_random_instance(GetParam());
+  sched::BackfillScheduler scheduler;
+  const sim::Schedule schedule =
+      scheduler.schedule({inst.cluster, inst.jobs, inst.times});
+  EXPECT_EQ(schedule.task_count(), inst.jobs.task_count());
+  EXPECT_NO_THROW(sim::validate_schedule(schedule, inst.jobs));
+  const sim::Simulator simulator(inst.cluster, inst.jobs, inst.times);
+  const sim::SimResult result = simulator.run(schedule);
+  for (const auto& job : result.jobs) EXPECT_GT(job.completion, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackfillValidityTest,
+                         ::testing::Values(601, 602, 603, 604));
+
+TEST(Backfill, FillsHeadOfLineHoles) {
+  // Job 0 (wide, needs both GPUs) arrives first but GPU 1 is busy with
+  // job 1 for a long time; job 2 (short, narrow) arrives last. FIFO
+  // blocks job 2 behind the wide head; backfill runs it in the hole.
+  workload::JobSet jobs;
+  workload::JobSpec busy;
+  busy.rounds = 10;  // long occupant
+  busy.tasks_per_round = 1;
+  jobs.add_job(busy);  // job 0
+  workload::JobSpec wide;
+  wide.rounds = 2;
+  wide.tasks_per_round = 2;
+  wide.arrival = 0.5;
+  jobs.add_job(wide);  // job 1: blocked head
+  workload::JobSpec narrow;
+  narrow.rounds = 1;
+  narrow.tasks_per_round = 1;
+  narrow.arrival = 1.0;
+  jobs.add_job(narrow);  // job 2: backfill candidate
+
+  const Instance shell = make_uniform_instance({1.0, 1.0}, 1, 1, 1);
+  profiler::TimeTable times(3, 2);
+  for (int j = 0; j < 3; ++j) {
+    times.set(JobId(j), GpuId(0), 1.0, 0.05);
+    times.set(JobId(j), GpuId(1), 1.0, 0.05);
+  }
+
+  sched::GavelFifoScheduler fifo;
+  sched::BackfillScheduler backfill;
+  const sim::Simulator simulator(shell.cluster, jobs, times);
+  const auto fifo_result =
+      simulator.run(fifo.schedule({shell.cluster, jobs, times}));
+  const auto backfill_result =
+      simulator.run(backfill.schedule({shell.cluster, jobs, times}));
+
+  // The narrow job finishes much earlier under backfill...
+  EXPECT_LT(backfill_result.jobs[2].completion,
+            fifo_result.jobs[2].completion);
+  // ...and the blocked head is not pushed back by it.
+  EXPECT_LE(backfill_result.jobs[1].completion,
+            fifo_result.jobs[1].completion + 1e-6);
+}
+
+TEST(Backfill, NoWorseThanFifoOnAverage) {
+  double fifo_total = 0.0;
+  double backfill_total = 0.0;
+  for (std::uint64_t seed = 610; seed < 618; ++seed) {
+    const Instance inst = make_random_instance(seed);
+    sched::GavelFifoScheduler fifo;
+    sched::BackfillScheduler backfill;
+    const sim::Simulator simulator(inst.cluster, inst.jobs, inst.times);
+    fifo_total +=
+        simulator.run(fifo.schedule({inst.cluster, inst.jobs, inst.times}))
+            .weighted_jct;
+    backfill_total +=
+        simulator
+            .run(backfill.schedule({inst.cluster, inst.jobs, inst.times}))
+            .weighted_jct;
+  }
+  EXPECT_LE(backfill_total, fifo_total * 1.01);
+}
+
+TEST(Backfill, HareStillWins) {
+  const Instance inst = make_random_instance(620, 16, 8);
+  core::HareScheduler hare;
+  sched::BackfillScheduler backfill;
+  const sim::Simulator simulator(inst.cluster, inst.jobs, inst.times);
+  const double hare_jct =
+      simulator.run(hare.schedule({inst.cluster, inst.jobs, inst.times}))
+          .weighted_jct;
+  const double backfill_jct =
+      simulator.run(backfill.schedule({inst.cluster, inst.jobs, inst.times}))
+          .weighted_jct;
+  EXPECT_LT(hare_jct, backfill_jct);
+}
+
+// ---------------------------------------------------------------- fairness --
+
+TEST(Fairness, JainsIndexBounds) {
+  EXPECT_DOUBLE_EQ(sim::jains_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(sim::jains_index({2.0, 2.0, 2.0}), 1.0);
+  // One job hogging: index -> 1/n.
+  EXPECT_NEAR(sim::jains_index({1000.0, 0.001, 0.001}), 1.0 / 3.0, 0.01);
+  const double mixed = sim::jains_index({1.0, 2.0, 3.0});
+  EXPECT_GT(mixed, 1.0 / 3.0);
+  EXPECT_LT(mixed, 1.0);
+}
+
+TEST(Fairness, SlowdownsAtLeastNearOne) {
+  const Instance inst = make_random_instance(630);
+  core::HareScheduler scheduler;
+  const sim::Schedule schedule =
+      scheduler.schedule({inst.cluster, inst.jobs, inst.times});
+  const sim::Simulator simulator(inst.cluster, inst.jobs, inst.times);
+  const sim::SimResult result = simulator.run(schedule);
+  const auto slowdowns = sim::job_slowdowns(inst.jobs, inst.times, result);
+  ASSERT_EQ(slowdowns.size(), inst.jobs.job_count());
+  for (double s : slowdowns) EXPECT_GT(s, 0.5);
+  EXPECT_GE(sim::max_slowdown(slowdowns), 1.0 - 1e-6);
+}
+
+TEST(Fairness, HareFairerThanFifoUnderContention) {
+  // FIFO's head-of-line blocking produces highly uneven slowdowns; Hare's
+  // weighted-completion objective spreads them far more evenly.
+  const Instance inst = make_random_instance(631, 20, 8);
+  core::HareScheduler hare;
+  sched::GavelFifoScheduler fifo;
+  const sim::Simulator simulator(inst.cluster, inst.jobs, inst.times);
+
+  const auto hare_result =
+      simulator.run(hare.schedule({inst.cluster, inst.jobs, inst.times}));
+  const auto fifo_result =
+      simulator.run(fifo.schedule({inst.cluster, inst.jobs, inst.times}));
+  const double hare_max = sim::max_slowdown(
+      sim::job_slowdowns(inst.jobs, inst.times, hare_result));
+  const double fifo_max = sim::max_slowdown(
+      sim::job_slowdowns(inst.jobs, inst.times, fifo_result));
+  EXPECT_LT(hare_max, fifo_max);
+}
+
+// ------------------------------------------------------------------ export --
+
+TEST(Export, TaskCsvHasHeaderAndAllRows) {
+  const Instance inst = make_random_instance(640, 6, 4);
+  core::HareScheduler scheduler;
+  const sim::Schedule schedule =
+      scheduler.schedule({inst.cluster, inst.jobs, inst.times});
+  const sim::Simulator simulator(inst.cluster, inst.jobs, inst.times);
+  const sim::SimResult result = simulator.run(schedule);
+
+  std::ostringstream os;
+  sim::export_task_csv(inst.cluster, inst.jobs, result, os);
+  const std::string text = os.str();
+  std::size_t lines = 0;
+  for (char c : text) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, inst.jobs.task_count() + 1);
+  EXPECT_EQ(text.rfind("task,job,", 0), 0u);
+}
+
+TEST(Export, JobCsvRowsMatchJobs) {
+  const Instance inst = make_random_instance(641, 5, 4);
+  core::HareScheduler scheduler;
+  const sim::Schedule schedule =
+      scheduler.schedule({inst.cluster, inst.jobs, inst.times});
+  const sim::Simulator simulator(inst.cluster, inst.jobs, inst.times);
+  const sim::SimResult result = simulator.run(schedule);
+
+  std::ostringstream os;
+  sim::export_job_csv(inst.jobs, result, os);
+  std::size_t lines = 0;
+  for (char c : os.str()) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, inst.jobs.job_count() + 1);
+}
+
+TEST(Export, FilesRoundTrip) {
+  const Instance inst = make_random_instance(642, 4, 4);
+  core::HareScheduler scheduler;
+  const sim::Schedule schedule =
+      scheduler.schedule({inst.cluster, inst.jobs, inst.times});
+  const sim::Simulator simulator(inst.cluster, inst.jobs, inst.times);
+  const sim::SimResult result = simulator.run(schedule);
+
+  const std::string prefix = ::testing::TempDir() + "/hare_export";
+  sim::export_result_files(inst.cluster, inst.jobs, result, prefix);
+  std::ifstream tasks(prefix + "_tasks.csv");
+  std::ifstream jobs(prefix + "_jobs.csv");
+  EXPECT_TRUE(tasks.good());
+  EXPECT_TRUE(jobs.good());
+  std::remove((prefix + "_tasks.csv").c_str());
+  std::remove((prefix + "_jobs.csv").c_str());
+}
+
+}  // namespace
+}  // namespace hare

@@ -1,0 +1,231 @@
+// Integration tests: the full preparation→scheduling→execution pipeline on
+// testbed-scale instances, reproducing the paper's headline claims in
+// miniature.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/hare.hpp"
+#include "test_util.hpp"
+
+namespace hare {
+namespace {
+
+core::HareSystem::Options options_for(bool hare_executor,
+                                      std::uint64_t seed = 42) {
+  core::HareSystem::Options options;
+  options.seed = seed;
+  options.sim.switching.policy = hare_executor
+                                     ? switching::SwitchPolicy::Hare
+                                     : switching::SwitchPolicy::Default;
+  options.sim.use_memory_manager = hare_executor;
+  return options;
+}
+
+workload::JobSet testbed_workload(std::size_t jobs, std::uint64_t seed) {
+  workload::TraceConfig config;
+  config.job_count = jobs;
+  config.rounds_scale_min = 0.1;
+  config.rounds_scale_max = 0.3;
+  workload::TraceGenerator generator(seed);
+  return generator.generate(config);
+}
+
+TEST(Integration, HareBeatsEveryBaselineOnTestbedWorkload) {
+  // The paper's headline (Fig 12): Hare's total weighted JCT beats all
+  // four baselines on the 15-GPU testbed workload.
+  core::HareSystem system(cluster::make_testbed_cluster(), options_for(true));
+  system.submit_all(testbed_workload(24, 1234));
+
+  double hare_jct = 0.0;
+  for (const auto& scheduler : core::make_standard_schedulers()) {
+    core::HareSystem::Options options =
+        options_for(scheduler->name() == std::string_view("Hare"));
+    core::HareSystem fresh(cluster::make_testbed_cluster(), options);
+    fresh.submit_all(testbed_workload(24, 1234));
+    const auto report = fresh.run(*scheduler);
+    if (scheduler->name() == std::string_view("Hare")) {
+      hare_jct = report.result.weighted_jct;
+    } else {
+      EXPECT_GT(report.result.weighted_jct, hare_jct)
+          << scheduler->name() << " should lose to Hare";
+    }
+  }
+}
+
+TEST(Integration, HareAdvantageGrowsWithHeterogeneity) {
+  // Fig 16's shape: the Hare-vs-Sched_Homo gap widens from the homogeneous
+  // cluster to the 4-type cluster.
+  double gap[2] = {0.0, 0.0};
+  const cluster::HeterogeneityLevel levels[2] = {
+      cluster::HeterogeneityLevel::Low, cluster::HeterogeneityLevel::High};
+  for (int i = 0; i < 2; ++i) {
+    const auto cluster = cluster::make_heterogeneity_cluster(levels[i], 16);
+    core::HareScheduler hare;
+    sched::SchedHomoScheduler homo;
+
+    core::HareSystem hare_system(cluster, options_for(true));
+    hare_system.submit_all(testbed_workload(20, 99));
+    core::HareSystem homo_system(cluster, options_for(false));
+    homo_system.submit_all(testbed_workload(20, 99));
+
+    const double hare_jct = hare_system.run(hare).result.weighted_jct;
+    const double homo_jct = homo_system.run(homo).result.weighted_jct;
+    gap[i] = homo_jct / hare_jct;
+  }
+  EXPECT_GT(gap[1], gap[0]);
+}
+
+TEST(Integration, FastSwitchingMattersUnderPreemptiveSchedule) {
+  // Run the same Hare schedule under the Default executor vs the Hare
+  // executor: the fine-grained interleaving only pays off with fast
+  // switching (Table 3 / §4 motivation).
+  const auto cluster = cluster::make_testbed_cluster();
+  const auto jobs = testbed_workload(16, 7);
+
+  core::HareScheduler scheduler;
+  double jct[2] = {0.0, 0.0};
+  for (int i = 0; i < 2; ++i) {
+    core::HareSystem system(cluster, options_for(i == 1));
+    system.submit_all(jobs);
+    jct[i] = system.run(scheduler).result.weighted_jct;
+  }
+  EXPECT_LT(jct[1], jct[0]);  // Hare executor strictly better
+}
+
+TEST(Integration, SpeculativeMemoryReducesSwitchTime) {
+  const auto cluster = cluster::make_testbed_cluster();
+  const auto jobs = testbed_workload(16, 8);
+  core::HareScheduler scheduler;
+
+  core::HareSystem::Options with_mm = options_for(true);
+  core::HareSystem::Options without_mm = options_for(true);
+  without_mm.sim.use_memory_manager = false;
+
+  core::HareSystem a(cluster, with_mm);
+  a.submit_all(jobs);
+  core::HareSystem b(cluster, without_mm);
+  b.submit_all(jobs);
+
+  const auto with_result = a.run(scheduler).result;
+  const auto without_result = b.run(scheduler).result;
+  EXPECT_LE(with_result.total_switch_time(),
+            without_result.total_switch_time());
+  // And at least some switches found the model resident.
+  std::size_t hits = 0;
+  for (const auto& stat : with_result.switch_stats) {
+    hits += stat.resident_hits;
+  }
+  EXPECT_GT(hits, 0u);
+}
+
+TEST(Integration, TestbedVsSimulatorGapSmall) {
+  // §7.3: the simulator tracks the (noisy) testbed within ~5%.
+  const auto cluster = cluster::make_testbed_cluster();
+  const auto jobs = testbed_workload(20, 11);
+  core::HareScheduler scheduler;
+
+  core::HareSystem::Options testbed_options = options_for(true);
+  testbed_options.sim.runtime_noise_cv = 0.05;
+  core::HareSystem testbed(cluster, testbed_options);
+  testbed.submit_all(jobs);
+
+  core::HareSystem simulator(cluster, options_for(true));
+  simulator.submit_all(jobs);
+
+  const double a = testbed.run(scheduler).result.weighted_jct;
+  const double b = simulator.run(scheduler).result.weighted_jct;
+  EXPECT_LT(common::relative_difference(a, b), 0.05);
+}
+
+TEST(Integration, TraceFileReplayIsDeterministic) {
+  const auto jobs = testbed_workload(15, 21);
+  const std::string path = ::testing::TempDir() + "/hare_trace.txt";
+  workload::save_trace_file(jobs, path);
+  const auto replayed = workload::load_trace_file(path);
+  std::remove(path.c_str());
+
+  core::HareScheduler scheduler;
+  const auto cluster = cluster::make_testbed_cluster();
+
+  core::HareSystem a(cluster, options_for(true));
+  a.submit_all(jobs);
+  core::HareSystem b(cluster, options_for(true));
+  b.submit_all(replayed);
+
+  EXPECT_DOUBLE_EQ(a.run(scheduler).result.weighted_jct,
+                   b.run(scheduler).result.weighted_jct);
+}
+
+TEST(Integration, ProfileDbPersistsAcrossSystems) {
+  const auto cluster = cluster::make_testbed_cluster();
+  core::HareSystem first(cluster, options_for(true));
+  first.submit_all(testbed_workload(10, 31));
+  (void)first.profiled_times();
+
+  const std::string path = ::testing::TempDir() + "/hare_db.txt";
+  first.profile_db().save_file(path);
+
+  profiler::ProfileDb restored;
+  restored.load_file(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(restored.size(), first.profile_db().size());
+  EXPECT_GT(restored.size(), 0u);
+}
+
+TEST(Integration, StarvationFree) {
+  // Design goal 3 (§3): every job completes; no task waits forever. Skewed
+  // weights and long jobs must not starve light short ones (or vice
+  // versa).
+  workload::JobSet jobs;
+  for (int j = 0; j < 12; ++j) {
+    workload::JobSpec spec;
+    spec.model = j % 2 ? workload::ModelType::BertBase
+                       : workload::ModelType::GraphSAGE;
+    spec.rounds = j % 2 ? 8 : 2;
+    spec.weight = j % 3 ? 1.0 : 8.0;
+    spec.tasks_per_round = 1 + static_cast<std::uint32_t>(j % 4);
+    jobs.add_job(spec);
+  }
+  core::HareSystem system(cluster::make_testbed_cluster(), options_for(true));
+  system.submit_all(jobs);
+  core::HareScheduler scheduler;
+  const auto report = system.run(scheduler);
+  for (const auto& job : report.result.jobs) {
+    EXPECT_GT(job.completion, 0.0);
+    EXPECT_LT(job.completion, report.result.makespan + 1e-9);
+  }
+}
+
+TEST(Integration, WeightedJobsFinishEarlier) {
+  // Doubling a job's weight must not push its completion later, all else
+  // equal (weighted objective steers the schedule toward it).
+  workload::JobSet base;
+  for (int j = 0; j < 8; ++j) {
+    workload::JobSpec spec;
+    spec.model = workload::ModelType::ResNet50;
+    spec.rounds = 4;
+    spec.tasks_per_round = 2;
+    base.add_job(spec);
+  }
+  const auto cluster = cluster::make_heterogeneity_cluster(
+      cluster::HeterogeneityLevel::Mid, 4);
+
+  auto run_with_weight = [&](double weight) {
+    workload::JobSet jobs;
+    for (std::size_t j = 0; j < base.job_count(); ++j) {
+      workload::JobSpec spec = base.job(JobId(static_cast<int>(j))).spec;
+      if (j == 7) spec.weight = weight;
+      jobs.add_job(spec);
+    }
+    core::HareSystem system(cluster, options_for(true));
+    system.submit_all(jobs);
+    core::HareScheduler scheduler;
+    return system.run(scheduler).result.jobs[7].completion;
+  };
+
+  EXPECT_LE(run_with_weight(8.0), run_with_weight(1.0) + 1e-6);
+}
+
+}  // namespace
+}  // namespace hare

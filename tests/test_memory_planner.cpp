@@ -1,0 +1,147 @@
+// Tests for offline memory planning: the paper's greedy keep-latest
+// heuristic vs the exact optimum, and the property that greedy is near-
+// optimal in practice (§4's justification for using the heuristic).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "switching/memory_planner.hpp"
+
+namespace hare::switching {
+namespace {
+
+constexpr Bytes GB = 1024ull * 1024 * 1024;
+
+PlannedTask task(int job, Bytes footprint, Bytes state) {
+  return PlannedTask{JobId(job), footprint, state};
+}
+
+TEST(MemoryPlanner, EmptySequence) {
+  const auto greedy = plan_greedy({}, 16 * GB);
+  EXPECT_EQ(greedy.transferred_bytes, 0u);
+  const auto optimal = plan_optimal({}, 16 * GB);
+  EXPECT_EQ(optimal.transferred_bytes, 0u);
+}
+
+TEST(MemoryPlanner, SingleTaskTransfersOnce) {
+  const std::vector<PlannedTask> seq = {task(0, 4 * GB, 1 * GB)};
+  const auto greedy = plan_greedy(seq, 16 * GB);
+  EXPECT_EQ(greedy.transferred_bytes, 1 * GB);
+  EXPECT_EQ(greedy.resident_hits, 0u);
+}
+
+TEST(MemoryPlanner, RevisitHitsWhenRoomy) {
+  const std::vector<PlannedTask> seq = {
+      task(0, 4 * GB, 1 * GB), task(1, 4 * GB, 1 * GB),
+      task(0, 4 * GB, 1 * GB)};
+  const auto greedy = plan_greedy(seq, 16 * GB);
+  EXPECT_EQ(greedy.resident_hits, 1u);
+  EXPECT_EQ(greedy.transferred_bytes, 2 * GB);
+  const auto optimal = plan_optimal(seq, 16 * GB);
+  EXPECT_EQ(optimal.transferred_bytes, 2 * GB);
+}
+
+TEST(MemoryPlanner, GreedyEvictsEarliestAndLosesHit) {
+  // Capacity forces one eviction; greedy evicts job 0 (earliest) and so
+  // misses its revisit, while keeping job 1 whose revisit never comes.
+  const std::vector<PlannedTask> seq = {
+      task(0, 5 * GB, 4 * GB),   // kept: 4 GB
+      task(1, 5 * GB, 4 * GB),   // kept: 8 GB total
+      task(2, 9 * GB, 1 * GB),   // needs 9: evict job 0 (earliest)
+      task(0, 5 * GB, 4 * GB),   // would have hit had job 1 been evicted
+  };
+  const Bytes capacity = 13 * GB;
+  const auto greedy = plan_greedy(seq, capacity);
+  const auto optimal = plan_optimal(seq, capacity);
+  EXPECT_LT(optimal.transferred_bytes, greedy.transferred_bytes);
+  EXPECT_GE(optimal.resident_hits, 1u);
+}
+
+TEST(MemoryPlanner, OptimalNeverWorseThanGreedy) {
+  common::Rng rng(42);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int jobs = 2 + static_cast<int>(rng.uniform_int(std::uint64_t{3}));
+    // Per-job sizes are fixed (same model every round).
+    std::vector<std::pair<Bytes, Bytes>> job_sizes;  // (footprint, state)
+    for (int j = 0; j < jobs; ++j) {
+      const Bytes state = (1 + rng.uniform_int(std::uint64_t{4})) * GB / 2;
+      const Bytes workspace = (1 + rng.uniform_int(std::uint64_t{6})) * GB / 2;
+      job_sizes.emplace_back(state + workspace, state);
+    }
+    std::vector<PlannedTask> seq;
+    const int length = 4 + static_cast<int>(rng.uniform_int(std::uint64_t{10}));
+    for (int i = 0; i < length; ++i) {
+      const int job = static_cast<int>(rng.uniform_int(
+          static_cast<std::uint64_t>(jobs)));
+      seq.push_back(task(job, job_sizes[static_cast<std::size_t>(job)].first,
+                         job_sizes[static_cast<std::size_t>(job)].second));
+    }
+    const Bytes capacity = 8 * GB;
+    const auto greedy = plan_greedy(seq, capacity);
+    const auto optimal = plan_optimal(seq, capacity);
+    EXPECT_LE(optimal.transferred_bytes, greedy.transferred_bytes);
+    // Both plans must evaluate cleanly.
+    const auto check = evaluate_plan(seq, capacity, optimal.keep);
+    EXPECT_EQ(check.transferred_bytes, optimal.transferred_bytes);
+  }
+}
+
+TEST(MemoryPlanner, GreedyNearOptimalOnTypicalSequences) {
+  // §4's claim: the heuristic "works sufficiently well in practice".
+  // Across random task interleavings, greedy transfers at most ~40% more
+  // bytes than optimal in aggregate.
+  common::Rng rng(7);
+  double greedy_total = 0.0;
+  double optimal_total = 0.0;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<PlannedTask> seq;
+    for (int i = 0; i < 12; ++i) {
+      const int job = static_cast<int>(rng.uniform_int(std::uint64_t{4}));
+      seq.push_back(task(job, 3 * GB, 1 * GB));
+    }
+    const auto greedy = plan_greedy(seq, 10 * GB);
+    const auto optimal = plan_optimal(seq, 10 * GB);
+    greedy_total += static_cast<double>(greedy.transferred_bytes);
+    optimal_total += static_cast<double>(optimal.transferred_bytes);
+  }
+  EXPECT_LE(greedy_total, optimal_total * 1.4);
+}
+
+TEST(MemoryPlanner, EvaluateRejectsInfeasibleKeeps) {
+  const std::vector<PlannedTask> seq = {
+      task(0, 5 * GB, 5 * GB), task(1, 5 * GB, 5 * GB),
+      task(2, 8 * GB, 1 * GB)};
+  // Keeping both earlier states leaves no room for task 2.
+  EXPECT_THROW(evaluate_plan(seq, 13 * GB, {1, 1, 0}), common::Error);
+  // Dropping one makes it feasible.
+  EXPECT_NO_THROW(evaluate_plan(seq, 13 * GB, {0, 1, 0}));
+}
+
+TEST(MemoryPlanner, RejectsImpossibleTask) {
+  const std::vector<PlannedTask> seq = {task(0, 20 * GB, 1 * GB)};
+  EXPECT_THROW(plan_greedy(seq, 16 * GB), common::Error);
+  EXPECT_THROW(plan_optimal(seq, 16 * GB), common::Error);
+}
+
+TEST(MemoryPlanner, KeepVectorRoundTrips) {
+  const std::vector<PlannedTask> seq = {
+      task(0, 4 * GB, 2 * GB), task(1, 4 * GB, 2 * GB),
+      task(0, 4 * GB, 2 * GB), task(1, 4 * GB, 2 * GB)};
+  const auto greedy = plan_greedy(seq, 16 * GB);
+  const auto evaluated = evaluate_plan(seq, 16 * GB, greedy.keep);
+  EXPECT_EQ(evaluated.transferred_bytes, greedy.transferred_bytes);
+  EXPECT_EQ(evaluated.resident_hits, greedy.resident_hits);
+}
+
+TEST(MemoryPlanner, OptimalSkipsUselessKeeps) {
+  // No job repeats: keeping anything is pointless; optimal keeps nothing.
+  const std::vector<PlannedTask> seq = {
+      task(0, 4 * GB, 2 * GB), task(1, 4 * GB, 2 * GB),
+      task(2, 4 * GB, 2 * GB)};
+  const auto optimal = plan_optimal(seq, 16 * GB);
+  for (char k : optimal.keep) EXPECT_EQ(k, 0);
+  EXPECT_EQ(optimal.transferred_bytes, 6 * GB);
+}
+
+}  // namespace
+}  // namespace hare::switching

@@ -1,0 +1,247 @@
+// Unit tests for the profiler: time tables, measurement noise, and the
+// historical profile database.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "cluster/cluster.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "profiler/profile_db.hpp"
+#include "profiler/profiler.hpp"
+#include "profiler/time_table.hpp"
+#include "workload/trace.hpp"
+
+namespace hare::profiler {
+namespace {
+
+using cluster::GpuType;
+using workload::ModelType;
+
+workload::JobSet make_jobs(std::size_t count) {
+  workload::TraceConfig config;
+  config.job_count = count;
+  workload::TraceGenerator generator(77);
+  return generator.generate(config);
+}
+
+// ------------------------------------------------------------ time table --
+
+TEST(TimeTable, SetAndGet) {
+  TimeTable table(2, 3);
+  table.set(JobId(1), GpuId(2), 5.0, 0.5);
+  EXPECT_DOUBLE_EQ(table.tc(JobId(1), GpuId(2)), 5.0);
+  EXPECT_DOUBLE_EQ(table.ts(JobId(1), GpuId(2)), 0.5);
+  EXPECT_DOUBLE_EQ(table.total(JobId(1), GpuId(2)), 5.5);
+  EXPECT_EQ(table.job_count(), 2u);
+  EXPECT_EQ(table.gpu_count(), 3u);
+}
+
+TEST(TimeTable, MinMaxAndFastest) {
+  TimeTable table(1, 3);
+  table.set(JobId(0), GpuId(0), 4.0, 0.4);
+  table.set(JobId(0), GpuId(1), 2.0, 0.2);
+  table.set(JobId(0), GpuId(2), 8.0, 0.8);
+  EXPECT_DOUBLE_EQ(table.min_tc(JobId(0)), 2.0);
+  EXPECT_DOUBLE_EQ(table.max_tc(JobId(0)), 8.0);
+  EXPECT_DOUBLE_EQ(table.min_ts(JobId(0)), 0.2);
+  EXPECT_DOUBLE_EQ(table.max_ts(JobId(0)), 0.8);
+  EXPECT_EQ(table.fastest_gpu(JobId(0)), GpuId(1));
+}
+
+TEST(TimeTable, AlphaIsMaxRatio) {
+  TimeTable table(2, 2);
+  table.set(JobId(0), GpuId(0), 1.0, 0.1);
+  table.set(JobId(0), GpuId(1), 3.0, 0.1);   // tc ratio 3
+  table.set(JobId(1), GpuId(0), 2.0, 0.10);
+  table.set(JobId(1), GpuId(1), 2.0, 0.45);  // ts ratio 4.5
+  EXPECT_DOUBLE_EQ(table.alpha(), 4.5);
+}
+
+TEST(TimeTable, AlphaHomogeneousIsOne) {
+  TimeTable table(1, 3);
+  for (int g = 0; g < 3; ++g) table.set(JobId(0), GpuId(g), 2.0, 0.2);
+  EXPECT_DOUBLE_EQ(table.alpha(), 1.0);
+}
+
+// -------------------------------------------------------------- profiler --
+
+TEST(Profiler, ExactMatchesPerfModel) {
+  const auto cluster = cluster::make_testbed_cluster();
+  const auto jobs = make_jobs(5);
+  const workload::PerfModel perf;
+  Profiler profiler(perf, ProfilerConfig{}, 1);
+  const TimeTable exact = profiler.exact(jobs, cluster);
+
+  for (const auto& job : jobs.jobs()) {
+    for (const auto& gpu : cluster.gpus()) {
+      const Time expected = perf.task_compute_time(
+          job.spec.model, gpu.type, job.effective_batch_size(),
+          job.spec.batches_per_task);
+      EXPECT_DOUBLE_EQ(exact.tc(job.id, gpu.id), expected);
+      EXPECT_GT(exact.ts(job.id, gpu.id), 0.0);
+    }
+  }
+}
+
+TEST(Profiler, ProfiledCloseToExact) {
+  const auto cluster = cluster::make_testbed_cluster();
+  const auto jobs = make_jobs(8);
+  const workload::PerfModel perf;
+  ProfilerConfig config;
+  config.measurement_noise_cv = 0.03;
+  config.sample_batches = 8;
+  Profiler profiler(perf, config, 2);
+
+  const TimeTable exact = profiler.exact(jobs, cluster);
+  const TimeTable measured = profiler.profile(jobs, cluster);
+  for (const auto& job : jobs.jobs()) {
+    for (const auto& gpu : cluster.gpus()) {
+      EXPECT_LT(common::relative_difference(measured.tc(job.id, gpu.id),
+                                            exact.tc(job.id, gpu.id)),
+                0.10);
+    }
+  }
+}
+
+TEST(Profiler, ProfilingCostAccumulates) {
+  const auto cluster = cluster::make_testbed_cluster();
+  const auto jobs = make_jobs(3);
+  Profiler profiler(workload::PerfModel{}, ProfilerConfig{}, 3);
+  (void)profiler.profile(jobs, cluster);
+  EXPECT_GT(profiler.last_profiling_cost(), 0.0);
+}
+
+TEST(Profiler, DbSkipsRepeatedWork) {
+  const auto cluster = cluster::make_testbed_cluster();
+  const auto jobs = make_jobs(6);
+  Profiler profiler(workload::PerfModel{}, ProfilerConfig{}, 4);
+  ProfileDb db;
+
+  (void)profiler.profile(jobs, cluster, &db);
+  const Time first_cost = profiler.last_profiling_cost();
+  EXPECT_GT(db.size(), 0u);
+
+  db.reset_counters();
+  const TimeTable again = profiler.profile(jobs, cluster, &db);
+  EXPECT_EQ(db.misses(), 0u);
+  EXPECT_GT(db.hits(), 0u);
+  EXPECT_DOUBLE_EQ(profiler.last_profiling_cost(), 0.0);
+  EXPECT_GT(first_cost, 0.0);
+  EXPECT_GT(again.job_count(), 0u);
+}
+
+TEST(Profiler, DbKeyedByGpuTypeNotInstance) {
+  // A cluster with 8 identical V100s must require only one profile entry
+  // per (model, batch, uplink) combination.
+  const auto cluster =
+      cluster::ClusterBuilder{}.add_machine(GpuType::V100, 8, 25.0).build();
+  workload::JobSet jobs;
+  workload::JobSpec spec;
+  spec.model = ModelType::ResNet50;
+  jobs.add_job(spec);
+
+  Profiler profiler(workload::PerfModel{}, ProfilerConfig{}, 5);
+  ProfileDb db;
+  (void)profiler.profile(jobs, cluster, &db);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(Profiler, MismatchedTableRejectedBySimUsers) {
+  TimeTable table(1, 2);
+  EXPECT_EQ(table.job_count(), 1u);
+  EXPECT_EQ(table.gpu_count(), 2u);
+}
+
+// -------------------------------------------------------------- database --
+
+TEST(ProfileDb, LookupMissThenHit) {
+  ProfileDb db;
+  ProfileKey key;
+  key.model = ModelType::VGG19;
+  key.gpu = GpuType::V100;
+  key.batch_size = 128;
+  key.batches_per_task = 20;
+  key.network_mbps = 25000;
+
+  EXPECT_FALSE(db.lookup(key).has_value());
+  EXPECT_EQ(db.misses(), 1u);
+
+  db.store(key, ProfileEntry{1.5, 0.3, 5});
+  const auto hit = db.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->tc, 1.5);
+  EXPECT_DOUBLE_EQ(hit->ts, 0.3);
+  EXPECT_EQ(db.hits(), 1u);
+}
+
+TEST(ProfileDb, DistinguishesKeys) {
+  ProfileDb db;
+  ProfileKey a;
+  a.model = ModelType::VGG19;
+  a.gpu = GpuType::V100;
+  a.batch_size = 128;
+  ProfileKey b = a;
+  b.batch_size = 64;
+  db.store(a, ProfileEntry{1.0, 0.1, 1});
+  EXPECT_FALSE(db.lookup(b).has_value());
+}
+
+TEST(ProfileDb, SaveLoadRoundTrip) {
+  ProfileDb db;
+  for (int i = 0; i < 10; ++i) {
+    ProfileKey key;
+    key.model = static_cast<ModelType>(i % 8);
+    key.gpu = static_cast<GpuType>(i % 4);
+    key.batch_size = 32 + static_cast<std::uint32_t>(i);
+    key.batches_per_task = 20;
+    key.network_mbps = 25000;
+    db.store(key, ProfileEntry{1.0 + i, 0.1 * i, 5});
+  }
+  std::stringstream stream;
+  db.save(stream);
+
+  ProfileDb loaded;
+  loaded.load(stream);
+  EXPECT_EQ(loaded.size(), db.size());
+
+  ProfileKey probe;
+  probe.model = static_cast<ModelType>(3);
+  probe.gpu = static_cast<GpuType>(3);
+  probe.batch_size = 35;
+  probe.batches_per_task = 20;
+  probe.network_mbps = 25000;
+  const auto entry = loaded.lookup(probe);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_DOUBLE_EQ(entry->tc, 4.0);
+}
+
+TEST(ProfileDb, RejectsCorruptStream) {
+  std::stringstream stream("garbage 5");
+  ProfileDb db;
+  EXPECT_THROW(db.load(stream), common::Error);
+}
+
+TEST(ProfileDb, FileRoundTrip) {
+  ProfileDb db;
+  ProfileKey key;
+  key.model = ModelType::BertBase;
+  key.gpu = GpuType::T4;
+  key.batch_size = 32;
+  key.batches_per_task = 20;
+  key.network_mbps = 25000;
+  db.store(key, ProfileEntry{2.0, 0.2, 5});
+
+  const std::string path = ::testing::TempDir() + "/hare_profile_db.txt";
+  db.save_file(path);
+  ProfileDb loaded;
+  loaded.load_file(path);
+  EXPECT_EQ(loaded.size(), 1u);
+  std::remove(path.c_str());
+
+  EXPECT_THROW(loaded.load_file("/nonexistent/path/db.txt"), common::Error);
+}
+
+}  // namespace
+}  // namespace hare::profiler

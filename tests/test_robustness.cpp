@@ -1,0 +1,208 @@
+// Robustness and failure-injection tests: Hare's offline plans executed
+// under conditions the planner did not anticipate — heavy-tailed
+// stragglers, systematically wrong profiles, extreme workload skew — must
+// stay correct (all constraints hold, everything completes) and degrade
+// gracefully rather than collapse.
+#include <gtest/gtest.h>
+
+#include "core/hare.hpp"
+#include "test_util.hpp"
+
+namespace hare {
+namespace {
+
+using testing::Instance;
+using testing::make_random_instance;
+
+sim::SimResult run_with(const Instance& inst, const sim::Schedule& schedule,
+                        sim::SimConfig config = {}) {
+  const sim::Simulator simulator(inst.cluster, inst.jobs, inst.times, config);
+  return simulator.run(schedule);
+}
+
+TEST(Robustness, HeavyRuntimeNoiseStillCompletesEverything) {
+  const Instance inst = make_random_instance(401);
+  core::HareScheduler scheduler;
+  const sim::Schedule schedule =
+      scheduler.schedule({inst.cluster, inst.jobs, inst.times});
+  sim::SimConfig config;
+  config.runtime_noise_cv = 0.5;  // 50% per-task scatter
+  const sim::SimResult result = run_with(inst, schedule, config);
+  for (const auto& job : result.jobs) EXPECT_GT(job.completion, 0.0);
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+class StragglerTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(StragglerTest, DegradationBoundedByStragglerFactor) {
+  // Multiply one job's actual times by a straggler factor the planner
+  // never saw; total weighted JCT must grow by at most (roughly) the same
+  // factor — schedules cannot amplify stragglers unboundedly.
+  const double factor = GetParam();
+  const Instance inst = make_random_instance(402, 10, 8);
+  core::HareScheduler scheduler;
+  const sim::Schedule schedule =
+      scheduler.schedule({inst.cluster, inst.jobs, inst.times});
+  const double baseline = run_with(inst, schedule).weighted_jct;
+
+  profiler::TimeTable degraded = inst.times;
+  const JobId victim(0);
+  for (std::size_t g = 0; g < inst.cluster.gpu_count(); ++g) {
+    const GpuId gpu(static_cast<int>(g));
+    degraded.set(victim, gpu, inst.times.tc(victim, gpu) * factor,
+                 inst.times.ts(victim, gpu));
+  }
+  const sim::Simulator simulator(inst.cluster, inst.jobs, degraded);
+  const double degraded_jct = simulator.run(schedule).weighted_jct;
+  EXPECT_GT(degraded_jct, baseline * 0.99);
+  EXPECT_LT(degraded_jct, baseline * (factor + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, StragglerTest,
+                         ::testing::Values(2.0, 4.0, 8.0));
+
+TEST(Robustness, WrongProfileStillValidAndBounded) {
+  // Plan with a profile that is systematically 2x optimistic; execution
+  // with true times must still satisfy every constraint and land within
+  // 2.5x of the well-informed plan.
+  const Instance inst = make_random_instance(403, 12, 8);
+  profiler::TimeTable optimistic = inst.times;
+  for (const auto& job : inst.jobs.jobs()) {
+    for (std::size_t g = 0; g < inst.cluster.gpu_count(); ++g) {
+      const GpuId gpu(static_cast<int>(g));
+      optimistic.set(job.id, gpu, inst.times.tc(job.id, gpu) * 0.5,
+                     inst.times.ts(job.id, gpu) * 0.5);
+    }
+  }
+  core::HareScheduler scheduler;
+  const sim::Schedule misinformed =
+      scheduler.schedule({inst.cluster, inst.jobs, optimistic});
+  const sim::Schedule informed =
+      scheduler.schedule({inst.cluster, inst.jobs, inst.times});
+
+  const double misinformed_jct = run_with(inst, misinformed).weighted_jct;
+  const double informed_jct = run_with(inst, informed).weighted_jct;
+  EXPECT_LT(misinformed_jct, informed_jct * 2.5);
+}
+
+TEST(Robustness, UniformlyScaledProfilePreservesPlanQuality) {
+  // A profile wrong by a *constant* factor preserves all orderings (when
+  // arrivals don't skew the mix — time-scaling only commutes with the
+  // plan for simultaneous arrivals), so the sequences must be identical.
+  Instance inst = make_random_instance(404, 10, 8);
+  workload::JobSet jobs;
+  for (const auto& job : inst.jobs.jobs()) {
+    workload::JobSpec spec = job.spec;
+    spec.arrival = 0.0;
+    jobs.add_job(spec);
+  }
+  inst.jobs = std::move(jobs);
+  profiler::TimeTable scaled = inst.times;
+  for (const auto& job : inst.jobs.jobs()) {
+    for (std::size_t g = 0; g < inst.cluster.gpu_count(); ++g) {
+      const GpuId gpu(static_cast<int>(g));
+      scaled.set(job.id, gpu, inst.times.tc(job.id, gpu) * 3.0,
+                 inst.times.ts(job.id, gpu) * 3.0);
+    }
+  }
+  core::HareScheduler a;
+  core::HareScheduler b;
+  const sim::Schedule plan_true =
+      a.schedule({inst.cluster, inst.jobs, inst.times});
+  const sim::Schedule plan_scaled =
+      b.schedule({inst.cluster, inst.jobs, scaled});
+  ASSERT_EQ(plan_true.sequences.size(), plan_scaled.sequences.size());
+  for (std::size_t g = 0; g < plan_true.sequences.size(); ++g) {
+    EXPECT_EQ(plan_true.sequences[g], plan_scaled.sequences[g]);
+  }
+}
+
+TEST(Robustness, ExtremeWeightSkewDoesNotStarveLightJobs) {
+  workload::JobSet jobs;
+  for (int j = 0; j < 10; ++j) {
+    workload::JobSpec spec;
+    spec.model = workload::ModelType::ResNet50;
+    spec.rounds = 4;
+    spec.tasks_per_round = 2;
+    spec.weight = j == 0 ? 1000.0 : 1.0;
+    jobs.add_job(spec);
+  }
+  const auto cluster = cluster::make_heterogeneity_cluster(
+      cluster::HeterogeneityLevel::High, 8);
+  const workload::PerfModel perf;
+  profiler::Profiler profiler(perf, profiler::ProfilerConfig{}, 405);
+  const profiler::TimeTable times = profiler.exact(jobs, cluster);
+
+  core::HareScheduler scheduler;
+  const sim::Schedule schedule = scheduler.schedule({cluster, jobs, times});
+  const sim::Simulator simulator(cluster, jobs, times);
+  const sim::SimResult result = simulator.run(schedule);
+  // The heavy job goes first...
+  for (std::size_t j = 1; j < jobs.job_count(); ++j) {
+    EXPECT_LE(result.jobs[0].completion, result.jobs[j].completion + 1e-6);
+  }
+  // ...but the light ones all still run (starvation-free).
+  for (const auto& job : result.jobs) {
+    EXPECT_GT(job.completion, 0.0);
+    EXPECT_LE(job.completion, result.makespan + 1e-9);
+  }
+}
+
+TEST(Robustness, ManySingleTaskJobsAndOneGiant) {
+  // Pathological mix: 30 tiny jobs plus one giant 8-way job on a small
+  // cluster; everything must schedule and execute.
+  workload::JobSet jobs;
+  for (int j = 0; j < 30; ++j) {
+    workload::JobSpec spec;
+    spec.model = workload::ModelType::GraphSAGE;
+    spec.rounds = 2;
+    spec.tasks_per_round = 1;
+    jobs.add_job(spec);
+  }
+  workload::JobSpec giant;
+  giant.model = workload::ModelType::BertBase;
+  giant.rounds = 6;
+  giant.tasks_per_round = 8;
+  jobs.add_job(giant);
+
+  const auto cluster = cluster::make_simulation_cluster(8);
+  const workload::PerfModel perf;
+  profiler::Profiler profiler(perf, profiler::ProfilerConfig{}, 406);
+  const profiler::TimeTable times = profiler.exact(jobs, cluster);
+
+  for (const auto& scheduler : core::make_standard_schedulers()) {
+    const sim::Schedule schedule =
+        scheduler->schedule({cluster, jobs, times});
+    const sim::Simulator simulator(cluster, jobs, times);
+    const sim::SimResult result = simulator.run(schedule);
+    for (const auto& job : result.jobs) {
+      EXPECT_GT(job.completion, 0.0) << scheduler->name();
+    }
+  }
+}
+
+TEST(Robustness, ZeroLengthArrivalBurst) {
+  // Every job arriving at the exact same instant (worst-case burst).
+  workload::JobSet jobs;
+  for (int j = 0; j < 20; ++j) {
+    workload::JobSpec spec;
+    spec.model = static_cast<workload::ModelType>(j % 8);
+    spec.rounds = 3;
+    spec.tasks_per_round = 1 + static_cast<std::uint32_t>(j % 4);
+    jobs.add_job(spec);
+  }
+  const auto cluster = cluster::make_testbed_cluster();
+  const workload::PerfModel perf;
+  profiler::Profiler profiler(perf, profiler::ProfilerConfig{}, 407);
+  const profiler::TimeTable times = profiler.exact(jobs, cluster);
+
+  core::OnlineHareScheduler online;  // one arrival batch with all 20 jobs
+  const sim::Schedule schedule = online.schedule({cluster, jobs, times});
+  EXPECT_EQ(online.planning_rounds(), 1u);
+  const sim::Simulator simulator(cluster, jobs, times);
+  const sim::SimResult result = simulator.run(schedule);
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+}  // namespace
+}  // namespace hare

@@ -1,0 +1,185 @@
+// Tests for the multi-threaded executor runtime: agreement with the
+// discrete-event simulator, structural constraints under real threads,
+// and the message-queue primitive.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/error.hpp"
+#include "core/hare_scheduler.hpp"
+#include "runtime/message_queue.hpp"
+#include "runtime/runtime.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace hare::runtime {
+namespace {
+
+using testing::Instance;
+using testing::make_random_instance;
+using testing::make_uniform_instance;
+
+// ----------------------------------------------------------- message queue --
+
+TEST(MessageQueue, FifoOrder) {
+  MessageQueue<int> queue;
+  queue.push(1);
+  queue.push(2);
+  queue.push(3);
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_EQ(queue.pop().value(), 2);
+  EXPECT_EQ(queue.pop().value(), 3);
+}
+
+TEST(MessageQueue, CloseDrainsThenSignals) {
+  MessageQueue<int> queue;
+  queue.push(7);
+  queue.close();
+  EXPECT_FALSE(queue.push(8));  // rejected after close
+  EXPECT_EQ(queue.pop().value(), 7);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(MessageQueue, PopUntilTimesOut) {
+  MessageQueue<int> queue;
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = queue.pop_until(start + std::chrono::milliseconds(20));
+  EXPECT_FALSE(result.has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(15));
+}
+
+TEST(MessageQueue, CrossThreadHandoff) {
+  MessageQueue<int> queue;
+  std::atomic<int> sum{0};
+  std::thread consumer([&] {
+    while (auto v = queue.pop()) sum += *v;
+  });
+  for (int i = 1; i <= 100; ++i) queue.push(i);
+  queue.close();
+  consumer.join();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+// ----------------------------------------------------------------- runtime --
+
+RuntimeConfig fast_clock() {
+  RuntimeConfig config;
+  config.microseconds_per_sim_second = 50.0;  // 1 sim-minute ~ 3 ms real
+  return config;
+}
+
+TEST(Runtime, SingleJobMatchesAnalyticTime) {
+  // One job, two rounds, one GPU: completion = 2 x (tc + ts) in virtual
+  // time (plus negligible switch overhead), which the runtime must hit
+  // within scheduling jitter.
+  const Instance inst = make_uniform_instance({10.0}, 1, 2, 1, 1.0);
+  sim::Schedule schedule;
+  schedule.sequences = {{TaskId(0), TaskId(1)}};
+
+  ExecutorRuntime runtime(inst.cluster, inst.jobs, inst.times, fast_clock());
+  const RuntimeResult result = runtime.run(schedule);
+  EXPECT_NEAR(result.job_completion[0], 22.0, 4.0);
+}
+
+TEST(Runtime, AgreesWithSimulator) {
+  const Instance inst = make_random_instance(301, 8, 4);
+  core::HareScheduler scheduler;
+  const sim::Schedule schedule =
+      scheduler.schedule({inst.cluster, inst.jobs, inst.times});
+
+  sim::SimConfig sim_config;
+  sim_config.switching = fast_clock().switching;
+  const sim::Simulator simulator(inst.cluster, inst.jobs, inst.times,
+                                 sim_config);
+  const sim::SimResult expected = simulator.run(schedule);
+
+  ExecutorRuntime runtime(inst.cluster, inst.jobs, inst.times, fast_clock());
+  const RuntimeResult actual = runtime.run(schedule);
+
+  // Virtual-clock jitter (thread wakeups) shifts times slightly; aggregate
+  // metrics must track the DES closely.
+  EXPECT_LT(common::relative_difference(actual.weighted_jct,
+                                        expected.weighted_jct),
+            0.15);
+  EXPECT_LT(common::relative_difference(actual.makespan, expected.makespan),
+            0.15);
+}
+
+TEST(Runtime, RoundBarriersHold) {
+  // Two parallel tasks per round on GPUs of very different speed: the
+  // barrier forces lockstep; completion tracks the slow GPU.
+  const Instance inst = make_uniform_instance({5.0, 1.0}, 1, 3, 2, 0.2);
+  sim::Schedule schedule;
+  schedule.sequences.resize(2);
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    const auto round = inst.jobs.round_tasks(JobId(0), static_cast<int>(r));
+    schedule.sequences[0].push_back(round[0]);
+    schedule.sequences[1].push_back(round[1]);
+  }
+  ExecutorRuntime runtime(inst.cluster, inst.jobs, inst.times, fast_clock());
+  const RuntimeResult result = runtime.run(schedule);
+  // 3 rounds x (5.0 compute + 0.2 sync) = 15.6 virtual seconds.
+  EXPECT_NEAR(result.job_completion[0], 15.6, 3.0);
+}
+
+TEST(Runtime, ArrivalsRespected) {
+  Instance inst = make_uniform_instance({1.0}, 1, 1, 1, 0.1);
+  workload::JobSet jobs;
+  workload::JobSpec spec;
+  spec.rounds = 1;
+  spec.tasks_per_round = 1;
+  spec.arrival = 20.0;
+  jobs.add_job(spec);
+  profiler::TimeTable times(1, 1);
+  times.set(JobId(0), GpuId(0), 1.0, 0.1);
+
+  sim::Schedule schedule;
+  schedule.sequences = {{TaskId(0)}};
+  ExecutorRuntime runtime(inst.cluster, jobs, times, fast_clock());
+  const RuntimeResult result = runtime.run(schedule);
+  EXPECT_GE(result.job_completion[0], 21.0);
+}
+
+TEST(Runtime, CountsSwitchesAndResidentHits) {
+  // Two jobs alternating on one GPU under the Hare executor: the second
+  // visit of each job hits its kept model state.
+  const Instance inst = make_uniform_instance({1.0}, 2, 2, 1, 0.05);
+  sim::Schedule schedule;
+  schedule.sequences = {{TaskId(0), TaskId(2), TaskId(1), TaskId(3)}};
+  ExecutorRuntime runtime(inst.cluster, inst.jobs, inst.times, fast_clock());
+  const RuntimeResult result = runtime.run(schedule);
+  EXPECT_EQ(result.switch_count, 3u);  // j0->j1, j1->j0, j0->j1
+  EXPECT_GE(result.resident_hits, 2u);
+}
+
+class RuntimeStressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RuntimeStressTest, ManyGpusManyJobsComplete) {
+  const Instance inst = make_random_instance(GetParam(), 14, 8);
+  core::HareScheduler scheduler;
+  const sim::Schedule schedule =
+      scheduler.schedule({inst.cluster, inst.jobs, inst.times});
+  RuntimeConfig config = fast_clock();
+  config.microseconds_per_sim_second = 20.0;
+  ExecutorRuntime runtime(inst.cluster, inst.jobs, inst.times, config);
+  const RuntimeResult result = runtime.run(schedule);
+  EXPECT_EQ(result.job_completion.size(), inst.jobs.job_count());
+  for (Time completion : result.job_completion) EXPECT_GT(completion, 0.0);
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeStressTest,
+                         ::testing::Values(311, 312, 313));
+
+TEST(Runtime, RejectsBadConfig) {
+  const Instance inst = make_uniform_instance({1.0}, 1, 1, 1);
+  RuntimeConfig config;
+  config.microseconds_per_sim_second = 0.0;
+  EXPECT_THROW(ExecutorRuntime(inst.cluster, inst.jobs, inst.times, config),
+               common::Error);
+}
+
+}  // namespace
+}  // namespace hare::runtime

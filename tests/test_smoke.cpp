@@ -1,0 +1,8 @@
+#include <gtest/gtest.h>
+
+#include "core/hare.hpp"
+
+TEST(Smoke, UmbrellaHeaderCompiles) {
+  hare::cluster::Cluster cluster = hare::cluster::make_testbed_cluster();
+  EXPECT_EQ(cluster.gpu_count(), 15u);
+}
