@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hare_cli.dir/hare_cli.cpp.o"
+  "CMakeFiles/hare_cli.dir/hare_cli.cpp.o.d"
+  "hare"
+  "hare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hare_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/apps
+# Build directory: /root/repo/build/apps
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate "/root/repo/build/apps/hare" "generate" "--jobs" "8" "--seed" "5" "--out" "/root/repo/build/cli_trace.txt")
+set_tests_properties(cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;7;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_schedule "/root/repo/build/apps/hare" "schedule" "--trace" "/root/repo/build/cli_trace.txt" "--gpus" "16" "--gantt" "--export" "/root/repo/build/cli_run")
+set_tests_properties(cli_schedule PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;9;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_schedule_online "/root/repo/build/apps/hare" "schedule" "--trace" "/root/repo/build/cli_trace.txt" "--gpus" "16" "--scheduler" "online" "--csv")
+set_tests_properties(cli_schedule_online PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;12;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_compare "/root/repo/build/apps/hare" "compare" "--trace" "/root/repo/build/cli_trace.txt" "--testbed")
+set_tests_properties(cli_compare PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;15;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_profile "/root/repo/build/apps/hare" "profile" "--trace" "/root/repo/build/cli_trace.txt" "--testbed" "--db" "/root/repo/build/cli_db.txt")
+set_tests_properties(cli_profile PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;17;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_usage "/root/repo/build/apps/hare" "bogus-command")
+set_tests_properties(cli_rejects_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;20;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_advise "/root/repo/build/apps/hare" "advise" "--model" "GraphSAGE" "--testbed")
+set_tests_properties(cli_advise PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;26;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_save_plan "/root/repo/build/apps/hare" "schedule" "--trace" "/root/repo/build/cli_trace.txt" "--gpus" "16" "--save-plan" "/root/repo/build/cli_plan.txt")
+set_tests_properties(cli_save_plan PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;27;add_test;/root/repo/apps/CMakeLists.txt;0;")

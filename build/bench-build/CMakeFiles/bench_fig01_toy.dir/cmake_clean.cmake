@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_toy"
+  "../bench/bench_fig01_toy.pdb"
+  "CMakeFiles/bench_fig01_toy.dir/bench_fig01_toy.cpp.o"
+  "CMakeFiles/bench_fig01_toy.dir/bench_fig01_toy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_toy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_epoch"
+  "../bench/bench_fig05_epoch.pdb"
+  "CMakeFiles/bench_fig05_epoch.dir/bench_fig05_epoch.cpp.o"
+  "CMakeFiles/bench_fig05_epoch.dir/bench_fig05_epoch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

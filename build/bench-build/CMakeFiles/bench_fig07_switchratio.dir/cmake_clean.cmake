@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_switchratio"
+  "../bench/bench_fig07_switchratio.pdb"
+  "CMakeFiles/bench_fig07_switchratio.dir/bench_fig07_switchratio.cpp.o"
+  "CMakeFiles/bench_fig07_switchratio.dir/bench_fig07_switchratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_switchratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

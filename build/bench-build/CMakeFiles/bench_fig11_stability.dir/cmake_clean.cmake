@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_stability"
+  "../bench/bench_fig11_stability.pdb"
+  "CMakeFiles/bench_fig11_stability.dir/bench_fig11_stability.cpp.o"
+  "CMakeFiles/bench_fig11_stability.dir/bench_fig11_stability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_hetero"
+  "../bench/bench_fig16_hetero.pdb"
+  "CMakeFiles/bench_fig16_hetero.dir/bench_fig16_hetero.cpp.o"
+  "CMakeFiles/bench_fig16_hetero.dir/bench_fig16_hetero.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

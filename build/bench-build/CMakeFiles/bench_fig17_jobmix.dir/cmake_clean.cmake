@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_jobmix"
+  "../bench/bench_fig17_jobmix.pdb"
+  "CMakeFiles/bench_fig17_jobmix.dir/bench_fig17_jobmix.cpp.o"
+  "CMakeFiles/bench_fig17_jobmix.dir/bench_fig17_jobmix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_jobmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_bandwidth"
+  "../bench/bench_fig18_bandwidth.pdb"
+  "CMakeFiles/bench_fig18_bandwidth.dir/bench_fig18_bandwidth.cpp.o"
+  "CMakeFiles/bench_fig18_bandwidth.dir/bench_fig18_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_batch"
+  "../bench/bench_fig19_batch.pdb"
+  "CMakeFiles/bench_fig19_batch.dir/bench_fig19_batch.cpp.o"
+  "CMakeFiles/bench_fig19_batch.dir/bench_fig19_batch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

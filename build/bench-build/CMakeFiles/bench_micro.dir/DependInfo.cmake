@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cpp" "bench-build/CMakeFiles/bench_micro.dir/bench_micro.cpp.o" "gcc" "bench-build/CMakeFiles/bench_micro.dir/bench_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hare_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hare_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/hare_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hare_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/hare_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/switching/CMakeFiles/hare_switching.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hare_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hare_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

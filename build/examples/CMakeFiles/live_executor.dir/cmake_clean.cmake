@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_executor.dir/live_executor.cpp.o"
+  "CMakeFiles/live_executor.dir/live_executor.cpp.o.d"
+  "live_executor"
+  "live_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

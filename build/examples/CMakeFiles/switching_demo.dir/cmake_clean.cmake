@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switching_demo.dir/switching_demo.cpp.o"
+  "CMakeFiles/switching_demo.dir/switching_demo.cpp.o.d"
+  "switching_demo"
+  "switching_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switching_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

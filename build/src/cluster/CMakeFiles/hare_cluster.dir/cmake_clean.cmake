@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hare_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/hare_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/hare_cluster.dir/gpu.cpp.o"
+  "CMakeFiles/hare_cluster.dir/gpu.cpp.o.d"
+  "libhare_cluster.a"
+  "libhare_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hare_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/hare_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/hare_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/hare_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/hare_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/hare_scheduler.cpp" "src/core/CMakeFiles/hare_core.dir/hare_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/hare_core.dir/hare_scheduler.cpp.o.d"
+  "/root/repo/src/core/hare_system.cpp" "src/core/CMakeFiles/hare_core.dir/hare_system.cpp.o" "gcc" "src/core/CMakeFiles/hare_core.dir/hare_system.cpp.o.d"
+  "/root/repo/src/core/online_hare.cpp" "src/core/CMakeFiles/hare_core.dir/online_hare.cpp.o" "gcc" "src/core/CMakeFiles/hare_core.dir/online_hare.cpp.o.d"
+  "/root/repo/src/core/relaxation.cpp" "src/core/CMakeFiles/hare_core.dir/relaxation.cpp.o" "gcc" "src/core/CMakeFiles/hare_core.dir/relaxation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hare_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hare_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/hare_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/hare_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hare_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/switching/CMakeFiles/hare_switching.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

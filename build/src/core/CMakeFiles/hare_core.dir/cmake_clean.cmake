@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hare_core.dir/advisor.cpp.o"
+  "CMakeFiles/hare_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/hare_core.dir/bounds.cpp.o"
+  "CMakeFiles/hare_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/hare_core.dir/hare_scheduler.cpp.o"
+  "CMakeFiles/hare_core.dir/hare_scheduler.cpp.o.d"
+  "CMakeFiles/hare_core.dir/hare_system.cpp.o"
+  "CMakeFiles/hare_core.dir/hare_system.cpp.o.d"
+  "CMakeFiles/hare_core.dir/online_hare.cpp.o"
+  "CMakeFiles/hare_core.dir/online_hare.cpp.o.d"
+  "CMakeFiles/hare_core.dir/relaxation.cpp.o"
+  "CMakeFiles/hare_core.dir/relaxation.cpp.o.d"
+  "libhare_core.a"
+  "libhare_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hare_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

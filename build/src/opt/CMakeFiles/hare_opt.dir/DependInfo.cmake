@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/exact_schedule.cpp" "src/opt/CMakeFiles/hare_opt.dir/exact_schedule.cpp.o" "gcc" "src/opt/CMakeFiles/hare_opt.dir/exact_schedule.cpp.o.d"
+  "/root/repo/src/opt/hungarian.cpp" "src/opt/CMakeFiles/hare_opt.dir/hungarian.cpp.o" "gcc" "src/opt/CMakeFiles/hare_opt.dir/hungarian.cpp.o.d"
+  "/root/repo/src/opt/queyranne.cpp" "src/opt/CMakeFiles/hare_opt.dir/queyranne.cpp.o" "gcc" "src/opt/CMakeFiles/hare_opt.dir/queyranne.cpp.o.d"
+  "/root/repo/src/opt/simplex.cpp" "src/opt/CMakeFiles/hare_opt.dir/simplex.cpp.o" "gcc" "src/opt/CMakeFiles/hare_opt.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hare_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hare_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/hare_profiler.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

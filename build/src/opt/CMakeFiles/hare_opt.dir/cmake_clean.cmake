@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hare_opt.dir/exact_schedule.cpp.o"
+  "CMakeFiles/hare_opt.dir/exact_schedule.cpp.o.d"
+  "CMakeFiles/hare_opt.dir/hungarian.cpp.o"
+  "CMakeFiles/hare_opt.dir/hungarian.cpp.o.d"
+  "CMakeFiles/hare_opt.dir/queyranne.cpp.o"
+  "CMakeFiles/hare_opt.dir/queyranne.cpp.o.d"
+  "CMakeFiles/hare_opt.dir/simplex.cpp.o"
+  "CMakeFiles/hare_opt.dir/simplex.cpp.o.d"
+  "libhare_opt.a"
+  "libhare_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hare_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiler/profile_db.cpp" "src/profiler/CMakeFiles/hare_profiler.dir/profile_db.cpp.o" "gcc" "src/profiler/CMakeFiles/hare_profiler.dir/profile_db.cpp.o.d"
+  "/root/repo/src/profiler/profiler.cpp" "src/profiler/CMakeFiles/hare_profiler.dir/profiler.cpp.o" "gcc" "src/profiler/CMakeFiles/hare_profiler.dir/profiler.cpp.o.d"
+  "/root/repo/src/profiler/time_table.cpp" "src/profiler/CMakeFiles/hare_profiler.dir/time_table.cpp.o" "gcc" "src/profiler/CMakeFiles/hare_profiler.dir/time_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hare_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hare_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

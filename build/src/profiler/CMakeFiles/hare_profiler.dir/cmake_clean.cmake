@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hare_profiler.dir/profile_db.cpp.o"
+  "CMakeFiles/hare_profiler.dir/profile_db.cpp.o.d"
+  "CMakeFiles/hare_profiler.dir/profiler.cpp.o"
+  "CMakeFiles/hare_profiler.dir/profiler.cpp.o.d"
+  "CMakeFiles/hare_profiler.dir/time_table.cpp.o"
+  "CMakeFiles/hare_profiler.dir/time_table.cpp.o.d"
+  "libhare_profiler.a"
+  "libhare_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hare_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hare_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/hare_runtime.dir/runtime.cpp.o.d"
+  "libhare_runtime.a"
+  "libhare_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hare_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/backfill.cpp" "src/sched/CMakeFiles/hare_sched.dir/backfill.cpp.o" "gcc" "src/sched/CMakeFiles/hare_sched.dir/backfill.cpp.o.d"
+  "/root/repo/src/sched/gang_planner.cpp" "src/sched/CMakeFiles/hare_sched.dir/gang_planner.cpp.o" "gcc" "src/sched/CMakeFiles/hare_sched.dir/gang_planner.cpp.o.d"
+  "/root/repo/src/sched/gavel_fifo.cpp" "src/sched/CMakeFiles/hare_sched.dir/gavel_fifo.cpp.o" "gcc" "src/sched/CMakeFiles/hare_sched.dir/gavel_fifo.cpp.o.d"
+  "/root/repo/src/sched/sched_allox.cpp" "src/sched/CMakeFiles/hare_sched.dir/sched_allox.cpp.o" "gcc" "src/sched/CMakeFiles/hare_sched.dir/sched_allox.cpp.o.d"
+  "/root/repo/src/sched/sched_homo.cpp" "src/sched/CMakeFiles/hare_sched.dir/sched_homo.cpp.o" "gcc" "src/sched/CMakeFiles/hare_sched.dir/sched_homo.cpp.o.d"
+  "/root/repo/src/sched/srtf.cpp" "src/sched/CMakeFiles/hare_sched.dir/srtf.cpp.o" "gcc" "src/sched/CMakeFiles/hare_sched.dir/srtf.cpp.o.d"
+  "/root/repo/src/sched/themis_fair.cpp" "src/sched/CMakeFiles/hare_sched.dir/themis_fair.cpp.o" "gcc" "src/sched/CMakeFiles/hare_sched.dir/themis_fair.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hare_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hare_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/hare_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/hare_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/switching/CMakeFiles/hare_switching.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hare_sched.dir/backfill.cpp.o"
+  "CMakeFiles/hare_sched.dir/backfill.cpp.o.d"
+  "CMakeFiles/hare_sched.dir/gang_planner.cpp.o"
+  "CMakeFiles/hare_sched.dir/gang_planner.cpp.o.d"
+  "CMakeFiles/hare_sched.dir/gavel_fifo.cpp.o"
+  "CMakeFiles/hare_sched.dir/gavel_fifo.cpp.o.d"
+  "CMakeFiles/hare_sched.dir/sched_allox.cpp.o"
+  "CMakeFiles/hare_sched.dir/sched_allox.cpp.o.d"
+  "CMakeFiles/hare_sched.dir/sched_homo.cpp.o"
+  "CMakeFiles/hare_sched.dir/sched_homo.cpp.o.d"
+  "CMakeFiles/hare_sched.dir/srtf.cpp.o"
+  "CMakeFiles/hare_sched.dir/srtf.cpp.o.d"
+  "CMakeFiles/hare_sched.dir/themis_fair.cpp.o"
+  "CMakeFiles/hare_sched.dir/themis_fair.cpp.o.d"
+  "libhare_sched.a"
+  "libhare_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hare_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

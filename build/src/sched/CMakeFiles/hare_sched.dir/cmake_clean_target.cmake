@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhare_sched.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/export.cpp" "src/sim/CMakeFiles/hare_sim.dir/export.cpp.o" "gcc" "src/sim/CMakeFiles/hare_sim.dir/export.cpp.o.d"
+  "/root/repo/src/sim/gantt.cpp" "src/sim/CMakeFiles/hare_sim.dir/gantt.cpp.o" "gcc" "src/sim/CMakeFiles/hare_sim.dir/gantt.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/hare_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/hare_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "src/sim/CMakeFiles/hare_sim.dir/schedule.cpp.o" "gcc" "src/sim/CMakeFiles/hare_sim.dir/schedule.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/hare_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/hare_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hare_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hare_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/hare_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/switching/CMakeFiles/hare_switching.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

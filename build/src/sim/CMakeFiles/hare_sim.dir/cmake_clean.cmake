@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hare_sim.dir/export.cpp.o"
+  "CMakeFiles/hare_sim.dir/export.cpp.o.d"
+  "CMakeFiles/hare_sim.dir/gantt.cpp.o"
+  "CMakeFiles/hare_sim.dir/gantt.cpp.o.d"
+  "CMakeFiles/hare_sim.dir/network.cpp.o"
+  "CMakeFiles/hare_sim.dir/network.cpp.o.d"
+  "CMakeFiles/hare_sim.dir/schedule.cpp.o"
+  "CMakeFiles/hare_sim.dir/schedule.cpp.o.d"
+  "CMakeFiles/hare_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hare_sim.dir/simulator.cpp.o.d"
+  "libhare_sim.a"
+  "libhare_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hare_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

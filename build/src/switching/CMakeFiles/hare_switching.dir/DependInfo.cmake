@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switching/context_pool.cpp" "src/switching/CMakeFiles/hare_switching.dir/context_pool.cpp.o" "gcc" "src/switching/CMakeFiles/hare_switching.dir/context_pool.cpp.o.d"
+  "/root/repo/src/switching/memory_manager.cpp" "src/switching/CMakeFiles/hare_switching.dir/memory_manager.cpp.o" "gcc" "src/switching/CMakeFiles/hare_switching.dir/memory_manager.cpp.o.d"
+  "/root/repo/src/switching/memory_planner.cpp" "src/switching/CMakeFiles/hare_switching.dir/memory_planner.cpp.o" "gcc" "src/switching/CMakeFiles/hare_switching.dir/memory_planner.cpp.o.d"
+  "/root/repo/src/switching/switch_model.cpp" "src/switching/CMakeFiles/hare_switching.dir/switch_model.cpp.o" "gcc" "src/switching/CMakeFiles/hare_switching.dir/switch_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hare_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hare_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hare_switching.dir/context_pool.cpp.o"
+  "CMakeFiles/hare_switching.dir/context_pool.cpp.o.d"
+  "CMakeFiles/hare_switching.dir/memory_manager.cpp.o"
+  "CMakeFiles/hare_switching.dir/memory_manager.cpp.o.d"
+  "CMakeFiles/hare_switching.dir/memory_planner.cpp.o"
+  "CMakeFiles/hare_switching.dir/memory_planner.cpp.o.d"
+  "CMakeFiles/hare_switching.dir/switch_model.cpp.o"
+  "CMakeFiles/hare_switching.dir/switch_model.cpp.o.d"
+  "libhare_switching.a"
+  "libhare_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hare_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hare_workload.dir/job.cpp.o"
+  "CMakeFiles/hare_workload.dir/job.cpp.o.d"
+  "CMakeFiles/hare_workload.dir/model_zoo.cpp.o"
+  "CMakeFiles/hare_workload.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/hare_workload.dir/perf_model.cpp.o"
+  "CMakeFiles/hare_workload.dir/perf_model.cpp.o.d"
+  "CMakeFiles/hare_workload.dir/trace.cpp.o"
+  "CMakeFiles/hare_workload.dir/trace.cpp.o.d"
+  "libhare_workload.a"
+  "libhare_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hare_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_planner.dir/test_memory_planner.cpp.o"
+  "CMakeFiles/test_memory_planner.dir/test_memory_planner.cpp.o.d"
+  "test_memory_planner"
+  "test_memory_planner.pdb"
+  "test_memory_planner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_themis_gantt.dir/test_themis_gantt.cpp.o"
+  "CMakeFiles/test_themis_gantt.dir/test_themis_gantt.cpp.o.d"
+  "test_themis_gantt"
+  "test_themis_gantt.pdb"
+  "test_themis_gantt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_themis_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
