@@ -1,0 +1,289 @@
+// Planner scaling bench + regression baseline generator.
+//
+// Sweeps (jobs x GPUs) grid points for both relaxation modes and times the
+// Hare planner under four engine configurations:
+//
+//   naive        — the pre-optimization reference path: O(G) linear candidate
+//                  scans, cold two-phase LP per cut round, no caches.
+//   cold_indexed — indexed scans + cached aggregates, LP still cold. Must
+//                  produce a bit-identical schedule to `naive` (asserted).
+//   warm_serial  — full optimized path: warm-started LP + indexed scans.
+//   pooled       — warm_serial plus the shared thread pool for per-machine
+//                  cut separation. Bit-identical to warm_serial (asserted).
+//
+// Emits machine-readable BENCH_planner.json (wall ms, LP solves, cuts,
+// simplex pivots, speedups, equality checks) which
+// scripts/check_bench_regression.py gates in CI. `--quick` shrinks the grid
+// for smoke runs; `--json <path>` overrides the output location.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/table.hpp"
+#include "core/hare_scheduler.hpp"
+#include "profiler/profiler.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace hare;
+
+struct GridPoint {
+  core::RelaxMode mode;
+  std::size_t jobs;
+  std::size_t gpus;
+};
+
+struct Instance {
+  cluster::Cluster cluster;
+  workload::JobSet jobs;
+  profiler::TimeTable times;
+};
+
+Instance make_instance(std::size_t job_count, std::size_t gpu_count,
+                       std::uint64_t seed) {
+  Instance instance;
+  instance.cluster = cluster::make_simulation_cluster(gpu_count, 25.0, 4);
+
+  workload::TraceConfig config;
+  config.job_count = job_count;
+  config.base_arrival_rate = 0.2;
+  config.sync_scales = {1, 2, 2, 4};
+  config.rounds_scale_min = 0.1;
+  config.rounds_scale_max = 0.3;
+  instance.jobs = workload::TraceGenerator(seed).generate(config);
+
+  const workload::PerfModel perf;
+  profiler::Profiler profiler(perf, profiler::ProfilerConfig{}, seed);
+  instance.times = profiler.exact(instance.jobs, instance.cluster);
+  return instance;
+}
+
+core::HareConfig engine_config(core::RelaxMode mode, bool naive,
+                               bool warm_start, std::size_t threads) {
+  core::HareConfig config;
+  config.relaxation.mode = mode;
+  config.relaxation.engine.naive = naive;
+  config.relaxation.engine.warm_start_lp = warm_start;
+  config.relaxation.engine.threads = threads;
+  config.placement = core::Placement::EarliestFinish;
+  return config;
+}
+
+struct VariantResult {
+  double wall_ms = 0.0;  ///< best of `repeats` runs
+  sim::Schedule schedule;
+  core::RelaxationResult relaxation;
+};
+
+VariantResult run_variant(const sched::SchedulerInput& input,
+                          const core::HareConfig& config, int repeats) {
+  VariantResult result;
+  result.wall_ms = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    core::HareScheduler scheduler(config);
+    const auto start = std::chrono::steady_clock::now();
+    auto schedule = scheduler.schedule(input);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (ms < result.wall_ms) result.wall_ms = ms;
+    if (r == 0) {
+      result.schedule = std::move(schedule);
+      result.relaxation = scheduler.last_relaxation();
+    }
+  }
+  return result;
+}
+
+bool schedules_equal(const sim::Schedule& a, const sim::Schedule& b) {
+  return a.sequences == b.sequences && a.predicted_start == b.predicted_start &&
+         a.predicted_objective == b.predicted_objective;
+}
+
+struct PointResult {
+  GridPoint point;
+  std::size_t tasks = 0;
+  double naive_ms = 0.0;
+  double cold_indexed_ms = 0.0;
+  double warm_serial_ms = 0.0;
+  double pooled_ms = 0.0;
+  double speedup_serial = 0.0;  ///< naive_ms / warm_serial_ms
+  double speedup_pooled = 0.0;  ///< naive_ms / pooled_ms
+  std::size_t lp_solves_naive = 0;
+  std::size_t lp_solves_warm = 0;
+  std::size_t cuts_naive = 0;
+  std::size_t cuts_warm = 0;
+  std::size_t pivots_naive = 0;
+  std::size_t pivots_warm = 0;
+  bool naive_matches_cold_indexed = false;
+  bool warm_matches_pooled = false;
+};
+
+const char* mode_name(core::RelaxMode mode) {
+  return mode == core::RelaxMode::Fluid ? "fluid" : "lp_cuts";
+}
+
+PointResult run_point(const GridPoint& point, int repeats,
+                      std::size_t pool_threads) {
+  const Instance instance = make_instance(point.jobs, point.gpus, 9000 + point.jobs);
+  const sched::SchedulerInput input{instance.cluster, instance.jobs,
+                                    instance.times};
+
+  const auto naive =
+      run_variant(input, engine_config(point.mode, true, false, 1), repeats);
+  const auto cold_indexed =
+      run_variant(input, engine_config(point.mode, false, false, 1), repeats);
+  const auto warm_serial =
+      run_variant(input, engine_config(point.mode, false, true, 1), repeats);
+  const auto pooled = run_variant(
+      input, engine_config(point.mode, false, true, pool_threads), repeats);
+
+  PointResult result;
+  result.point = point;
+  result.tasks = naive.schedule.task_count();
+  result.naive_ms = naive.wall_ms;
+  result.cold_indexed_ms = cold_indexed.wall_ms;
+  result.warm_serial_ms = warm_serial.wall_ms;
+  result.pooled_ms = pooled.wall_ms;
+  result.speedup_serial = naive.wall_ms / std::max(1e-6, warm_serial.wall_ms);
+  result.speedup_pooled = naive.wall_ms / std::max(1e-6, pooled.wall_ms);
+  result.lp_solves_naive = naive.relaxation.lp_solves;
+  result.lp_solves_warm = warm_serial.relaxation.lp_solves;
+  result.cuts_naive = naive.relaxation.cut_count;
+  result.cuts_warm = warm_serial.relaxation.cut_count;
+  result.pivots_naive = naive.relaxation.simplex_pivots;
+  result.pivots_warm = warm_serial.relaxation.simplex_pivots;
+  result.naive_matches_cold_indexed =
+      schedules_equal(naive.schedule, cold_indexed.schedule);
+  result.warm_matches_pooled =
+      schedules_equal(warm_serial.schedule, pooled.schedule);
+  return result;
+}
+
+[[nodiscard]] bool write_json(const std::string& path,
+                              const std::vector<PointResult>& rows,
+                              bool quick) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"bench\": \"bench_planner_scale\",\n";
+  out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  out << "  \"points\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "    {\"mode\": \"" << mode_name(r.point.mode) << "\""
+        << ", \"jobs\": " << r.point.jobs << ", \"gpus\": " << r.point.gpus
+        << ", \"tasks\": " << r.tasks                       //
+        << ", \"naive_ms\": " << r.naive_ms                 //
+        << ", \"cold_indexed_ms\": " << r.cold_indexed_ms   //
+        << ", \"warm_serial_ms\": " << r.warm_serial_ms     //
+        << ", \"pooled_ms\": " << r.pooled_ms               //
+        << ", \"speedup_serial\": " << r.speedup_serial     //
+        << ", \"speedup_pooled\": " << r.speedup_pooled     //
+        << ", \"lp_solves_naive\": " << r.lp_solves_naive   //
+        << ", \"lp_solves_warm\": " << r.lp_solves_warm     //
+        << ", \"cuts_naive\": " << r.cuts_naive             //
+        << ", \"cuts_warm\": " << r.cuts_warm               //
+        << ", \"pivots_naive\": " << r.pivots_naive         //
+        << ", \"pivots_warm\": " << r.pivots_warm           //
+        << ", \"naive_matches_cold_indexed\": "
+        << (r.naive_matches_cold_indexed ? "true" : "false")
+        << ", \"warm_matches_pooled\": "
+        << (r.warm_matches_pooled ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+
+  std::ofstream file(path);
+  file << out.str();
+  if (!file) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return false;
+  }
+  std::cout << "\nwrote " << path << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = "BENCH_planner.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_planner_scale [--quick] [--json <path>]\n";
+      return 2;
+    }
+  }
+
+  std::vector<GridPoint> grid;
+  if (quick) {
+    grid = {{core::RelaxMode::Fluid, 30, 16}, {core::RelaxMode::LpCuts, 6, 4}};
+  } else {
+    grid = {{core::RelaxMode::Fluid, 50, 16},
+            {core::RelaxMode::Fluid, 100, 32},
+            {core::RelaxMode::Fluid, 200, 64},
+            {core::RelaxMode::Fluid, 400, 256},
+            {core::RelaxMode::Fluid, 800, 512},
+            {core::RelaxMode::LpCuts, 6, 4},
+            {core::RelaxMode::LpCuts, 10, 6},
+            {core::RelaxMode::LpCuts, 16, 8}};
+  }
+  const int repeats = quick ? 1 : 3;
+  const std::size_t pool_threads =
+      std::max<std::size_t>(2, std::thread::hardware_concurrency());
+
+  std::cout << "=== planner scaling: naive vs optimized engine ===\n";
+  std::vector<PointResult> rows;
+  bool all_match = true;
+  for (const auto& point : grid) {
+    auto row = run_point(point, repeats, pool_threads);
+    all_match = all_match && row.naive_matches_cold_indexed &&
+                row.warm_matches_pooled;
+    rows.push_back(std::move(row));
+  }
+
+  common::Table table({"mode", "jobs", "gpus", "tasks", "naive ms",
+                       "warm+idx ms", "pooled ms", "speedup", "lp solves n/w",
+                       "pivots n/w", "identical"});
+  for (const auto& r : rows) {
+    auto row = table.row();
+    row.cell(mode_name(r.point.mode));
+    row.cell(r.point.jobs);
+    row.cell(r.point.gpus);
+    row.cell(r.tasks);
+    row.cell(r.naive_ms, 2);
+    row.cell(r.warm_serial_ms, 2);
+    row.cell(r.pooled_ms, 2);
+    row.cell(r.speedup_serial, 2);
+    row.cell(std::to_string(r.lp_solves_naive) + "/" +
+             std::to_string(r.lp_solves_warm));
+    row.cell(std::to_string(r.pivots_naive) + "/" +
+             std::to_string(r.pivots_warm));
+    row.cell((r.naive_matches_cold_indexed && r.warm_matches_pooled) ? "yes"
+                                                                     : "NO");
+  }
+  table.print(std::cout);
+  std::cout << "(speedup = naive ms / warm+indexed serial ms; schedules are "
+               "asserted bit-identical across engines)\n";
+
+  const bool wrote = write_json(json_path, rows, quick);
+
+  if (!all_match) {
+    std::cerr << "FAIL: an optimized engine produced a different schedule "
+                 "than its reference\n";
+    return 1;
+  }
+  return wrote ? 0 : 1;
+}

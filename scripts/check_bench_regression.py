@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Gate planner-performance results from bench_planner_scale.
+
+Reads the BENCH_planner.json the bench emits and fails (exit 1) when the
+optimized planning engine regresses:
+
+  * any engine configuration produced a schedule that differs from its
+    reference (naive vs cold-indexed, warm-serial vs pooled) — determinism
+    is a correctness contract, never waived;
+  * the warm-started LP needed more simplex pivots than the cold baseline
+    on any LpCuts grid point;
+  * the measured speedups fall below the thresholds. Thresholds are ratios
+    (optimized vs the in-process naive baseline measured in the same run),
+    so they hold across machines; absolute milliseconds are never compared.
+
+Quick mode (--quick, or a JSON produced by `bench_planner_scale --quick`)
+runs tiny grids where fixed costs dominate, so only determinism and pivot
+counts are enforced there.
+
+Usage: scripts/check_bench_regression.py [BENCH_planner.json] [--quick]
+"""
+
+import json
+import sys
+
+# Full-run thresholds: the largest fluid grid is the headline number the
+# optimization work is gated on; smaller grids only need to not regress
+# past the naive engine by more than measurement noise.
+LARGE_FLUID_MIN_SPEEDUP = 3.0
+LP_CUTS_MIN_SPEEDUP = 2.0
+ANY_POINT_MIN_SPEEDUP = 0.7  # noise floor for tiny grids
+
+
+def fail(msg):
+    print(f"REGRESSION: {msg}")
+    return 1
+
+
+def main(argv):
+    path = "BENCH_planner.json"
+    quick = False
+    for arg in argv[1:]:
+        if arg == "--quick":
+            quick = True
+        elif arg.startswith("-"):
+            print(__doc__)
+            return 2
+        else:
+            path = arg
+
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return fail(f"cannot read {path}: {exc}")
+    points = data.get("points", [])
+    if not points:
+        return fail(f"{path} contains no grid points")
+    quick = quick or bool(data.get("quick", False))
+
+    errors = 0
+    for p in points:
+        tag = f"{p['mode']} {p['jobs']}x{p['gpus']}"
+        if not p.get("naive_matches_cold_indexed", False):
+            errors += fail(f"{tag}: cold-indexed schedule differs from naive")
+        if not p.get("warm_matches_pooled", False):
+            errors += fail(f"{tag}: pooled schedule differs from warm-serial")
+        if p["mode"] == "lp_cuts" and p["pivots_warm"] > p["pivots_naive"]:
+            errors += fail(
+                f"{tag}: warm start used more simplex pivots than cold "
+                f"({p['pivots_warm']} > {p['pivots_naive']})"
+            )
+
+    if not quick:
+        for p in points:
+            tag = f"{p['mode']} {p['jobs']}x{p['gpus']}"
+            if p["speedup_serial"] < ANY_POINT_MIN_SPEEDUP:
+                errors += fail(
+                    f"{tag}: optimized engine slower than naive "
+                    f"(speedup {p['speedup_serial']:.2f})"
+                )
+        fluid = [p for p in points if p["mode"] == "fluid"]
+        lp = [p for p in points if p["mode"] == "lp_cuts"]
+        if fluid:
+            largest = max(fluid, key=lambda p: p["jobs"] * p["gpus"])
+            if largest["speedup_serial"] < LARGE_FLUID_MIN_SPEEDUP:
+                errors += fail(
+                    f"large fluid grid {largest['jobs']}x{largest['gpus']}: "
+                    f"speedup {largest['speedup_serial']:.2f} < "
+                    f"{LARGE_FLUID_MIN_SPEEDUP:.1f}"
+                )
+        if lp:
+            best = max(p["speedup_serial"] for p in lp)
+            if best < LP_CUTS_MIN_SPEEDUP:
+                errors += fail(
+                    f"no LpCuts grid reached {LP_CUTS_MIN_SPEEDUP:.1f}x "
+                    f"(best {best:.2f})"
+                )
+
+    if errors:
+        print(f"{errors} regression(s) in {path}")
+        return 1
+    mode = "quick (determinism/pivots only)" if quick else "full"
+    print(f"OK: {len(points)} grid points pass the {mode} gate in {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,10 +1,13 @@
-// Minimal fixed-size thread pool for embarrassingly parallel bench sweeps.
+// Minimal fixed-size thread pool for embarrassingly parallel fan-out.
 //
-// Each simulation run is single-threaded and deterministic; the pool fans
-// scenario evaluations (different seeds, cluster sizes, schedulers) across
-// hardware threads. `parallel_for_each` is the only primitive the harness
-// needs: run a callable for every index in [0, n), block until done, and
-// rethrow the first exception.
+// Used in two places: the bench harness fans scenario evaluations
+// (different seeds, cluster sizes, schedulers) across hardware threads, and
+// the planning pipeline fans per-machine Queyranne separation and per-job
+// preprocessing across `shared_pool()`. `parallel_for_each` is the only
+// primitive either needs: run a callable for every index in [0, n), block
+// until done, and rethrow the first exception. Results are written to
+// pre-sized slots and merged in index order by the callers, so pool use
+// never changes an outcome — only wall-clock.
 #pragma once
 
 #include <atomic>
@@ -12,9 +15,11 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace hare::common {
@@ -57,38 +62,53 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, n) across the pool; blocks until all complete.
   /// The first exception thrown by any invocation is rethrown here.
+  //
+  // The coordination block lives on the heap, owned jointly by the waiting
+  // caller and every enqueued shard: a straggler shard that wakes up after
+  // the last index completed (and the caller has already been released)
+  // still dereferences valid memory when it reads `next` and exits. Keeping
+  // it on the caller's stack was a use-after-return race. `fn` itself is
+  // safe to hold by pointer: every invocation finishes before `done`
+  // reaches n, which is what releases the caller.
   template <typename Fn>
   void parallel_for_each(std::size_t n, Fn&& fn) {
     if (n == 0) return;
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
-    std::exception_ptr error;
-    std::mutex error_mutex;
+    struct Sync {
+      std::atomic<std::size_t> next{0};
+      std::atomic<std::size_t> done{0};
+      std::mutex done_mutex;
+      std::condition_variable done_cv;
+      std::exception_ptr error;
+      std::mutex error_mutex;
+    };
+    auto sync = std::make_shared<Sync>();
+    std::remove_reference_t<Fn>* body = std::addressof(fn);
 
     const std::size_t shards = std::min(n, workers_.size());
     for (std::size_t s = 0; s < shards; ++s) {
-      submit([&, n] {
+      submit([sync, body, n] {
         for (;;) {
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          const std::size_t i =
+              sync->next.fetch_add(1, std::memory_order_relaxed);
           if (i >= n) break;
           try {
-            fn(i);
+            (*body)(i);
           } catch (...) {
-            std::scoped_lock lock(error_mutex);
-            if (!error) error = std::current_exception();
+            std::scoped_lock lock(sync->error_mutex);
+            if (!sync->error) sync->error = std::current_exception();
           }
-          if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
-            std::scoped_lock lock(done_mutex);
-            done_cv.notify_all();
+          if (sync->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+            std::scoped_lock lock(sync->done_mutex);
+            sync->done_cv.notify_all();
           }
         }
       });
     }
-    std::unique_lock lock(done_mutex);
-    done_cv.wait(lock, [&] { return done.load(std::memory_order_acquire) >= n; });
-    if (error) std::rethrow_exception(error);
+    std::unique_lock lock(sync->done_mutex);
+    sync->done_cv.wait(lock, [&] {
+      return sync->done.load(std::memory_order_acquire) >= n;
+    });
+    if (sync->error) std::rethrow_exception(sync->error);
   }
 
  private:
@@ -112,5 +132,15 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stopping_ = false;
 };
+
+/// Process-wide pool for planner-internal fan-out (cut separation, per-job
+/// preprocessing, sharded candidate scans). Lazily constructed on first use
+/// with one worker per hardware thread. Flat fan-out only: never call
+/// parallel_for_each on this pool from inside one of its own workers — a
+/// distinct ThreadPool instance (as the bench sweeps use) is fine.
+[[nodiscard]] inline ThreadPool& shared_pool() {
+  static ThreadPool pool;
+  return pool;
+}
 
 }  // namespace hare::common

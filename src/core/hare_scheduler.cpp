@@ -6,6 +6,8 @@
 #include <optional>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "core/placement_index.hpp"
 #include "workload/feasibility.hpp"
 
 namespace hare::core {
@@ -24,19 +26,63 @@ struct BuildState {
   sim::Schedule schedule;
   std::vector<Time> phi;  ///< GPU available times
   std::vector<std::vector<RoundProgress>> rounds;  ///< [job][round]
-  std::vector<std::vector<char>> fits;             ///< [job][gpu] memory fit
   double objective = 0.0;
+  /// Engine acceleration for the relaxed pass: either the masked-row index
+  /// or the pool-sharded scan replaces the naive O(G) candidate loops. The
+  /// index and fitting matrix live in the caller's scratch when one is
+  /// shared with the relaxation (φ-independent, so rebuilt for free via
+  /// reset_phi); the naive engine always builds its own fitting matrix.
+  PlannerScratch* scratch = nullptr;
+  std::vector<std::vector<char>> own_fits;
+  const std::vector<std::vector<char>>* fits_ptr = nullptr;
+  std::optional<PlacementIndex> own_index;
+  PlacementIndex* index = nullptr;
+  common::ThreadPool* pool = nullptr;
+  bool sharded = false;
 
-  explicit BuildState(const sched::SchedulerInput& in, const HareConfig& cfg)
-      : input(in),
-        config(cfg),
-        fits(workload::fitting_matrix(in.cluster, in.jobs)) {
+  BuildState(const sched::SchedulerInput& in, const HareConfig& cfg,
+             PlannerScratch* shared)
+      : input(in), config(cfg), scratch(shared) {
+    if (scratch && !cfg.relaxation.engine.naive) {
+      if (scratch->fits.empty()) {
+        scratch->fits = workload::fitting_matrix(in.cluster, in.jobs);
+      }
+      fits_ptr = &scratch->fits;
+    } else {
+      own_fits = workload::fitting_matrix(in.cluster, in.jobs);
+      fits_ptr = &own_fits;
+    }
     schedule.sequences.resize(in.cluster.gpu_count());
     schedule.predicted_start.assign(in.jobs.task_count(), 0.0);
     phi.assign(in.cluster.gpu_count(), 0.0);
     rounds.resize(in.jobs.job_count());
     for (const auto& job : in.jobs.jobs()) {
       rounds[static_cast<std::size_t>(job.id.value())].resize(job.rounds());
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::vector<char>>& fits() const {
+    return *fits_ptr;
+  }
+
+  /// Pick the candidate-scan strategy for the relaxed pass. Must run after
+  /// `phi` holds the initial horizons (incremental planning seeds them).
+  void enable_engine() {
+    const PlannerEngine& engine = config.relaxation.engine;
+    if (engine.naive) return;
+    pool = engine.pool();
+    sharded = engine.use_sharded_scan(phi.size()) && pool != nullptr;
+    if (sharded) return;
+    if (scratch) {
+      if (scratch->index) {
+        scratch->index->reset_phi(phi);
+      } else {
+        scratch->index.emplace(input.times, phi.size(), fits(), phi, pool);
+      }
+      index = &*scratch->index;
+    } else {
+      own_index.emplace(input.times, phi.size(), fits(), phi, pool);
+      index = &*own_index;
     }
   }
 
@@ -51,29 +97,46 @@ struct BuildState {
     const workload::Task& task = input.jobs.task(task_id);
     const workload::Job& job = input.jobs.job(task.job);
 
-    const auto& job_fits = fits[static_cast<std::size_t>(task.job.value())];
-    std::size_t best = phi.size();
+    const auto& job_fits = fits()[static_cast<std::size_t>(task.job.value())];
+    PlacementIndex::Candidate chosen;
     if (config.placement == Placement::EarliestAvailable) {
-      for (std::size_t g = 0; g < phi.size(); ++g) {
-        if (!job_fits[g]) continue;
-        if (best == phi.size() || phi[g] < phi[best]) best = g;
+      if (index) {
+        chosen = index->earliest_available(task.job, available);
+      } else if (sharded) {
+        chosen = sharded_earliest_available(available, job_fits, phi, *pool);
+      } else {
+        std::size_t best = phi.size();
+        for (std::size_t g = 0; g < phi.size(); ++g) {
+          if (!job_fits[g]) continue;
+          if (best == phi.size() || phi[g] < phi[best]) best = g;
+        }
+        if (best < phi.size()) {
+          chosen = PlacementIndex::Candidate{
+              best, std::max(available, phi[best]), phi[best]};
+        }
       }
     } else {
-      Time best_finish = kTimeInfinity;
-      for (std::size_t g = 0; g < phi.size(); ++g) {
-        if (!job_fits[g]) continue;
-        const Time finish =
-            std::max(available, phi[g]) +
-            input.times.tc(task.job, GpuId(static_cast<int>(g)));
-        if (finish < best_finish) {
-          best_finish = finish;
-          best = g;
+      if (index) {
+        chosen = index->earliest_finish(task.job, available);
+      } else if (sharded) {
+        chosen = sharded_earliest_finish(input.times, task.job, available,
+                                         job_fits, phi, *pool);
+      } else {
+        for (std::size_t g = 0; g < phi.size(); ++g) {
+          if (!job_fits[g]) continue;
+          const Time start = std::max(available, phi[g]);
+          const Time finish =
+              start + input.times.tc(task.job, GpuId(static_cast<int>(g)));
+          if (finish < chosen.finish) {
+            chosen = PlacementIndex::Candidate{g, start, finish};
+          }
         }
       }
     }
-    HARE_CHECK_MSG(best < phi.size(), "no feasible GPU for task " << task_id);
+    HARE_CHECK_MSG(chosen.valid(), "no feasible GPU for task " << task_id);
+    const std::size_t best = chosen.gpu;
     const GpuId gpu(static_cast<int>(best));
-    const Time start = std::max(available, phi[best]);
+    const Time start = chosen.start;
     const Time tc = input.times.tc(task.job, gpu);
     const Time ts = input.times.ts(task.job, gpu);
 
@@ -81,6 +144,7 @@ struct BuildState {
     schedule.predicted_start[static_cast<std::size_t>(task_id.value())] =
         start;
     phi[best] = start + tc;  // T^s overlaps the GPU's next task (line 16)
+    if (index) index->set_phi(best, phi[best]);
 
     RoundProgress& round = progress(task.job, task.round);
     round.barrier = std::max(round.barrier, start + tc + ts);
@@ -136,10 +200,39 @@ void run_relaxed_pass(BuildState& state, const std::vector<TaskId>& pi) {
   }
 }
 
+/// Line 4: sort π by non-descending H, ids breaking ties (deterministic).
+/// The optimized engine sorts packed (H, id) pairs — the seed's comparator
+/// paid two dependent random loads into h per comparison.
+void sort_by_middle_completion(std::vector<TaskId>& pi,
+                               const std::vector<Time>& h, bool naive) {
+  if (naive) {
+    std::sort(pi.begin(), pi.end(), [&](TaskId a, TaskId b) {
+      const Time ha = h[static_cast<std::size_t>(a.value())];
+      const Time hb = h[static_cast<std::size_t>(b.value())];
+      if (ha != hb) return ha < hb;
+      return a < b;
+    });
+    return;
+  }
+  std::vector<std::pair<Time, TaskId>> keyed(pi.size());
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    keyed[i] = {h[static_cast<std::size_t>(pi[i].value())], pi[i]};
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const std::pair<Time, TaskId>& a,
+               const std::pair<Time, TaskId>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  for (std::size_t i = 0; i < pi.size(); ++i) pi[i] = keyed[i].second;
+}
+
 sim::Schedule build_relaxed(const sched::SchedulerInput& input,
                             const HareConfig& config,
-                            const std::vector<TaskId>& pi, double* objective) {
-  BuildState state(input, config);
+                            const std::vector<TaskId>& pi, double* objective,
+                            PlannerScratch* scratch) {
+  BuildState state(input, config, scratch);
+  state.enable_engine();
   run_relaxed_pass(state, pi);
   *objective = state.objective;
   return std::move(state.schedule);
@@ -147,10 +240,11 @@ sim::Schedule build_relaxed(const sched::SchedulerInput& input,
 
 sim::Schedule build_strict(const sched::SchedulerInput& input,
                            const HareConfig& config,
-                           const std::vector<TaskId>& pi, double* objective) {
+                           const std::vector<TaskId>& pi, double* objective,
+                           PlannerScratch* scratch) {
   // Strict scale-fixed: whole rounds gang on distinct GPUs with a common
   // start. Rounds are visited in the order their first member appears in π.
-  BuildState state(input, config);
+  BuildState state(input, config, scratch);
   const auto& jobs = input.jobs;
 
   struct RoundKey {
@@ -191,7 +285,7 @@ sim::Schedule build_strict(const sched::SchedulerInput& input,
     // gang starts together.
     const std::size_t k = job.tasks_per_round();
     const auto& job_fits =
-        state.fits[static_cast<std::size_t>(key.job.value())];
+        state.fits()[static_cast<std::size_t>(key.job.value())];
     std::vector<std::size_t> order;
     order.reserve(state.phi.size());
     for (std::size_t g = 0; g < state.phi.size(); ++g) {
@@ -270,26 +364,22 @@ sim::Schedule HareScheduler::schedule(const sched::SchedulerInput& input) {
                    "job " << job.id << " sync scale exceeds cluster size");
   }
 
+  PlannerScratch scratch;
   const HareRelaxation relaxation(config_.relaxation);
-  last_relaxation_ = relaxation.solve(input.cluster, input.jobs, input.times);
+  last_relaxation_ =
+      relaxation.solve(input.cluster, input.jobs, input.times, {}, &scratch);
 
-  // Line 4: π sorted by non-descending H (stable on ids for determinism).
   std::vector<TaskId> pi;
   pi.reserve(input.jobs.task_count());
   for (const auto& task : input.jobs.tasks()) pi.push_back(task.id);
-  const auto& h = last_relaxation_.h;
-  std::sort(pi.begin(), pi.end(), [&](TaskId a, TaskId b) {
-    const Time ha = h[static_cast<std::size_t>(a.value())];
-    const Time hb = h[static_cast<std::size_t>(b.value())];
-    if (ha != hb) return ha < hb;
-    return a < b;
-  });
+  sort_by_middle_completion(pi, last_relaxation_.h,
+                            config_.relaxation.engine.naive);
 
   double objective = 0.0;
   sim::Schedule result =
       config_.sync == SyncScheme::Relaxed
-          ? build_relaxed(input, config_, pi, &objective)
-          : build_strict(input, config_, pi, &objective);
+          ? build_relaxed(input, config_, pi, &objective, &scratch)
+          : build_strict(input, config_, pi, &objective, &scratch);
   result.predicted_objective = objective;
   return result;
 }
@@ -316,8 +406,9 @@ double HareScheduler::schedule_jobs(const sched::SchedulerInput& input,
   sub.job_mask = job_mask;
   sub.initial_phi = state.phi;
   const HareRelaxation relaxation(config_.relaxation);
+  PlannerScratch scratch;
   last_relaxation_ =
-      relaxation.solve(input.cluster, input.jobs, input.times, sub);
+      relaxation.solve(input.cluster, input.jobs, input.times, sub, &scratch);
 
   std::vector<TaskId> pi;
   for (const auto& task : input.jobs.tasks()) {
@@ -325,16 +416,12 @@ double HareScheduler::schedule_jobs(const sched::SchedulerInput& input,
       pi.push_back(task.id);
     }
   }
-  const auto& h = last_relaxation_.h;
-  std::sort(pi.begin(), pi.end(), [&](TaskId a, TaskId b) {
-    const Time ha = h[static_cast<std::size_t>(a.value())];
-    const Time hb = h[static_cast<std::size_t>(b.value())];
-    if (ha != hb) return ha < hb;
-    return a < b;
-  });
+  sort_by_middle_completion(pi, last_relaxation_.h,
+                            config_.relaxation.engine.naive);
 
-  BuildState build(input, config_);
+  BuildState build(input, config_, &scratch);
   build.phi = state.phi;
+  build.enable_engine();
   run_relaxed_pass(build, pi);
 
   // Append the batch onto the cumulative plan. φ is monotone, so batch

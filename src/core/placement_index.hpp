@@ -1,0 +1,392 @@
+// Indexed GPU-availability structure for the planning hot loops.
+//
+// Both the fluid relaxation pass and Algorithm 1's list scheduler place one
+// task at a time with an argmin over GPUs — either earliest-available
+// (line 12's literal argmin φ_m) or earliest-finish
+// (argmin max(t_i, φ_m) + T^c_{i,m}). The seed implementation rescanned all
+// G GPUs per task through per-element TimeTable calls, fit checks, and a
+// branchy incumbent update. This index replaces both scans:
+//
+//  * earliest_available — the GPU horizon φ lives in an ordered set, so the
+//    first memory-fitting entry is the lexicographic minimum of (φ, gpu),
+//    exactly what the serial scan's strict-< update rule selects: O(log G)
+//    per query instead of O(G). The set is built lazily on the first query
+//    (earliest-finish pipelines never pay for it) and re-keyed via node
+//    handles on φ updates — no per-placement allocation.
+//  * earliest_finish — argmin over max(t_i, φ_m) + T^c is a min over two
+//    independent per-GPU orders (φ and T^c); in the congested regime the
+//    planner lives in, every pruned tree walk degenerates to visiting most
+//    GPUs through cache-hostile pointer chasing. Instead the index
+//    precomputes a masked T^c row per job (+∞ where the task does not fit
+//    device memory) and runs a branch-free 4-lane strided scan over the
+//    flat (φ, masked T^c) arrays: four independent incumbent chains give
+//    the compiler ILP/SIMD freedom while each lane preserves the serial
+//    scan's first-strict-< tie-break; the lane merge compares (finish, gpu)
+//    lexicographically, so the selected candidate — and therefore the whole
+//    schedule — is bit-identical to the seed loop at a fraction of its
+//    per-element cost.
+//
+// Queries and set_phi are serial-planner operations (one task placed at a
+// time); the lazily built φ-set means the index must not be shared across
+// threads mid-build. `sharded_earliest_finish` / `sharded_earliest_available`
+// are the thread-pool alternative for very wide clusters: shards compute
+// their local lexicographic minimum over a contiguous GPU range and the
+// results merge in shard order, which is again bit-identical to the serial
+// scan.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#if defined(__SSE2__)
+#include <immintrin.h>
+#endif
+
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "profiler/time_table.hpp"
+
+namespace hare::core {
+
+namespace detail {
+
+#if defined(__SSE2__)
+
+/// SSE2 kernel for the earliest-finish scan: four strided incumbent chains
+/// over (φ, masked T^c). min_pd keeps the earlier value on ties (the
+/// serial strict-< rule) and the cmplt mask re-selects a lane's argmin only
+/// on a strict improvement; indices ride along as doubles (exact up to
+/// 2^53 GPUs). Returns the first unprocessed index; lanes land in
+/// lane_best/lane_arg[0..3] (arg < 0 = lane saw only non-fitting +∞ rows).
+inline std::size_t scan_lanes_sse2(const Time* row, const Time* phi,
+                                   std::size_t n, Time release,
+                                   double* lane_best, double* lane_arg) {
+  const __m128d vrel = _mm_set1_pd(release);
+  __m128d best0 = _mm_set1_pd(kTimeInfinity);
+  __m128d best1 = best0;
+  __m128d arg0 = _mm_set1_pd(-1.0);
+  __m128d arg1 = arg0;
+  __m128d idx0 = _mm_set_pd(1.0, 0.0);  // lanes {g, g+1}
+  __m128d idx1 = _mm_set_pd(3.0, 2.0);  // lanes {g+2, g+3}
+  const __m128d step = _mm_set1_pd(4.0);
+  std::size_t g = 0;
+  for (; g + 4 <= n; g += 4) {
+    const __m128d f0 = _mm_add_pd(_mm_max_pd(vrel, _mm_loadu_pd(phi + g)),
+                                  _mm_loadu_pd(row + g));
+    const __m128d f1 = _mm_add_pd(_mm_max_pd(vrel, _mm_loadu_pd(phi + g + 2)),
+                                  _mm_loadu_pd(row + g + 2));
+    const __m128d lt0 = _mm_cmplt_pd(f0, best0);
+    const __m128d lt1 = _mm_cmplt_pd(f1, best1);
+    best0 = _mm_min_pd(best0, f0);
+    best1 = _mm_min_pd(best1, f1);
+    arg0 = _mm_or_pd(_mm_and_pd(lt0, idx0), _mm_andnot_pd(lt0, arg0));
+    arg1 = _mm_or_pd(_mm_and_pd(lt1, idx1), _mm_andnot_pd(lt1, arg1));
+    idx0 = _mm_add_pd(idx0, step);
+    idx1 = _mm_add_pd(idx1, step);
+  }
+  _mm_storeu_pd(lane_best, best0);
+  _mm_storeu_pd(lane_best + 2, best1);
+  _mm_storeu_pd(lane_arg, arg0);
+  _mm_storeu_pd(lane_arg + 2, arg1);
+  return g;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HARE_HAVE_AVX2_DISPATCH 1
+
+/// AVX2 variant of the same kernel: eight incumbent chains, compiled with a
+/// target attribute and selected at runtime, so the baseline build still
+/// runs on any x86-64. Identical selection semantics — lane decomposition
+/// does not change the merged (finish, gpu) lexicographic minimum.
+__attribute__((target("avx2"))) inline std::size_t scan_lanes_avx2(
+    const Time* row, const Time* phi, std::size_t n, Time release,
+    double* lane_best, double* lane_arg) {
+  const __m256d vrel = _mm256_set1_pd(release);
+  __m256d best0 = _mm256_set1_pd(kTimeInfinity);
+  __m256d best1 = best0;
+  __m256d arg0 = _mm256_set1_pd(-1.0);
+  __m256d arg1 = arg0;
+  __m256d idx0 = _mm256_set_pd(3.0, 2.0, 1.0, 0.0);  // lanes {g .. g+3}
+  __m256d idx1 = _mm256_set_pd(7.0, 6.0, 5.0, 4.0);  // lanes {g+4 .. g+7}
+  const __m256d step = _mm256_set1_pd(8.0);
+  std::size_t g = 0;
+  for (; g + 8 <= n; g += 8) {
+    const __m256d f0 = _mm256_add_pd(
+        _mm256_max_pd(vrel, _mm256_loadu_pd(phi + g)), _mm256_loadu_pd(row + g));
+    const __m256d f1 =
+        _mm256_add_pd(_mm256_max_pd(vrel, _mm256_loadu_pd(phi + g + 4)),
+                      _mm256_loadu_pd(row + g + 4));
+    const __m256d lt0 = _mm256_cmp_pd(f0, best0, _CMP_LT_OQ);
+    const __m256d lt1 = _mm256_cmp_pd(f1, best1, _CMP_LT_OQ);
+    best0 = _mm256_min_pd(best0, f0);
+    best1 = _mm256_min_pd(best1, f1);
+    arg0 = _mm256_blendv_pd(arg0, idx0, lt0);
+    arg1 = _mm256_blendv_pd(arg1, idx1, lt1);
+    idx0 = _mm256_add_pd(idx0, step);
+    idx1 = _mm256_add_pd(idx1, step);
+  }
+  _mm256_storeu_pd(lane_best, best0);
+  _mm256_storeu_pd(lane_best + 4, best1);
+  _mm256_storeu_pd(lane_arg, arg0);
+  _mm256_storeu_pd(lane_arg + 4, arg1);
+  return g;
+}
+
+[[nodiscard]] inline bool cpu_has_avx2() {
+  static const bool ok = __builtin_cpu_supports("avx2") != 0;
+  return ok;
+}
+#endif  // x86-64 gcc/clang
+#endif  // __SSE2__
+
+}  // namespace detail
+
+class PlacementIndex {
+ public:
+  static constexpr std::size_t kNoGpu = std::numeric_limits<std::size_t>::max();
+
+  struct Candidate {
+    std::size_t gpu = kNoGpu;
+    Time start = 0.0;
+    Time finish = kTimeInfinity;
+
+    [[nodiscard]] bool valid() const { return gpu != kNoGpu; }
+  };
+
+  /// Builds the masked per-job T^c rows from the fitting matrix.
+  /// `initial_phi` may be empty (all GPUs free at 0). With a pool, the
+  /// per-job row builds fan out across workers (each job fills its own
+  /// pre-sized slot — deterministic).
+  PlacementIndex(const profiler::TimeTable& times, std::size_t gpu_count,
+                 const std::vector<std::vector<char>>& fits,
+                 const std::vector<Time>& initial_phi = {},
+                 common::ThreadPool* pool = nullptr)
+      : times_(&times), gpu_count_(gpu_count), phi_(gpu_count, 0.0) {
+    if (!initial_phi.empty()) phi_ = initial_phi;
+
+    const std::size_t jobs = times.job_count();
+    masked_tc_.resize(jobs * gpu_count);  // every slot written below
+    auto build_job = [&](std::size_t j) {
+      const Time* tc = times_->tc_row(JobId(static_cast<int>(j)));
+      const auto& job_fits = fits[j];
+      Time* row = masked_tc_.data() + j * gpu_count_;
+      for (std::size_t g = 0; g < gpu_count_; ++g) {
+        row[g] = job_fits[g] ? tc[g] : kTimeInfinity;
+      }
+    };
+    if (pool && jobs > 1) {
+      times.precompute();  // aggregate cache must not mutate under readers
+      pool->parallel_for_each(jobs, build_job);
+    } else {
+      for (std::size_t j = 0; j < jobs; ++j) build_job(j);
+    }
+  }
+
+  [[nodiscard]] Time phi(std::size_t gpu) const { return phi_[gpu]; }
+  [[nodiscard]] const std::vector<Time>& phi() const { return phi_; }
+
+  void set_phi(std::size_t gpu, Time value) {
+    if (phi_set_built_) {
+      // Node-handle reuse: re-key the existing tree node instead of paying
+      // a deallocate/allocate pair on every placement.
+      auto node = by_phi_.extract({phi_[gpu], gpu});
+      node.value() = {value, gpu};
+      by_phi_.insert(std::move(node));
+    }
+    phi_[gpu] = value;
+  }
+
+  /// Re-seed every GPU horizon at once (empty = all free at 0). Lets one
+  /// index — and its job-masked T^c rows, the expensive part — serve both
+  /// the relaxation's fluid pass and Algorithm 1's list-scheduling pass.
+  void reset_phi(const std::vector<Time>& initial_phi) {
+    if (initial_phi.empty()) {
+      std::fill(phi_.begin(), phi_.end(), 0.0);
+    } else {
+      phi_ = initial_phi;
+    }
+    by_phi_.clear();
+    phi_set_built_ = false;
+  }
+
+  /// Lexicographic argmin of (φ, gpu) over fitting GPUs; start is
+  /// max(release, φ).
+  [[nodiscard]] Candidate earliest_available(JobId job, Time release) const {
+    if (!phi_set_built_) {
+      for (std::size_t g = 0; g < gpu_count_; ++g) by_phi_.insert({phi_[g], g});
+      phi_set_built_ = true;
+    }
+    const Time* row = masked_row(job);
+    for (const auto& [p, g] : by_phi_) {
+      if (row[g] == kTimeInfinity) continue;  // does not fit device memory
+      const Time start = std::max(release, p);
+      return Candidate{g, start, start};
+    }
+    return {};
+  }
+
+  /// Lexicographic argmin of (max(release, φ) + T^c, gpu) over fitting
+  /// GPUs. Four strided incumbent chains, merged in lane order; any lane
+  /// decomposition selects the same (finish, gpu) lexicographic minimum as
+  /// the serial strict-< scan, because each lane keeps its first strict
+  /// minimum and the merge breaks finish ties toward the lower GPU id.
+  [[nodiscard]] Candidate earliest_finish(JobId job, Time release) const {
+    const Time* row = masked_row(job);
+    const Time* phi = phi_.data();
+    const std::size_t n = gpu_count_;
+
+    Candidate chosen;
+    std::size_t g = 0;
+#if defined(__SSE2__)
+    if (n >= 8) {
+      // Branch-free SIMD incumbents; non-fitting GPUs carry +∞ and never
+      // win a strict comparison. AVX2 (8 chains) is picked at runtime.
+      alignas(32) double lane_best[8];
+      alignas(32) double lane_arg[8];
+      std::size_t lanes = 4;
+#if defined(HARE_HAVE_AVX2_DISPATCH)
+      if (n >= 16 && detail::cpu_has_avx2()) {
+        g = detail::scan_lanes_avx2(row, phi, n, release, lane_best, lane_arg);
+        lanes = 8;
+      } else
+#endif
+      {
+        g = detail::scan_lanes_sse2(row, phi, n, release, lane_best, lane_arg);
+      }
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (lane_arg[l] < 0.0) continue;  // lane saw only non-fitting GPUs
+        const std::size_t lane_gpu = static_cast<std::size_t>(lane_arg[l]);
+        if (lane_best[l] < chosen.finish ||
+            (lane_best[l] == chosen.finish && lane_gpu < chosen.gpu)) {
+          chosen = Candidate{lane_gpu, 0.0, lane_best[l]};
+        }
+      }
+    }
+#else
+    {
+      // Portable four-chain unroll: independent incumbents give the
+      // compiler ILP without changing any selected value.
+      Time best[4] = {kTimeInfinity, kTimeInfinity, kTimeInfinity,
+                      kTimeInfinity};
+      std::size_t arg[4] = {kNoGpu, kNoGpu, kNoGpu, kNoGpu};
+      for (; g + 4 <= n; g += 4) {
+        for (std::size_t l = 0; l < 4; ++l) {
+          const Time finish = std::max(release, phi[g + l]) + row[g + l];
+          if (finish < best[l]) {
+            best[l] = finish;
+            arg[l] = g + l;
+          }
+        }
+      }
+      for (std::size_t l = 0; l < 4; ++l) {
+        if (arg[l] == kNoGpu) continue;  // lane saw only non-fitting GPUs
+        if (best[l] < chosen.finish ||
+            (best[l] == chosen.finish && arg[l] < chosen.gpu)) {
+          chosen = Candidate{arg[l], 0.0, best[l]};
+        }
+      }
+    }
+#endif
+    for (; g < n; ++g) {  // tail; indices above every lane winner
+      if (row[g] == kTimeInfinity) continue;  // does not fit device memory
+      const Time finish = std::max(release, phi[g]) + row[g];
+      if (finish < chosen.finish) chosen = Candidate{g, 0.0, finish};
+    }
+    if (chosen.valid()) chosen.start = std::max(release, phi_[chosen.gpu]);
+    return chosen;
+  }
+
+ private:
+  [[nodiscard]] const Time* masked_row(JobId job) const {
+    return masked_tc_.data() +
+           static_cast<std::size_t>(job.value()) * gpu_count_;
+  }
+
+  const profiler::TimeTable* times_;
+  std::size_t gpu_count_ = 0;
+  std::vector<Time> phi_;
+  /// T^c per (job, gpu); +∞ where the job's task does not fit the GPU.
+  std::vector<Time> masked_tc_;
+  mutable std::set<std::pair<Time, std::size_t>> by_phi_;
+  mutable bool phi_set_built_ = false;
+};
+
+/// Reusable φ-independent planning buffers: the memory-fitting matrix and
+/// the placement index (whose job-masked T^c rows are the expensive part).
+/// One planning invocation builds them once; the relaxation's fluid pass
+/// and Algorithm 1's list scheduler both reuse them via reset_phi(). The
+/// naive engine never touches the scratch — it keeps the seed's
+/// build-twice behaviour as the bench baseline.
+struct PlannerScratch {
+  std::vector<std::vector<char>> fits;  ///< [job][gpu] memory fit
+  std::optional<PlacementIndex> index;
+};
+
+namespace detail {
+
+template <typename CandidateFn>
+PlacementIndex::Candidate sharded_argmin(std::size_t gpu_count,
+                                         common::ThreadPool& pool,
+                                         CandidateFn&& candidate_of) {
+  const std::size_t shards = std::min(gpu_count, pool.size());
+  std::vector<PlacementIndex::Candidate> local(shards);
+  pool.parallel_for_each(shards, [&](std::size_t s) {
+    const std::size_t lo = s * gpu_count / shards;
+    const std::size_t hi = (s + 1) * gpu_count / shards;
+    PlacementIndex::Candidate best;
+    for (std::size_t g = lo; g < hi; ++g) {
+      const PlacementIndex::Candidate c = candidate_of(g);
+      if (!c.valid()) continue;
+      if (c.finish < best.finish ||
+          (c.finish == best.finish && c.gpu < best.gpu)) {
+        best = c;
+      }
+    }
+    local[s] = best;
+  });
+  PlacementIndex::Candidate best;
+  for (const auto& c : local) {  // merge in shard order — deterministic
+    if (!c.valid()) continue;
+    if (c.finish < best.finish ||
+        (c.finish == best.finish && c.gpu < best.gpu)) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace detail
+
+/// Pool-sharded earliest-finish scan over the raw φ vector. Same selection
+/// (and bit pattern) as the serial scan; worth it only for very wide
+/// clusters where one task's candidate scan amortizes the fan-out.
+inline PlacementIndex::Candidate sharded_earliest_finish(
+    const profiler::TimeTable& times, JobId job, Time release,
+    const std::vector<char>& fits, const std::vector<Time>& phi,
+    common::ThreadPool& pool) {
+  return detail::sharded_argmin(
+      phi.size(), pool, [&](std::size_t g) -> PlacementIndex::Candidate {
+        if (!fits[g]) return {};
+        const Time start = std::max(release, phi[g]);
+        const Time finish = start + times.tc(job, GpuId(static_cast<int>(g)));
+        return PlacementIndex::Candidate{g, start, finish};
+      });
+}
+
+/// Pool-sharded earliest-available scan (argmin φ, ties to the lower id).
+inline PlacementIndex::Candidate sharded_earliest_available(
+    Time release, const std::vector<char>& fits, const std::vector<Time>& phi,
+    common::ThreadPool& pool) {
+  return detail::sharded_argmin(
+      phi.size(), pool, [&](std::size_t g) -> PlacementIndex::Candidate {
+        if (!fits[g]) return {};
+        return PlacementIndex::Candidate{g, std::max(release, phi[g]), phi[g]};
+      });
+}
+
+}  // namespace hare::core

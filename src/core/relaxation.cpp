@@ -2,14 +2,22 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <queue>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "core/placement_index.hpp"
 #include "opt/queyranne.hpp"
 #include "opt/simplex.hpp"
 #include "workload/feasibility.hpp"
 
 namespace hare::core {
+
+common::ThreadPool* PlannerEngine::pool() const {
+  if (naive || threads <= 1) return nullptr;
+  return &common::shared_pool();
+}
 
 namespace {
 
@@ -25,6 +33,10 @@ namespace {
 // and (b) *serializes same-round tasks onto one fast GPU* whenever
 // 2·T^c_fast < T^c_slow — the relaxed scale-fixed behaviour of Fig 4(b)
 // falls out of the greedy rather than being special-cased.
+//
+// Three engine paths compute the same placement argmin — the naive O(G)
+// scan (reference), the PlacementIndex φ-set walk, and the pool-sharded
+// scan for very wide clusters — and produce bit-identical passes.
 struct FluidPass {
   std::vector<Time> x_hat;
   std::vector<GpuId> y_hat;
@@ -35,10 +47,12 @@ struct FluidPass {
 FluidPass run_fluid_pass(const cluster::Cluster& cluster,
                          const workload::JobSet& jobs,
                          const profiler::TimeTable& times,
-                         const SubProblem& sub) {
+                         const SubProblem& sub, const PlannerEngine& engine,
+                         PlannerScratch* scratch) {
   const std::size_t task_count = jobs.task_count();
   const std::size_t gpu_count = cluster.gpu_count();
   HARE_CHECK_MSG(gpu_count > 0, "cluster has no GPUs");
+  common::ThreadPool* pool = engine.pool();
 
   FluidPass pass;
   pass.x_hat.assign(task_count, 0.0);
@@ -46,15 +60,21 @@ FluidPass run_fluid_pass(const cluster::Cluster& cluster,
   pass.finish.assign(task_count, 0.0);
 
   // Arrival-adjusted WSPT key: a_n + (minimum possible total work) / w_n.
+  // The cached min_total aggregate turns the per-job O(G) reduction into an
+  // O(1) lookup; the naive path keeps the seed's explicit rescan.
   std::vector<JobId> order;
   order.reserve(jobs.job_count());
   std::vector<double> key(jobs.job_count(), 0.0);
   for (const auto& job : jobs.jobs()) {
     if (!sub.active(job.id)) continue;
     Time best_round = kTimeInfinity;
-    for (std::size_t g = 0; g < gpu_count; ++g) {
-      best_round = std::min(best_round,
-                            times.total(job.id, GpuId(static_cast<int>(g))));
+    if (engine.naive) {
+      for (std::size_t g = 0; g < gpu_count; ++g) {
+        best_round = std::min(
+            best_round, times.total(job.id, GpuId(static_cast<int>(g))));
+      }
+    } else {
+      best_round = times.min_total(job.id);
     }
     key[static_cast<std::size_t>(job.id.value())] =
         job.spec.arrival + static_cast<double>(job.rounds()) *
@@ -69,9 +89,40 @@ FluidPass run_fluid_pass(const cluster::Cluster& cluster,
     return a < b;
   });
 
-  const auto fits = workload::fitting_matrix(cluster, jobs);
+  // The fitting matrix and the index's masked T^c rows are φ-independent;
+  // when the caller hands us a scratch, build them once and share them with
+  // the list-scheduling pass. The naive engine keeps the seed's
+  // build-per-pass behaviour.
+  const bool share = scratch != nullptr && !engine.naive;
+  std::vector<std::vector<char>> local_fits;
+  if (share) {
+    if (scratch->fits.empty()) {
+      scratch->fits = workload::fitting_matrix(cluster, jobs);
+    }
+  } else {
+    local_fits = workload::fitting_matrix(cluster, jobs);
+  }
+  const auto& fits = share ? scratch->fits : local_fits;
   std::vector<Time> phi(gpu_count, 0.0);
   for (std::size_t g = 0; g < gpu_count; ++g) phi[g] = sub.phi(g);
+
+  const bool sharded = engine.use_sharded_scan(gpu_count) && pool != nullptr;
+  std::optional<PlacementIndex> local_index;
+  PlacementIndex* index = nullptr;
+  if (!engine.naive && !sharded) {
+    if (share) {
+      if (scratch->index) {
+        scratch->index->reset_phi(phi);
+      } else {
+        scratch->index.emplace(times, gpu_count, fits, phi, pool);
+      }
+      index = &*scratch->index;
+    } else {
+      local_index.emplace(times, gpu_count, fits, phi, pool);
+      index = &*local_index;
+    }
+  }
+
   for (const JobId job_id : order) {
     const workload::Job& job = jobs.job(job_id);
     const auto& job_fits = fits[static_cast<std::size_t>(job_id.value())];
@@ -80,27 +131,33 @@ FluidPass run_fluid_pass(const cluster::Cluster& cluster,
       Time barrier = release;
       for (TaskId task_id :
            jobs.round_tasks(job_id, static_cast<RoundIndex>(r))) {
-        std::size_t best_gpu = gpu_count;
-        Time best_finish = kTimeInfinity;
-        Time best_start = 0.0;
-        for (std::size_t g = 0; g < gpu_count; ++g) {
-          if (!job_fits[g]) continue;  // task would not fit device memory
-          const Time start = std::max(release, phi[g]);
-          const Time finish =
-              start + times.tc(job_id, GpuId(static_cast<int>(g)));
-          if (finish < best_finish) {
-            best_finish = finish;
-            best_gpu = g;
-            best_start = start;
+        PlacementIndex::Candidate chosen;
+        if (engine.naive) {
+          for (std::size_t g = 0; g < gpu_count; ++g) {
+            if (!job_fits[g]) continue;  // task would not fit device memory
+            const Time start = std::max(release, phi[g]);
+            const Time finish =
+                start + times.tc(job_id, GpuId(static_cast<int>(g)));
+            if (finish < chosen.finish) {
+              chosen = PlacementIndex::Candidate{g, start, finish};
+            }
           }
+        } else if (sharded) {
+          chosen = sharded_earliest_finish(times, job_id, release, job_fits,
+                                           phi, *pool);
+        } else {
+          chosen = index->earliest_finish(job_id, release);
         }
-        HARE_CHECK_MSG(best_gpu < gpu_count, "no feasible GPU for task");
-        const GpuId gpu(static_cast<int>(best_gpu));
+        HARE_CHECK_MSG(chosen.valid(), "no feasible GPU for task");
+        const GpuId gpu(static_cast<int>(chosen.gpu));
         const std::size_t idx = static_cast<std::size_t>(task_id.value());
-        pass.x_hat[idx] = best_start;
+        pass.x_hat[idx] = chosen.start;
         pass.y_hat[idx] = gpu;
-        pass.finish[idx] = best_start + times.total(job_id, gpu);
-        phi[best_gpu] = best_start + times.tc(job_id, gpu);  // sync overlaps
+        pass.finish[idx] = chosen.start + times.total(job_id, gpu);
+        const Time busy_until =
+            chosen.start + times.tc(job_id, gpu);  // sync overlaps
+        phi[chosen.gpu] = busy_until;
+        if (index) index->set_phi(chosen.gpu, busy_until);
         barrier = std::max(barrier, pass.finish[idx]);
       }
       release = barrier;
@@ -112,8 +169,22 @@ FluidPass run_fluid_pass(const cluster::Cluster& cluster,
 
 std::vector<Time> middle_completion_times(const workload::JobSet& jobs,
                                           const profiler::TimeTable& times,
-                                          const std::vector<Time>& x_hat) {
+                                          const std::vector<Time>& x_hat,
+                                          const PlannerEngine& engine) {
   std::vector<Time> h(jobs.task_count(), 0.0);
+  if (engine.naive) {
+    // Seed behaviour: rescan the GPU axis for every task.
+    for (const auto& task : jobs.tasks()) {
+      const std::size_t idx = static_cast<std::size_t>(task.id.value());
+      Time max_tc = times.tc(task.job, GpuId(0));
+      for (std::size_t g = 1; g < times.gpu_count(); ++g) {
+        max_tc = std::max(max_tc,
+                          times.tc(task.job, GpuId(static_cast<int>(g))));
+      }
+      h[idx] = x_hat[idx] + 0.5 * max_tc;
+    }
+    return h;
+  }
   for (const auto& task : jobs.tasks()) {
     const std::size_t idx = static_cast<std::size_t>(task.id.value());
     h[idx] = x_hat[idx] + 0.5 * times.max_tc(task.job);
@@ -126,13 +197,19 @@ std::vector<Time> middle_completion_times(const workload::JobSet& jobs,
 RelaxationResult HareRelaxation::solve(const cluster::Cluster& cluster,
                                        const workload::JobSet& jobs,
                                        const profiler::TimeTable& times,
-                                       const SubProblem& sub) const {
+                                       const SubProblem& sub,
+                                       PlannerScratch* scratch) const {
   HARE_CHECK_MSG(times.job_count() == jobs.job_count() &&
                      times.gpu_count() == cluster.gpu_count(),
                  "time table does not match instance");
+  // Freeze the aggregate cache before any pool fan-out: every later
+  // min/max/α accessor is then a pure read.
+  if (!config_.engine.naive) times.precompute();
   switch (config_.mode) {
-    case RelaxMode::Fluid: return solve_fluid(cluster, jobs, times, sub);
-    case RelaxMode::LpCuts: return solve_lp_cuts(cluster, jobs, times, sub);
+    case RelaxMode::Fluid:
+      return solve_fluid(cluster, jobs, times, sub, scratch);
+    case RelaxMode::LpCuts:
+      return solve_lp_cuts(cluster, jobs, times, sub, scratch);
   }
   HARE_CHECK_MSG(false, "unknown relaxation mode");
   return {};
@@ -140,27 +217,32 @@ RelaxationResult HareRelaxation::solve(const cluster::Cluster& cluster,
 
 RelaxationResult HareRelaxation::solve_fluid(
     const cluster::Cluster& cluster, const workload::JobSet& jobs,
-    const profiler::TimeTable& times, const SubProblem& sub) const {
-  const FluidPass pass = run_fluid_pass(cluster, jobs, times, sub);
+    const profiler::TimeTable& times, const SubProblem& sub,
+    PlannerScratch* scratch) const {
+  const FluidPass pass =
+      run_fluid_pass(cluster, jobs, times, sub, config_.engine, scratch);
   RelaxationResult result;
   result.x_hat = pass.x_hat;
   result.y_hat = pass.y_hat;
   result.objective = pass.objective;
-  result.h = middle_completion_times(jobs, times, result.x_hat);
+  result.h = middle_completion_times(jobs, times, result.x_hat, config_.engine);
   return result;
 }
 
 RelaxationResult HareRelaxation::solve_lp_cuts(
     const cluster::Cluster& cluster, const workload::JobSet& jobs,
-    const profiler::TimeTable& times, const SubProblem& sub) const {
+    const profiler::TimeTable& times, const SubProblem& sub,
+    PlannerScratch* scratch) const {
   HARE_CHECK_MSG(sub.job_mask.empty() && sub.initial_phi.empty(),
                  "LpCuts mode does not support incremental sub-problems; "
                  "use Fluid for online planning");
   // Fix ŷ with the fluid pass, then cut-plane the LP over x, round-end
   // variables E, and job completions C.
-  const FluidPass pass = run_fluid_pass(cluster, jobs, times, sub);
+  const FluidPass pass =
+      run_fluid_pass(cluster, jobs, times, sub, config_.engine, scratch);
   const std::size_t task_count = jobs.task_count();
   const std::size_t gpu_count = cluster.gpu_count();
+  common::ThreadPool* pool = config_.engine.pool();
 
   opt::LinearProgram lp;
   // Variables: x_i per task, then E_{n,r} per round, then C_n per job.
@@ -219,47 +301,73 @@ RelaxationResult HareRelaxation::solve_lp_cuts(
   RelaxationResult result;
   result.y_hat = pass.y_hat;
 
-  opt::LpSolution solution = lp.solve();
+  const bool warm = config_.engine.warm_start_lp && !config_.engine.naive;
+  opt::IncrementalLpSolver solver(lp, warm);
+
+  opt::LpSolution solution = solver.solve();
   HARE_CHECK_MSG(solution.optimal(), "relaxation LP is infeasible/unbounded");
   ++result.lp_solves;
+  result.simplex_pivots += solver.last_stats().total();
+  result.lp_rounds.push_back(LpRoundStats{0, solver.last_stats().total(),
+                                          solver.last_solve_was_warm()});
+
+  // One separation over all machines per round. The per-machine separations
+  // read the same LP point and are independent, so they fan out across the
+  // pool; cuts are then appended in ascending machine order, making the cut
+  // sequence — and every downstream pivot — identical to the serial path.
+  std::vector<opt::QueyranneCut> machine_cuts(gpu_count);
+  auto separate_machine = [&](std::size_t g) {
+    machine_cuts[g] = opt::QueyranneCut{};
+    const auto& members = machine_tasks[g];
+    if (members.size() < 2) return;
+    std::vector<double> t(members.size());
+    std::vector<double> point(members.size());
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      const workload::Task& task = jobs.task(members[k]);
+      t[k] = times.tc(task.job, GpuId(static_cast<int>(g)));
+      point[k] =
+          solution.values[x_var[static_cast<std::size_t>(members[k].value())]];
+    }
+    machine_cuts[g] =
+        opt::separate_queyranne_cut(t, point, config_.cut_tolerance);
+  };
 
   for (std::size_t round = 0; round < config_.max_cut_rounds; ++round) {
-    bool added = false;
+    if (pool) {
+      pool->parallel_for_each(gpu_count, separate_machine);
+    } else {
+      for (std::size_t g = 0; g < gpu_count; ++g) separate_machine(g);
+    }
+
+    std::size_t added = 0;
     for (std::size_t g = 0; g < gpu_count; ++g) {
-      const auto& members = machine_tasks[g];
-      if (members.size() < 2) continue;
-      std::vector<double> t(members.size());
-      std::vector<double> point(members.size());
-      for (std::size_t k = 0; k < members.size(); ++k) {
-        const workload::Task& task = jobs.task(members[k]);
-        t[k] = times.tc(task.job, GpuId(static_cast<int>(g)));
-        point[k] =
-            solution.values[x_var[static_cast<std::size_t>(
-                members[k].value())]];
-      }
-      const opt::QueyranneCut cut =
-          opt::separate_queyranne_cut(t, point, config_.cut_tolerance);
+      const opt::QueyranneCut& cut = machine_cuts[g];
       if (cut.subset.empty()) continue;
+      const auto& members = machine_tasks[g];
 
       // sum_{i in S} T_i x_i >= 1/2 [ (sum T)^2 - sum T^2 ].
       std::vector<std::pair<std::size_t, double>> terms;
       double t_sum = 0.0;
       double t_sq = 0.0;
       for (std::size_t k : cut.subset) {
+        const double tk = times.tc(jobs.task(members[k]).job,
+                                   GpuId(static_cast<int>(g)));
         terms.emplace_back(
-            x_var[static_cast<std::size_t>(members[k].value())], t[k]);
-        t_sum += t[k];
-        t_sq += t[k] * t[k];
+            x_var[static_cast<std::size_t>(members[k].value())], tk);
+        t_sum += tk;
+        t_sq += tk * tk;
       }
-      lp.add_constraint(terms, opt::Relation::GreaterEqual,
-                        0.5 * (t_sum * t_sum - t_sq));
+      solver.add_ge_constraint(terms, 0.5 * (t_sum * t_sum - t_sq));
       ++result.cut_count;
-      added = true;
+      ++added;
     }
-    if (!added) break;
-    solution = lp.solve();
+    if (added == 0) break;
+    solution = solver.solve();
     HARE_CHECK_MSG(solution.optimal(), "cut LP became infeasible");
     ++result.lp_solves;
+    result.simplex_pivots += solver.last_stats().total();
+    result.lp_rounds.push_back(LpRoundStats{added, solver.last_stats().total(),
+                                            solver.last_solve_was_warm()});
   }
 
   result.x_hat.resize(task_count);
@@ -267,7 +375,7 @@ RelaxationResult HareRelaxation::solve_lp_cuts(
     result.x_hat[i] = solution.values[x_var[i]];
   }
   result.objective = solution.objective;
-  result.h = middle_completion_times(jobs, times, result.x_hat);
+  result.h = middle_completion_times(jobs, times, result.x_hat, config_.engine);
   return result;
 }
 

@@ -29,9 +29,51 @@
 #include "profiler/time_table.hpp"
 #include "workload/job.hpp"
 
+namespace hare::common {
+class ThreadPool;
+}
+
 namespace hare::core {
 
+struct PlannerScratch;  // placement_index.hpp
+
 enum class RelaxMode : std::uint8_t { Fluid, LpCuts };
+
+/// Engine knobs for the planning pipeline, shared by the relaxation solver
+/// and Algorithm 1's list scheduler. Every setting produces bit-identical
+/// schedules (tests assert it); the knobs trade wall-clock only.
+struct PlannerEngine {
+  /// Pre-optimization reference path: O(G) linear candidate scans, a cold
+  /// two-phase LP per cut round, no caching shortcuts, no pool. Kept as the
+  /// perf bench baseline and as the equivalence oracle in tests.
+  bool naive = false;
+  /// LpCuts: keep the simplex basis across solve→separate→add-cut rounds
+  /// and restore feasibility with dual-simplex pivots instead of a cold
+  /// restart.
+  bool warm_start_lp = true;
+  /// Worker threads for per-machine separation, per-job preprocessing, and
+  /// sharded candidate scans. 0 or 1 = serial; >= 2 uses the process-wide
+  /// common::shared_pool().
+  std::size_t threads = 1;
+  /// Shard the per-GPU earliest-finish/available scans across the pool only
+  /// when the cluster has at least this many GPUs (below it, the indexed
+  /// lane scan wins and per-task fan-out overhead dominates).
+  std::size_t parallel_scan_min_gpus = 1024;
+
+  /// The pool to use under the current knobs, or nullptr for serial.
+  [[nodiscard]] common::ThreadPool* pool() const;
+  /// True when per-GPU candidate scans should shard across the pool.
+  [[nodiscard]] bool use_sharded_scan(std::size_t gpu_count) const {
+    return !naive && threads > 1 && gpu_count >= parallel_scan_min_gpus;
+  }
+};
+
+/// Pivot/cut accounting for one solve→separate→add-cut round (LpCuts).
+struct LpRoundStats {
+  std::size_t cuts_added = 0;      ///< cuts appended before this solve
+  std::size_t simplex_pivots = 0;  ///< pivots the solve needed
+  bool warm = false;               ///< solve reused the previous basis
+};
 
 struct RelaxationResult {
   std::vector<Time> x_hat;      ///< relaxed start time per task (by id)
@@ -39,7 +81,9 @@ struct RelaxationResult {
   std::vector<Time> h;          ///< H_i = x̂_i + max_m T^c_{i,m} / 2
   double objective = 0.0;       ///< relaxed Σ w_n C_n (lower bound given ŷ)
   std::size_t cut_count = 0;    ///< Queyranne cuts added (LpCuts mode)
-  std::size_t lp_solves = 0;    ///< LP iterations (LpCuts mode)
+  std::size_t lp_solves = 0;    ///< LP solve→separate rounds (LpCuts mode)
+  std::size_t simplex_pivots = 0;  ///< total pivots across rounds
+  std::vector<LpRoundStats> lp_rounds;  ///< per-round accounting
 };
 
 struct RelaxationConfig {
@@ -48,6 +92,8 @@ struct RelaxationConfig {
   std::size_t max_cut_rounds = 16;
   /// LpCuts: per-machine cut-violation tolerance.
   double cut_tolerance = 1e-6;
+  /// Execution-engine knobs (warm start, pool, scan strategy).
+  PlannerEngine engine{};
 };
 
 /// Optional sub-problem view for incremental (online) planning: only jobs
@@ -71,19 +117,26 @@ class HareRelaxation {
  public:
   explicit HareRelaxation(RelaxationConfig config = {}) : config_(config) {}
 
+  /// `scratch` (optional) shares the φ-independent planning buffers — the
+  /// fitting matrix and placement index — with the caller's list-scheduling
+  /// pass; the naive engine ignores it.
   [[nodiscard]] RelaxationResult solve(const cluster::Cluster& cluster,
                                        const workload::JobSet& jobs,
                                        const profiler::TimeTable& times,
-                                       const SubProblem& sub = {}) const;
+                                       const SubProblem& sub = {},
+                                       PlannerScratch* scratch = nullptr) const;
 
  private:
   [[nodiscard]] RelaxationResult solve_fluid(const cluster::Cluster& cluster,
                                              const workload::JobSet& jobs,
                                              const profiler::TimeTable& times,
-                                             const SubProblem& sub) const;
-  [[nodiscard]] RelaxationResult solve_lp_cuts(
-      const cluster::Cluster& cluster, const workload::JobSet& jobs,
-      const profiler::TimeTable& times, const SubProblem& sub) const;
+                                             const SubProblem& sub,
+                                             PlannerScratch* scratch) const;
+  [[nodiscard]] RelaxationResult solve_lp_cuts(const cluster::Cluster& cluster,
+                                               const workload::JobSet& jobs,
+                                               const profiler::TimeTable& times,
+                                               const SubProblem& sub,
+                                               PlannerScratch* scratch) const;
 
   RelaxationConfig config_;
 };

@@ -11,6 +11,7 @@ namespace hare::opt {
 namespace {
 
 constexpr double kEps = 1e-9;
+constexpr double kBigM = 1e12;
 
 /// Dense simplex tableau. Columns: structural + slack/surplus + artificial,
 /// plus the rhs column. One basis variable per row.
@@ -28,6 +29,23 @@ class Tableau {
 
   [[nodiscard]] std::size_t rows() const { return rows_; }
   [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  /// Grow by `extra_rows` zero rows and `extra_cols` zero columns (the rhs
+  /// column stays last). Used when cut rows are appended to a solved LP.
+  void expand(std::size_t extra_rows, std::size_t extra_cols) {
+    const std::size_t new_rows = rows_ + extra_rows;
+    const std::size_t new_cols = cols_ + extra_cols;
+    std::vector<double> grown(new_rows * (new_cols + 1), 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        grown[r * (new_cols + 1) + c] = at(r, c);
+      }
+      grown[r * (new_cols + 1) + new_cols] = rhs(r);
+    }
+    rows_ = new_rows;
+    cols_ = new_cols;
+    data_ = std::move(grown);
+  }
 
   void pivot(std::size_t pr, std::size_t pc) {
     const double pivot_value = at(pr, pc);
@@ -76,10 +94,10 @@ void compute_reduced_costs(SimplexState& s, const std::vector<double>& c) {
   }
 }
 
-/// Run simplex iterations minimizing objective c. Returns status; updates
-/// state in place. Reduced costs maintained incrementally via re-pricing.
+/// Run primal simplex iterations minimizing objective c. Returns status;
+/// updates state in place. `pivots`, when given, accumulates pivot counts.
 LpStatus iterate(SimplexState& s, const std::vector<double>& c,
-                 std::size_t max_iterations) {
+                 std::size_t max_iterations, std::size_t* pivots = nullptr) {
   const std::size_t cols = s.tableau.cols();
   const std::size_t rows = s.tableau.rows();
   const std::size_t bland_threshold = max_iterations / 2;
@@ -120,6 +138,54 @@ LpStatus iterate(SimplexState& s, const std::vector<double>& c,
 
     s.tableau.pivot(leave, enter);
     s.basis[leave] = enter;
+    if (pivots) ++*pivots;
+  }
+  return LpStatus::IterationLimit;
+}
+
+/// Dual simplex: starting from a dual-feasible basis (reduced costs <= 0)
+/// with negative right-hand sides (from appended cut rows), pivot until the
+/// primal is feasible again. Returns Optimal when feasible, Infeasible when
+/// a fully non-negative row has a negative rhs (the cut system is empty).
+LpStatus dual_iterate(SimplexState& s, const std::vector<double>& c,
+                      std::size_t max_iterations, std::size_t* pivots) {
+  const std::size_t cols = s.tableau.cols();
+  const std::size_t rows = s.tableau.rows();
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // Leaving row: most negative rhs.
+    std::size_t leave = rows;
+    double most_negative = -kEps;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (s.tableau.rhs(r) < most_negative) {
+        most_negative = s.tableau.rhs(r);
+        leave = r;
+      }
+    }
+    if (leave == rows) return LpStatus::Optimal;  // primal feasible
+
+    compute_reduced_costs(s, c);
+
+    // Entering column: dual ratio test over negative entries of the leaving
+    // row — minimize reduced[j] / a_rj (>= 0 since both are <= 0), ties to
+    // the lowest column index (Bland-style, guards cycling).
+    std::size_t enter = cols;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double a = s.tableau.at(leave, j);
+      if (a < -kEps) {
+        const double ratio = s.reduced[j] / a;
+        if (ratio < best_ratio - kEps) {
+          best_ratio = ratio;
+          enter = j;
+        }
+      }
+    }
+    if (enter == cols) return LpStatus::Infeasible;
+
+    s.tableau.pivot(leave, enter);
+    s.basis[leave] = enter;
+    if (pivots) ++*pivots;
   }
   return LpStatus::IterationLimit;
 }
@@ -142,15 +208,58 @@ void LinearProgram::add_constraint(
   rows_.push_back(Row{terms, rel, rhs});
 }
 
-LpSolution LinearProgram::solve(std::size_t max_iterations) const {
-  const std::size_t n = objective_.size();
-  const std::size_t m = rows_.size();
+struct IncrementalLpSolver::Impl {
+  LinearProgram lp;  ///< full program including appended cuts
+  bool warm_start = true;
+
+  // Retained standard-form state (warm path).
+  SimplexState state{Tableau(0, 0), {}, {}, 0.0};
+  std::vector<char> artificial;  ///< per-column artificial flag
+  std::vector<double> phase2;    ///< phase-2 costs (kBigM fences artificials)
+  std::size_t structural = 0;    ///< count of original variables
+  bool has_basis = false;        ///< a previous solve retained its basis
+  bool basis_optimal = false;
+  bool dirty = false;  ///< rows appended since the basis was factorized
+
+  LpIterationStats stats;
+  bool last_warm = false;
+
+  LpSolution cold_solve(std::size_t max_iterations);
+  LpSolution warm_resolve(std::size_t max_iterations);
+  LpSolution extract() const;
+  void append_cut_row(const std::vector<std::pair<std::size_t, double>>& terms,
+                      double rhs);
+};
+
+LpSolution IncrementalLpSolver::Impl::extract() const {
+  LpSolution solution;
+  solution.status = LpStatus::Optimal;
+  solution.values.assign(structural, 0.0);
+  for (std::size_t r = 0; r < state.tableau.rows(); ++r) {
+    if (state.basis[r] < structural) {
+      solution.values[state.basis[r]] = state.tableau.rhs(r);
+    }
+  }
+  solution.objective = 0.0;
+  for (std::size_t j = 0; j < structural; ++j) {
+    solution.objective += lp.objective_[j] * solution.values[j];
+  }
+  return solution;
+}
+
+LpSolution IncrementalLpSolver::Impl::cold_solve(std::size_t max_iterations) {
+  const std::size_t n = lp.objective_.size();
+  const std::size_t m = lp.rows_.size();
+  structural = n;
+  has_basis = false;
+  basis_optimal = false;
+  dirty = false;
 
   // Count auxiliary columns: slack for <=, surplus for >=, artificial for
   // >= and =. After sign normalization (rhs >= 0).
   std::size_t slack_count = 0;
   std::size_t artificial_count = 0;
-  std::vector<Row> rows = rows_;
+  std::vector<LinearProgram::Row> rows = lp.rows_;
   for (auto& row : rows) {
     if (row.rhs < 0.0) {
       row.rhs = -row.rhs;
@@ -172,15 +281,15 @@ LpSolution LinearProgram::solve(std::size_t max_iterations) const {
   }
 
   const std::size_t total = n + slack_count + artificial_count;
-  SimplexState state{Tableau(m, total), {}, {}, 0.0};
+  state = SimplexState{Tableau(m, total), {}, {}, 0.0};
   state.basis.assign(m, 0);
+  artificial.assign(total, 0);
 
   std::size_t next_slack = n;
   std::size_t next_artificial = n + slack_count;
-  std::vector<bool> is_artificial(total, false);
 
   for (std::size_t r = 0; r < m; ++r) {
-    const Row& row = rows[r];
+    const LinearProgram::Row& row = rows[r];
     for (const auto& [var, coeff] : row.terms) {
       state.tableau.at(r, var) += coeff;
     }
@@ -194,12 +303,12 @@ LpSolution LinearProgram::solve(std::size_t max_iterations) const {
         state.tableau.at(r, next_slack) = -1.0;
         ++next_slack;
         state.tableau.at(r, next_artificial) = 1.0;
-        is_artificial[next_artificial] = true;
+        artificial[next_artificial] = 1;
         state.basis[r] = next_artificial++;
         break;
       case Relation::Equal:
         state.tableau.at(r, next_artificial) = 1.0;
-        is_artificial[next_artificial] = true;
+        artificial[next_artificial] = 1;
         state.basis[r] = next_artificial++;
         break;
     }
@@ -211,9 +320,10 @@ LpSolution LinearProgram::solve(std::size_t max_iterations) const {
   if (artificial_count > 0) {
     std::vector<double> phase1(total, 0.0);
     for (std::size_t j = 0; j < total; ++j) {
-      if (is_artificial[j]) phase1[j] = 1.0;
+      if (artificial[j]) phase1[j] = 1.0;
     }
-    const LpStatus status = iterate(state, phase1, max_iterations);
+    const LpStatus status =
+        iterate(state, phase1, max_iterations, &stats.phase1);
     if (status == LpStatus::IterationLimit) {
       solution.status = status;
       return solution;
@@ -225,7 +335,7 @@ LpSolution LinearProgram::solve(std::size_t max_iterations) const {
     }
     // Pivot any artificial still (degenerately) basic out of the basis.
     for (std::size_t r = 0; r < m; ++r) {
-      if (!is_artificial[state.basis[r]]) continue;
+      if (!artificial[state.basis[r]]) continue;
       std::size_t enter = total;
       for (std::size_t j = 0; j < n + slack_count; ++j) {
         if (std::abs(state.tableau.at(r, j)) > kEps) {
@@ -244,26 +354,127 @@ LpSolution LinearProgram::solve(std::size_t max_iterations) const {
 
   // Phase 2: original objective; artificials are fenced out with +inf-like
   // cost so they never re-enter.
-  std::vector<double> phase2(total, 0.0);
-  for (std::size_t j = 0; j < n; ++j) phase2[j] = objective_[j];
-  constexpr double kBigM = 1e12;
+  phase2.assign(total, 0.0);
+  for (std::size_t j = 0; j < n; ++j) phase2[j] = lp.objective_[j];
   for (std::size_t j = 0; j < total; ++j) {
-    if (is_artificial[j]) phase2[j] = kBigM;
+    if (artificial[j]) phase2[j] = kBigM;
   }
-  const LpStatus status = iterate(state, phase2, max_iterations);
-  solution.status = status;
-  if (status != LpStatus::Optimal) return solution;
+  const LpStatus status = iterate(state, phase2, max_iterations, &stats.phase2);
+  if (status != LpStatus::Optimal) {
+    solution.status = status;
+    return solution;
+  }
 
-  solution.values.assign(n, 0.0);
-  for (std::size_t r = 0; r < m; ++r) {
-    if (state.basis[r] < n) {
-      solution.values[state.basis[r]] = state.tableau.rhs(r);
+  has_basis = true;
+  basis_optimal = true;
+  return extract();
+}
+
+void IncrementalLpSolver::Impl::append_cut_row(
+    const std::vector<std::pair<std::size_t, double>>& terms, double rhs) {
+  // Append `terms >= rhs` in standard form: -terms + surplus = -rhs with the
+  // new surplus basic, then eliminate the current basic variables so the row
+  // is expressed over the non-basic columns. The resulting rhs is negative
+  // exactly when the cut is violated at the retained vertex; dual simplex
+  // repairs it at the next solve().
+  const std::size_t old_cols = state.tableau.cols();
+  const std::size_t old_rows = state.tableau.rows();
+  state.tableau.expand(1, 1);
+  const std::size_t surplus = old_cols;  // new column index
+  const std::size_t row = old_rows;      // new row index
+  artificial.push_back(0);
+  phase2.push_back(0.0);
+
+  for (const auto& [var, coeff] : terms) {
+    HARE_CHECK_MSG(var < structural,
+                   "cut references unknown variable " << var);
+    state.tableau.at(row, var) -= coeff;
+  }
+  state.tableau.at(row, surplus) = 1.0;
+  state.tableau.rhs(row) = -rhs;
+
+  // Gaussian elimination of basic columns from the new row.
+  for (std::size_t r = 0; r < old_rows; ++r) {
+    const double factor = state.tableau.at(row, state.basis[r]);
+    if (std::abs(factor) < kEps) continue;
+    for (std::size_t c = 0; c <= state.tableau.cols(); ++c) {
+      const double a = state.tableau.at(r, c);
+      if (a != 0.0) state.tableau.at(row, c) -= factor * a;
     }
+    state.tableau.at(row, state.basis[r]) = 0.0;
   }
-  solution.objective = 0.0;
-  for (std::size_t j = 0; j < n; ++j) {
-    solution.objective += objective_[j] * solution.values[j];
+  state.basis.push_back(surplus);
+  dirty = true;
+}
+
+LpSolution IncrementalLpSolver::Impl::warm_resolve(
+    std::size_t max_iterations) {
+  LpStatus status =
+      dual_iterate(state, phase2, max_iterations, &stats.dual);
+  if (status == LpStatus::Optimal) {
+    // Dual feasibility is maintained by the ratio test, so this usually
+    // terminates immediately; it cleans up numerical drift when not.
+    status = iterate(state, phase2, max_iterations, &stats.phase2);
   }
+  if (status != LpStatus::Optimal) {
+    // Degenerate dual stall or drift: fall back to a cold factorization of
+    // the full program (all cuts are recorded in `lp`).
+    stats = {};
+    last_warm = false;
+    return cold_solve(max_iterations);
+  }
+  dirty = false;
+  basis_optimal = true;
+  return extract();
+}
+
+IncrementalLpSolver::IncrementalLpSolver(const LinearProgram& lp,
+                                         bool warm_start)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->lp = lp;
+  impl_->warm_start = warm_start;
+}
+
+IncrementalLpSolver::~IncrementalLpSolver() = default;
+IncrementalLpSolver::IncrementalLpSolver(IncrementalLpSolver&&) noexcept =
+    default;
+IncrementalLpSolver& IncrementalLpSolver::operator=(
+    IncrementalLpSolver&&) noexcept = default;
+
+void IncrementalLpSolver::add_ge_constraint(
+    const std::vector<std::pair<std::size_t, double>>& terms, double rhs) {
+  impl_->lp.add_constraint(terms, Relation::GreaterEqual, rhs);
+  if (impl_->warm_start && impl_->has_basis) {
+    HARE_CHECK_MSG(impl_->basis_optimal || impl_->dirty,
+                   "cannot warm-append a cut to a non-optimal basis");
+    impl_->append_cut_row(terms, rhs);
+  }
+}
+
+LpSolution IncrementalLpSolver::solve(std::size_t max_iterations) {
+  impl_->stats = {};
+  if (impl_->warm_start && impl_->has_basis) {
+    impl_->last_warm = true;
+    impl_->basis_optimal = false;
+    return impl_->warm_resolve(max_iterations);
+  }
+  impl_->last_warm = false;
+  return impl_->cold_solve(max_iterations);
+}
+
+const LpIterationStats& IncrementalLpSolver::last_stats() const {
+  return impl_->stats;
+}
+
+bool IncrementalLpSolver::last_solve_was_warm() const {
+  return impl_->last_warm;
+}
+
+LpSolution LinearProgram::solve(std::size_t max_iterations,
+                                LpIterationStats* stats) const {
+  IncrementalLpSolver solver(*this, /*warm_start=*/false);
+  LpSolution solution = solver.solve(max_iterations);
+  if (stats) *stats = solver.last_stats();
   return solution;
 }
 

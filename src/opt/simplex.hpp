@@ -1,4 +1,4 @@
-// Dense two-phase primal simplex LP solver.
+// Dense two-phase primal simplex LP solver with warm-started re-solves.
 //
 // Stands in for the commercial solver (CPLEX/Gurobi) the paper uses for the
 // Hare_Sched_RL relaxation. Problems are stated in the natural form
@@ -6,9 +6,19 @@
 // and converted internally to standard form with slack/surplus/artificial
 // variables. Sized for the LP-mode relaxation on small/medium instances
 // (hundreds of variables); the fluid relaxation covers cluster scale.
+//
+// Two entry points:
+//  * LinearProgram::solve() — one-shot cold solve (phase 1 + phase 2).
+//  * IncrementalLpSolver — retains the optimal basis between solves so a
+//    cutting-plane loop (solve → separate → add ≥-cut → re-solve) restores
+//    feasibility with a handful of dual-simplex pivots instead of a cold
+//    restart. This is the standard warm start a commercial solver applies
+//    when rows are appended, and it is what makes the LpCuts relaxation
+//    usable inside a continuously re-planning scheduler.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 namespace hare::opt {
@@ -23,6 +33,16 @@ struct LpSolution {
   std::vector<double> values;
 
   [[nodiscard]] bool optimal() const { return status == LpStatus::Optimal; }
+};
+
+/// Simplex pivot counts of one solve() call, split by phase. A warm-started
+/// re-solve runs only dual (and possibly a few primal cleanup) pivots.
+struct LpIterationStats {
+  std::size_t phase1 = 0;  ///< feasibility pivots (cold solve only)
+  std::size_t phase2 = 0;  ///< primal optimality pivots
+  std::size_t dual = 0;    ///< dual pivots restoring feasibility after cuts
+
+  [[nodiscard]] std::size_t total() const { return phase1 + phase2 + dual; }
 };
 
 class LinearProgram {
@@ -40,10 +60,14 @@ class LinearProgram {
   [[nodiscard]] std::size_t constraint_count() const { return rows_.size(); }
 
   /// Minimize. `max_iterations` guards against cycling (Bland's rule is
-  /// engaged automatically after a stall).
-  [[nodiscard]] LpSolution solve(std::size_t max_iterations = 100000) const;
+  /// engaged automatically after a stall). `stats`, when given, receives
+  /// the pivot counts of this solve.
+  [[nodiscard]] LpSolution solve(std::size_t max_iterations = 100000,
+                                 LpIterationStats* stats = nullptr) const;
 
  private:
+  friend class IncrementalLpSolver;
+
   struct Row {
     std::vector<std::pair<std::size_t, double>> terms;
     Relation rel = Relation::LessEqual;
@@ -52,6 +76,39 @@ class LinearProgram {
 
   std::vector<double> objective_;
   std::vector<Row> rows_;
+};
+
+/// Stateful solver for cutting-plane loops. Construct from a fully built
+/// LinearProgram, call solve() (cold two-phase), then alternate
+/// add_ge_constraint() / solve(): each re-solve starts from the retained
+/// optimal basis and prices the appended rows in with dual-simplex pivots.
+/// With `warm_start = false` the solver degrades to a cold two-phase solve
+/// per call — the pre-warm-start reference path the perf bench compares
+/// against.
+class IncrementalLpSolver {
+ public:
+  explicit IncrementalLpSolver(const LinearProgram& lp, bool warm_start = true);
+  ~IncrementalLpSolver();
+  IncrementalLpSolver(IncrementalLpSolver&&) noexcept;
+  IncrementalLpSolver& operator=(IncrementalLpSolver&&) noexcept;
+
+  /// Append `terms >= rhs`. Takes effect at the next solve().
+  void add_ge_constraint(
+      const std::vector<std::pair<std::size_t, double>>& terms, double rhs);
+
+  /// Solve / re-solve. The first call is always a cold two-phase solve;
+  /// later calls re-optimize from the previous basis when warm_start is on.
+  [[nodiscard]] LpSolution solve(std::size_t max_iterations = 100000);
+
+  /// Pivot counts of the most recent solve() call.
+  [[nodiscard]] const LpIterationStats& last_stats() const;
+
+  /// True when the most recent solve() reused the previous basis.
+  [[nodiscard]] bool last_solve_was_warm() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace hare::opt

@@ -6,63 +6,55 @@
 
 namespace hare::profiler {
 
-namespace {
-template <typename Fn>
-Time reduce_over_gpus(std::size_t gpu_count, Fn&& value, bool want_min) {
-  HARE_CHECK_MSG(gpu_count > 0, "time table has no GPUs");
-  Time best = value(0);
-  for (std::size_t g = 1; g < gpu_count; ++g) {
-    const Time v = value(g);
-    best = want_min ? std::min(best, v) : std::max(best, v);
-  }
-  return best;
-}
-}  // namespace
-
-Time TimeTable::min_tc(JobId job) const {
-  return reduce_over_gpus(
-      gpu_count_, [&](std::size_t g) { return tc(job, GpuId(static_cast<int>(g))); },
-      true);
-}
-
-Time TimeTable::max_tc(JobId job) const {
-  return reduce_over_gpus(
-      gpu_count_, [&](std::size_t g) { return tc(job, GpuId(static_cast<int>(g))); },
-      false);
-}
-
-Time TimeTable::min_ts(JobId job) const {
-  return reduce_over_gpus(
-      gpu_count_, [&](std::size_t g) { return ts(job, GpuId(static_cast<int>(g))); },
-      true);
-}
-
-Time TimeTable::max_ts(JobId job) const {
-  return reduce_over_gpus(
-      gpu_count_, [&](std::size_t g) { return ts(job, GpuId(static_cast<int>(g))); },
-      false);
-}
-
-GpuId TimeTable::fastest_gpu(JobId job) const {
+// One pass over the GPU axis fills every aggregate for the job; the old
+// reduce_over_gpus helper ran a separate O(G) scan per min/max accessor.
+const TimeTable::JobAggregates& TimeTable::aggregates(JobId job) const {
   HARE_CHECK_MSG(gpu_count_ > 0, "time table has no GPUs");
-  GpuId best(0);
+  const std::size_t j = static_cast<std::size_t>(job.value());
+  HARE_CHECK_MSG(j < agg_.size(), "time table has no job " << job);
+  if (agg_valid_[j]) return agg_[j];
+
+  const std::size_t base = j * gpu_count_;
+  JobAggregates agg;
+  agg.min_tc = agg.max_tc = tc_[base];
+  agg.min_ts = agg.max_ts = ts_[base];
+  agg.min_total = tc_[base] + ts_[base];
+  agg.fastest = GpuId(0);
   for (std::size_t g = 1; g < gpu_count_; ++g) {
-    const GpuId candidate(static_cast<int>(g));
-    if (tc(job, candidate) < tc(job, best)) best = candidate;
+    const Time c = tc_[base + g];
+    const Time s = ts_[base + g];
+    if (c < agg.min_tc) {
+      agg.min_tc = c;
+      agg.fastest = GpuId(static_cast<int>(g));
+    }
+    agg.max_tc = std::max(agg.max_tc, c);
+    agg.min_ts = std::min(agg.min_ts, s);
+    agg.max_ts = std::max(agg.max_ts, s);
+    agg.min_total = std::min(agg.min_total, c + s);
   }
-  return best;
+  agg_[j] = agg;
+  agg_valid_[j] = 1;
+  return agg_[j];
 }
 
 double TimeTable::alpha() const {
+  if (alpha_valid_) return alpha_;
   double alpha = 1.0;
   for (std::size_t j = 0; j < job_count(); ++j) {
-    const JobId job(static_cast<int>(j));
-    const Time tc_min = min_tc(job);
-    const Time ts_min = min_ts(job);
-    if (tc_min > 0.0) alpha = std::max(alpha, max_tc(job) / tc_min);
-    if (ts_min > 0.0) alpha = std::max(alpha, max_ts(job) / ts_min);
+    const JobAggregates& agg = aggregates(JobId(static_cast<int>(j)));
+    if (agg.min_tc > 0.0) alpha = std::max(alpha, agg.max_tc / agg.min_tc);
+    if (agg.min_ts > 0.0) alpha = std::max(alpha, agg.max_ts / agg.min_ts);
   }
-  return alpha;
+  alpha_ = alpha;
+  alpha_valid_ = true;
+  return alpha_;
+}
+
+void TimeTable::precompute() const {
+  for (std::size_t j = 0; j < job_count(); ++j) {
+    (void)aggregates(JobId(static_cast<int>(j)));
+  }
+  if (job_count() > 0) (void)alpha();
 }
 
 }  // namespace hare::profiler

@@ -5,6 +5,14 @@
 // profile, exactly as the real profiler feeds Algorithm 1. The table also
 // exposes α = max_i max{T^c max/min, T^s max/min}, the heterogeneity ratio
 // in the α(2+α) approximation bound (Lemma 3 / Theorem 4).
+//
+// Per-job reductions (min/max T^c, min/max T^s, min total, fastest GPU) are
+// cached: a single O(G) pass per job fills every aggregate, so the H_i
+// computation and alpha() cost O(1) per lookup instead of rescanning the
+// GPU axis inside the planner's O(T) loops. `set()` invalidates only the
+// touched job's cache (plus α). Lazy recomputation mutates the cache from
+// const accessors; call `precompute()` before sharing one table across
+// threads so every later accessor is a pure read.
 #pragma once
 
 #include <vector>
@@ -19,7 +27,9 @@ class TimeTable {
   TimeTable(std::size_t job_count, std::size_t gpu_count)
       : gpu_count_(gpu_count),
         tc_(job_count * gpu_count, 0.0),
-        ts_(job_count * gpu_count, 0.0) {}
+        ts_(job_count * gpu_count, 0.0),
+        agg_(job_count),
+        agg_valid_(job_count, 0) {}
 
   [[nodiscard]] std::size_t job_count() const {
     return gpu_count_ ? tc_.size() / gpu_count_ : 0;
@@ -32,9 +42,16 @@ class TimeTable {
   [[nodiscard]] Time ts(JobId job, GpuId gpu) const {
     return ts_[index(job, gpu)];
   }
+  /// Contiguous T^c row of a job (indexed by GpuId value), for the planner's
+  /// hot candidate scans. Values are the exact doubles tc() returns.
+  [[nodiscard]] const Time* tc_row(JobId job) const {
+    return tc_.data() + static_cast<std::size_t>(job.value()) * gpu_count_;
+  }
   void set(JobId job, GpuId gpu, Time compute, Time sync) {
     tc_[index(job, gpu)] = compute;
     ts_[index(job, gpu)] = sync;
+    agg_valid_[static_cast<std::size_t>(job.value())] = 0;
+    alpha_valid_ = false;
   }
 
   /// Total (compute + sync) time of one task of `job` on `gpu`.
@@ -43,26 +60,54 @@ class TimeTable {
   }
 
   /// Fastest compute time of a job's task across GPUs.
-  [[nodiscard]] Time min_tc(JobId job) const;
-  [[nodiscard]] Time max_tc(JobId job) const;
-  [[nodiscard]] Time min_ts(JobId job) const;
-  [[nodiscard]] Time max_ts(JobId job) const;
+  [[nodiscard]] Time min_tc(JobId job) const { return aggregates(job).min_tc; }
+  [[nodiscard]] Time max_tc(JobId job) const { return aggregates(job).max_tc; }
+  [[nodiscard]] Time min_ts(JobId job) const { return aggregates(job).min_ts; }
+  [[nodiscard]] Time max_ts(JobId job) const { return aggregates(job).max_ts; }
+
+  /// Smallest T^c + T^s of a job's task across GPUs.
+  [[nodiscard]] Time min_total(JobId job) const {
+    return aggregates(job).min_total;
+  }
 
   /// GPU with the smallest T^c for this job.
-  [[nodiscard]] GpuId fastest_gpu(JobId job) const;
+  [[nodiscard]] GpuId fastest_gpu(JobId job) const {
+    return aggregates(job).fastest;
+  }
 
   /// α = max over tasks of max{T^c,max/T^c,min, T^s,max/T^s,min} (Lemma 3).
   [[nodiscard]] double alpha() const;
 
+  /// Force every per-job aggregate (and α) into the cache. After this, all
+  /// aggregate accessors are pure reads until the next set() — required
+  /// before concurrent readers share the table.
+  void precompute() const;
+
  private:
+  struct JobAggregates {
+    Time min_tc = 0.0;
+    Time max_tc = 0.0;
+    Time min_ts = 0.0;
+    Time max_ts = 0.0;
+    Time min_total = 0.0;
+    GpuId fastest{};
+  };
+
   [[nodiscard]] std::size_t index(JobId job, GpuId gpu) const {
     return static_cast<std::size_t>(job.value()) * gpu_count_ +
            static_cast<std::size_t>(gpu.value());
   }
 
+  [[nodiscard]] const JobAggregates& aggregates(JobId job) const;
+
   std::size_t gpu_count_ = 0;
   std::vector<Time> tc_;
   std::vector<Time> ts_;
+
+  mutable std::vector<JobAggregates> agg_;
+  mutable std::vector<char> agg_valid_;
+  mutable double alpha_ = 1.0;
+  mutable bool alpha_valid_ = false;
 };
 
 }  // namespace hare::profiler

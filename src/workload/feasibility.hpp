@@ -27,9 +27,13 @@ namespace hare::workload {
   for (const auto& job : jobs.jobs()) {
     auto& row = fits[static_cast<std::size_t>(job.id.value())];
     row.resize(cluster.gpu_count());
+    // The footprint depends only on the job; hoist it out of the GPU loop
+    // so the matrix build is one compare per (job, gpu).
+    const auto footprint = task_memory_footprint(model_spec(job.spec.model),
+                                                 job.effective_batch_size());
     bool any = false;
     for (const auto& gpu : cluster.gpus()) {
-      const bool ok = task_fits(job, gpu);
+      const bool ok = footprint <= gpu.spec().memory;
       row[static_cast<std::size_t>(gpu.id.value())] = ok ? 1 : 0;
       any = any || ok;
     }

@@ -1,0 +1,279 @@
+// Equivalence guarantees for the fast planning pipeline.
+//
+// The engine knobs (warm-started LP cuts, indexed placement, pool-sharded
+// candidate scans, cached TimeTable aggregates) are wall-clock
+// optimizations only. This suite pins that contract:
+//  (a) warm-started LpCuts reaches the same objective and cut count as the
+//      cold-start reference on the Fig 1 toy and on random instances;
+//  (b) the naive, indexed, and sharded planners emit bit-identical
+//      sim::Schedules (task→GPU sequences and predicted starts) across
+//      seeds, placement rules, and relaxation modes;
+//  (c) the cached TimeTable aggregates match naive reductions and survive
+//      invalidation via set().
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/hare.hpp"
+#include "test_util.hpp"
+
+namespace hare {
+namespace {
+
+testing::Instance fig1_toy() {
+  testing::Instance instance;
+  instance.cluster = cluster::ClusterBuilder{}
+                         .add_machine(cluster::GpuType::V100, 1)
+                         .add_machine(cluster::GpuType::T4, 1)
+                         .add_machine(cluster::GpuType::K80, 1)
+                         .build();
+  workload::JobSpec j1;
+  j1.rounds = 2;
+  j1.tasks_per_round = 2;
+  instance.jobs.add_job(j1);
+  workload::JobSpec j2;
+  j2.rounds = 4;
+  j2.tasks_per_round = 1;
+  instance.jobs.add_job(j2);
+  workload::JobSpec j3;
+  j3.rounds = 2;
+  j3.tasks_per_round = 2;
+  instance.jobs.add_job(j3);
+
+  instance.times = profiler::TimeTable(3, 3);
+  const double t[3][3] = {{1.0, 1.1, 1.2}, {1.0, 0.4, 2.0}, {1.1, 1.2, 1.0}};
+  for (int j = 0; j < 3; ++j) {
+    for (int g = 0; g < 3; ++g) {
+      instance.times.set(JobId(j), GpuId(g), t[j][g], 0.05);
+    }
+  }
+  return instance;
+}
+
+core::RelaxationResult solve_lp(const testing::Instance& instance,
+                                bool warm) {
+  core::RelaxationConfig config;
+  config.mode = core::RelaxMode::LpCuts;
+  config.engine.warm_start_lp = warm;
+  config.engine.naive = !warm;  // cold reference = pre-optimization path
+  const core::HareRelaxation relaxation(config);
+  return relaxation.solve(instance.cluster, instance.jobs, instance.times);
+}
+
+void expect_warm_matches_cold(const testing::Instance& instance) {
+  const core::RelaxationResult cold = solve_lp(instance, false);
+  const core::RelaxationResult warm = solve_lp(instance, true);
+
+  // The relaxation value is unique even when the optimal vertex is not: a
+  // warm continuation may separate a shorter cut trajectory than a cold
+  // restart (degenerate optima admit several vertices), but both must land
+  // on the same objective, and neither may cut beyond the budget without
+  // converging.
+  EXPECT_NEAR(warm.objective, cold.objective,
+              1e-6 * std::max(1.0, std::abs(cold.objective)));
+  EXPECT_LE(warm.cut_count, cold.cut_count);
+  EXPECT_GE(warm.cut_count, 1u) << "toy/random instances always need cuts";
+
+  // Every re-solve after the first must actually have reused the basis.
+  ASSERT_EQ(warm.lp_rounds.size(), warm.lp_solves);
+  for (std::size_t r = 0; r < warm.lp_rounds.size(); ++r) {
+    EXPECT_EQ(warm.lp_rounds[r].warm, r > 0) << "round " << r;
+  }
+  for (const auto& round : cold.lp_rounds) EXPECT_FALSE(round.warm);
+
+  // The point of warm starting: the whole cutting-plane run costs fewer
+  // pivots than the cold reference, which pays a full two-phase solve per
+  // round.
+  if (cold.lp_solves > 1) {
+    EXPECT_LT(warm.simplex_pivots, cold.simplex_pivots);
+  }
+}
+
+TEST(WarmStartLp, MatchesColdStartOnFig1Toy) {
+  expect_warm_matches_cold(fig1_toy());
+}
+
+TEST(WarmStartLp, MatchesColdStartOnRandomInstances) {
+  for (const std::uint64_t seed : {7ull, 21ull, 99ull}) {
+    SCOPED_TRACE(seed);
+    expect_warm_matches_cold(testing::make_random_instance(seed, 8, 4));
+  }
+}
+
+core::HareConfig engine_config(core::RelaxMode mode, core::Placement place,
+                               bool naive, std::size_t threads,
+                               std::size_t scan_min_gpus,
+                               bool warm_start = true) {
+  core::HareConfig config;
+  config.relaxation.mode = mode;
+  config.placement = place;
+  config.relaxation.engine.naive = naive;
+  config.relaxation.engine.warm_start_lp = warm_start;
+  config.relaxation.engine.threads = threads;
+  config.relaxation.engine.parallel_scan_min_gpus = scan_min_gpus;
+  return config;
+}
+
+void expect_same_schedule(const sim::Schedule& a, const sim::Schedule& b) {
+  ASSERT_EQ(a.sequences.size(), b.sequences.size());
+  for (std::size_t g = 0; g < a.sequences.size(); ++g) {
+    EXPECT_EQ(a.sequences[g], b.sequences[g]) << "gpu " << g;
+  }
+  // Bit-identical, not approximately equal: every engine evaluates the same
+  // floating-point candidate expressions.
+  EXPECT_EQ(a.predicted_start, b.predicted_start);
+  EXPECT_EQ(a.predicted_objective, b.predicted_objective);
+}
+
+TEST(PlannerEquivalence, EnginesAgreeAcrossSeedsAndModes) {
+  for (const std::uint64_t seed : {3ull, 17ull, 40ull, 77ull}) {
+    for (const auto mode : {core::RelaxMode::Fluid, core::RelaxMode::LpCuts}) {
+      for (const auto place : {core::Placement::EarliestFinish,
+                               core::Placement::EarliestAvailable}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "seed=" << seed << " mode=" << static_cast<int>(mode)
+                     << " place=" << static_cast<int>(place));
+        const testing::Instance instance =
+            testing::make_random_instance(seed, 10, 6);
+        const sched::SchedulerInput input{instance.cluster, instance.jobs,
+                                          instance.times};
+
+        // With warm start held fixed (off), every engine must reproduce the
+        // naive reference bit-for-bit: indexed placement, pooling, and
+        // sharded scans change wall-clock only. (Warm starting itself may
+        // legally land on a different optimal LP vertex; it is compared
+        // against its own serial path below.)
+        core::HareScheduler naive(
+            engine_config(mode, place, /*naive=*/true, 1, 192));
+        const sim::Schedule reference = naive.schedule(input);
+
+        core::HareScheduler cold_indexed(engine_config(
+            mode, place, /*naive=*/false, 1, 192, /*warm_start=*/false));
+        expect_same_schedule(reference, cold_indexed.schedule(input));
+
+        // The production engine (warm start on): serial, pooled, and
+        // pool-sharded paths must agree with each other for every seed.
+        core::HareScheduler warm_serial(
+            engine_config(mode, place, /*naive=*/false, 1, 192));
+        const sim::Schedule warm_reference = warm_serial.schedule(input);
+
+        // Pooled: parallel separation + parallel preprocessing, indexed
+        // scans.
+        core::HareScheduler pooled(
+            engine_config(mode, place, /*naive=*/false, 4, 192));
+        expect_same_schedule(warm_reference, pooled.schedule(input));
+
+        // Pooled with sharded candidate scans forced on (threshold below
+        // the 6-GPU cluster).
+        core::HareScheduler sharded(
+            engine_config(mode, place, /*naive=*/false, 4, 2));
+        expect_same_schedule(warm_reference, sharded.schedule(input));
+
+        if (mode == core::RelaxMode::Fluid) {
+          // No LP involved: the production engine must also match naive.
+          expect_same_schedule(reference, warm_reference);
+        }
+      }
+    }
+  }
+}
+
+TEST(PlannerEquivalence, IncrementalPlanningAgrees) {
+  const testing::Instance instance = testing::make_random_instance(11, 10, 6);
+  const sched::SchedulerInput input{instance.cluster, instance.jobs,
+                                    instance.times};
+
+  auto run_incremental = [&](bool naive) {
+    core::HareScheduler scheduler(engine_config(
+        core::RelaxMode::Fluid, core::Placement::EarliestFinish, naive, 1,
+        192));
+    core::HareScheduler::IncrementalState state;
+    sim::Schedule schedule;
+    // Two batches: first half of the jobs, then the rest.
+    const std::size_t jobs = instance.jobs.job_count();
+    std::vector<char> first(jobs, 0);
+    std::vector<char> second(jobs, 0);
+    for (std::size_t j = 0; j < jobs; ++j) {
+      (j < jobs / 2 ? first : second)[j] = 1;
+    }
+    scheduler.schedule_jobs(input, first, state, schedule);
+    scheduler.schedule_jobs(input, second, state, schedule);
+    return schedule;
+  };
+
+  expect_same_schedule(run_incremental(true), run_incremental(false));
+}
+
+TEST(TimeTableCache, AggregatesMatchNaiveReductions) {
+  const testing::Instance instance = testing::make_random_instance(5, 9, 7);
+  const profiler::TimeTable& times = instance.times;
+
+  for (std::size_t j = 0; j < times.job_count(); ++j) {
+    const JobId job(static_cast<int>(j));
+    Time min_tc = kTimeInfinity, max_tc = 0.0;
+    Time min_ts = kTimeInfinity, max_ts = 0.0;
+    Time min_total = kTimeInfinity;
+    std::size_t fastest = 0;
+    for (std::size_t g = 0; g < times.gpu_count(); ++g) {
+      const GpuId gpu(static_cast<int>(g));
+      if (times.tc(job, gpu) < min_tc) {
+        min_tc = times.tc(job, gpu);
+        fastest = g;
+      }
+      max_tc = std::max(max_tc, times.tc(job, gpu));
+      min_ts = std::min(min_ts, times.ts(job, gpu));
+      max_ts = std::max(max_ts, times.ts(job, gpu));
+      min_total = std::min(min_total, times.total(job, gpu));
+    }
+    EXPECT_EQ(times.min_tc(job), min_tc);
+    EXPECT_EQ(times.max_tc(job), max_tc);
+    EXPECT_EQ(times.min_ts(job), min_ts);
+    EXPECT_EQ(times.max_ts(job), max_ts);
+    EXPECT_EQ(times.min_total(job), min_total);
+    EXPECT_EQ(static_cast<std::size_t>(times.fastest_gpu(job).value()),
+              fastest);
+  }
+
+  double alpha = 1.0;
+  for (std::size_t j = 0; j < times.job_count(); ++j) {
+    const JobId job(static_cast<int>(j));
+    if (times.min_tc(job) > 0.0) {
+      alpha = std::max(alpha, times.max_tc(job) / times.min_tc(job));
+    }
+    if (times.min_ts(job) > 0.0) {
+      alpha = std::max(alpha, times.max_ts(job) / times.min_ts(job));
+    }
+  }
+  EXPECT_DOUBLE_EQ(times.alpha(), alpha);
+}
+
+TEST(TimeTableCache, SetInvalidatesAggregates) {
+  profiler::TimeTable times(2, 3);
+  times.set(JobId(0), GpuId(0), 1.0, 0.2);
+  times.set(JobId(0), GpuId(1), 2.0, 0.1);
+  times.set(JobId(0), GpuId(2), 3.0, 0.3);
+  times.set(JobId(1), GpuId(0), 5.0, 0.5);
+  times.set(JobId(1), GpuId(1), 4.0, 0.5);
+  times.set(JobId(1), GpuId(2), 6.0, 0.5);
+
+  EXPECT_EQ(times.min_tc(JobId(0)), 1.0);
+  EXPECT_EQ(times.fastest_gpu(JobId(0)), GpuId(0));
+  EXPECT_EQ(times.fastest_gpu(JobId(1)), GpuId(1));
+  EXPECT_DOUBLE_EQ(times.alpha(), 3.0);
+
+  // Mutating one (job, GPU) refreshes that job's aggregates and α.
+  times.set(JobId(0), GpuId(2), 0.5, 0.05);
+  EXPECT_EQ(times.min_tc(JobId(0)), 0.5);
+  EXPECT_EQ(times.max_tc(JobId(0)), 2.0);
+  EXPECT_EQ(times.min_ts(JobId(0)), 0.05);
+  EXPECT_EQ(times.fastest_gpu(JobId(0)), GpuId(2));
+  EXPECT_EQ(times.min_total(JobId(0)), 0.55);
+  EXPECT_DOUBLE_EQ(times.alpha(), 4.0);
+
+  // Untouched job unaffected.
+  EXPECT_EQ(times.min_tc(JobId(1)), 4.0);
+  EXPECT_EQ(times.max_ts(JobId(1)), 0.5);
+}
+
+}  // namespace
+}  // namespace hare
