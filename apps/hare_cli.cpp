@@ -12,6 +12,12 @@
 // and reports metrics (optionally an ASCII Gantt chart); `compare` runs
 // Hare and every baseline; `profile` shows the profiled time table and can
 // persist the historical profile database.
+//
+// Every command accepts `--trace-out FILE` (Chrome trace_event JSON for
+// chrome://tracing), `--metrics-out FILE` (hare::obs counters/gauges/
+// histograms as JSON), and `--flame-out FILE` (plain-text span summary).
+// With `--trace-out`, `schedule` also replays the plan on the threaded
+// executor runtime so the trace covers all four instrumented layers.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -19,6 +25,8 @@
 #include <string>
 
 #include "core/hare.hpp"
+#include "obs/obs.hpp"
+#include "runtime/runtime.hpp"
 #include "sim/gantt.hpp"
 
 namespace {
@@ -38,6 +46,11 @@ using namespace hare;
   hare compare  --trace FILE [--gpus N | --testbed] [--csv] [--seed S]
   hare profile  --trace FILE [--gpus N | --testbed] [--db FILE] [--seed S]
   hare advise   --model NAME [--rounds N] [--gpus N | --testbed]
+
+telemetry (any command):
+  --trace-out FILE    write Chrome trace_event JSON (chrome://tracing)
+  --metrics-out FILE  write counters/gauges/histograms as JSON
+  --flame-out FILE    write a flamegraph-style span summary
 )";
   std::exit(2);
 }
@@ -244,6 +257,22 @@ int cmd_schedule(const Args& args) {
               << sim::render_gantt(cluster, jobs, charted.result,
                                    {std::min<std::size_t>(100, 100), true});
   }
+
+  if (obs::Tracer::enabled()) {
+    // Replay the plan on the threaded executor runtime (fast virtual
+    // clock) so the exported trace covers the runtime layer too.
+    core::HareSystem system(cluster);
+    system.submit_all(jobs);
+    const sim::Schedule plan =
+        scheduler->schedule({cluster, jobs, system.profiled_times()});
+    runtime::RuntimeConfig runtime_config;
+    runtime_config.microseconds_per_sim_second = 5.0;
+    runtime::ExecutorRuntime executors(cluster, jobs, system.profiled_times(),
+                                       runtime_config);
+    const runtime::RuntimeResult replay = executors.run(plan);
+    std::cout << "traced runtime replay: makespan " << replay.makespan
+              << " s, " << replay.switch_count << " cross-job switches\n";
+  }
   return 0;
 }
 
@@ -323,15 +352,65 @@ int cmd_profile(const Args& args) {
 
 }  // namespace
 
+int run_command(const Args& args) {
+  if (args.command == "generate") return cmd_generate(args);
+  if (args.command == "schedule") return cmd_schedule(args);
+  if (args.command == "compare") return cmd_compare(args);
+  if (args.command == "profile") return cmd_profile(args);
+  if (args.command == "advise") return cmd_advise(args);
+  usage("unknown command: " + args.command);
+}
+
+/// Flush telemetry files after the command ran (even a partial trace of a
+/// failed run is worth keeping).
+int write_telemetry(const Args& args) {
+  const std::string trace_out = args.get("trace-out");
+  const std::string metrics_out = args.get("metrics-out");
+  const std::string flame_out = args.get("flame-out");
+  int status = 0;
+  if (!trace_out.empty()) {
+    if (obs::write_chrome_trace_file(trace_out)) {
+      std::cout << "wrote trace to " << trace_out
+                << " (open in chrome://tracing)\n";
+    } else {
+      std::cerr << "error: cannot write " << trace_out << '\n';
+      status = 1;
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (obs::Registry::instance().write_json_file(metrics_out)) {
+      std::cout << "wrote metrics to " << metrics_out << '\n';
+    } else {
+      std::cerr << "error: cannot write " << metrics_out << '\n';
+      status = 1;
+    }
+  }
+  if (!flame_out.empty()) {
+    if (obs::write_flame_summary_file(flame_out)) {
+      std::cout << "wrote span summary to " << flame_out << '\n';
+    } else {
+      std::cerr << "error: cannot write " << flame_out << '\n';
+      status = 1;
+    }
+  }
+  return status;
+}
+
 int main(int argc, char** argv) {
   try {
     const Args args = parse(argc, argv);
-    if (args.command == "generate") return cmd_generate(args);
-    if (args.command == "schedule") return cmd_schedule(args);
-    if (args.command == "compare") return cmd_compare(args);
-    if (args.command == "profile") return cmd_profile(args);
-    if (args.command == "advise") return cmd_advise(args);
-    usage("unknown command: " + args.command);
+    const bool tracing = !args.get("trace-out").empty() ||
+                         !args.get("flame-out").empty();
+    if (tracing) obs::Tracer::instance().enable();
+    int status = 1;
+    try {
+      status = run_command(args);
+    } catch (...) {
+      write_telemetry(args);
+      throw;
+    }
+    const int telemetry_status = write_telemetry(args);
+    return status != 0 ? status : telemetry_status;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -15,6 +15,12 @@
 // simplex pivots, speedups, equality checks) which
 // scripts/check_bench_regression.py gates in CI. `--quick` shrinks the grid
 // for smoke runs; `--json <path>` overrides the output location.
+//
+// The timed grid always runs with hare::obs tracing *disabled* (the
+// regression gate doubles as the "tracing compiled in but off costs <=1%"
+// check). Afterwards one representative point per mode is re-run with the
+// tracer enabled and exported as Chrome-trace JSON + metrics snapshot
+// alongside the bench JSON (`--trace-out`/`--no-trace` to override/skip).
 #include <algorithm>
 #include <chrono>
 #include <cstring>
@@ -28,6 +34,7 @@
 #include "cluster/cluster.hpp"
 #include "common/table.hpp"
 #include "core/hare_scheduler.hpp"
+#include "obs/obs.hpp"
 #include "profiler/profiler.hpp"
 #include "workload/trace.hpp"
 
@@ -211,18 +218,59 @@ PointResult run_point(const GridPoint& point, int repeats,
   return true;
 }
 
+/// Re-run one small point per relaxation mode with the tracer on and
+/// export the telemetry next to the bench JSON. Runs after the timed
+/// grid so span recording cannot perturb the regression numbers.
+bool export_traced_run(const std::string& trace_path, bool quick) {
+  obs::Tracer::instance().set_thread_name("bench_planner_scale");
+  obs::Tracer::instance().enable();
+  for (const core::RelaxMode mode :
+       {core::RelaxMode::Fluid, core::RelaxMode::LpCuts}) {
+    const std::size_t jobs = mode == core::RelaxMode::Fluid ? 30 : 6;
+    const std::size_t gpus = mode == core::RelaxMode::Fluid ? 16 : 4;
+    const Instance instance = make_instance(jobs, gpus, 9000 + jobs);
+    const sched::SchedulerInput input{instance.cluster, instance.jobs,
+                                      instance.times};
+    run_variant(input, engine_config(mode, false, true, quick ? 1 : 2), 1);
+  }
+  obs::Tracer::instance().disable();
+
+  bool ok = obs::write_chrome_trace_file(trace_path);
+  const std::string base = trace_path.size() > 5 &&
+                                   trace_path.rfind(".json") ==
+                                       trace_path.size() - 5
+                               ? trace_path.substr(0, trace_path.size() - 5)
+                               : trace_path;
+  ok = obs::Registry::instance().write_json_file(base + "_metrics.json") && ok;
+  ok = obs::write_flame_summary_file(base + "_spans.txt") && ok;
+  if (ok) {
+    std::cout << "wrote " << trace_path << " (+ _metrics.json, _spans.txt)\n";
+  } else {
+    std::cerr << "error: cannot write trace outputs at " << trace_path
+              << "\n";
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool trace = true;
   std::string json_path = "BENCH_planner.json";
+  std::string trace_path = "BENCH_planner_trace.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-trace") == 0) {
+      trace = false;
     } else {
-      std::cerr << "usage: bench_planner_scale [--quick] [--json <path>]\n";
+      std::cerr << "usage: bench_planner_scale [--quick] [--json <path>] "
+                   "[--trace-out <path>] [--no-trace]\n";
       return 2;
     }
   }
@@ -278,7 +326,8 @@ int main(int argc, char** argv) {
   std::cout << "(speedup = naive ms / warm+indexed serial ms; schedules are "
                "asserted bit-identical across engines)\n";
 
-  const bool wrote = write_json(json_path, rows, quick);
+  bool wrote = write_json(json_path, rows, quick);
+  if (trace) wrote = export_traced_run(trace_path, quick) && wrote;
 
   if (!all_match) {
     std::cerr << "FAIL: an optimized engine produced a different schedule "

@@ -1,12 +1,21 @@
 // Lightweight leveled logging.
 //
 // The library itself is quiet by default (level = Warn); examples and
-// benches raise the level for narrative output. Logging is synchronous and
-// line-buffered; the simulator's hot path never logs below Debug.
+// benches raise the level for narrative output, and the env var
+// HARE_LOG_LEVEL (debug|info|warn|error|off, or 0-4) overrides the default
+// at process start. Logging is synchronous and line-buffered; the
+// simulator's hot path never logs below Debug.
+//
+// An optional sink receives every emitted record after the level check;
+// hare::obs installs one when tracing is enabled so log records land in
+// the trace as instant events on the same clock as spans.
 #pragma once
 
+#include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string_view>
 
@@ -14,8 +23,28 @@ namespace hare::common {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
+/// Parse a HARE_LOG_LEVEL-style value; nullopt on unknown text.
+inline std::optional<LogLevel> parse_log_level(std::string_view text) {
+  if (text == "debug" || text == "DEBUG" || text == "0") {
+    return LogLevel::Debug;
+  }
+  if (text == "info" || text == "INFO" || text == "1") return LogLevel::Info;
+  if (text == "warn" || text == "WARN" || text == "warning" || text == "2") {
+    return LogLevel::Warn;
+  }
+  if (text == "error" || text == "ERROR" || text == "3") {
+    return LogLevel::Error;
+  }
+  if (text == "off" || text == "OFF" || text == "none" || text == "4") {
+    return LogLevel::Off;
+  }
+  return std::nullopt;
+}
+
 class Logger {
  public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
   static Logger& instance() {
     static Logger logger;
     return logger;
@@ -25,13 +54,26 @@ class Logger {
   [[nodiscard]] LogLevel level() const { return level_; }
   [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
 
+  /// Install (or, with nullptr, remove) the record sink.
+  void set_sink(Sink sink) {
+    std::scoped_lock lock(mutex_);
+    sink_ = std::move(sink);
+  }
+
   void log(LogLevel level, std::string_view message) {
     if (!enabled(level)) return;
     std::scoped_lock lock(mutex_);
     std::clog << "[" << name(level) << "] " << message << '\n';
+    if (sink_) sink_(level, message);
   }
 
  private:
+  Logger() {
+    if (const char* env = std::getenv("HARE_LOG_LEVEL")) {
+      if (const auto parsed = parse_log_level(env)) level_ = *parsed;
+    }
+  }
+
   static std::string_view name(LogLevel level) {
     switch (level) {
       case LogLevel::Debug: return "debug";
@@ -45,6 +87,7 @@ class Logger {
 
   LogLevel level_ = LogLevel::Warn;
   std::mutex mutex_;
+  Sink sink_;
 };
 
 namespace detail {

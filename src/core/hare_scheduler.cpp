@@ -8,6 +8,8 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "core/placement_index.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/feasibility.hpp"
 
 namespace hare::core {
@@ -94,6 +96,8 @@ struct BuildState {
   /// Algorithm 1 lines 12-16 for one task with availability t_i. Returns
   /// the deferred tasks unblocked by any round completion this causes.
   std::vector<TaskId> place_task(TaskId task_id, Time available) {
+    static obs::Counter& placed_counter = obs::counter("planner.tasks_placed");
+    placed_counter.add();
     const workload::Task& task = input.jobs.task(task_id);
     const workload::Job& job = input.jobs.job(task.job);
 
@@ -205,6 +209,7 @@ void run_relaxed_pass(BuildState& state, const std::vector<TaskId>& pi) {
 /// paid two dependent random loads into h per comparison.
 void sort_by_middle_completion(std::vector<TaskId>& pi,
                                const std::vector<Time>& h, bool naive) {
+  HARE_SPAN("planner", "planner.sort_pi");
   if (naive) {
     std::sort(pi.begin(), pi.end(), [&](TaskId a, TaskId b) {
       const Time ha = h[static_cast<std::size_t>(a.value())];
@@ -231,6 +236,7 @@ sim::Schedule build_relaxed(const sched::SchedulerInput& input,
                             const HareConfig& config,
                             const std::vector<TaskId>& pi, double* objective,
                             PlannerScratch* scratch) {
+  HARE_SPAN("planner", "planner.list_schedule");
   BuildState state(input, config, scratch);
   state.enable_engine();
   run_relaxed_pass(state, pi);
@@ -244,6 +250,7 @@ sim::Schedule build_strict(const sched::SchedulerInput& input,
                            PlannerScratch* scratch) {
   // Strict scale-fixed: whole rounds gang on distinct GPUs with a common
   // start. Rounds are visited in the order their first member appears in π.
+  HARE_SPAN("planner", "planner.gang_schedule");
   BuildState state(input, config, scratch);
   const auto& jobs = input.jobs;
 
@@ -358,6 +365,7 @@ sim::Schedule build_strict(const sched::SchedulerInput& input,
 }  // namespace
 
 sim::Schedule HareScheduler::schedule(const sched::SchedulerInput& input) {
+  HARE_SPAN("planner", "planner.schedule");
   HARE_CHECK_MSG(input.cluster.gpu_count() > 0, "cluster has no GPUs");
   for (const auto& job : input.jobs.jobs()) {
     HARE_CHECK_MSG(job.tasks_per_round() <= input.cluster.gpu_count(),
@@ -388,6 +396,7 @@ double HareScheduler::schedule_jobs(const sched::SchedulerInput& input,
                                     const std::vector<char>& job_mask,
                                     IncrementalState& state,
                                     sim::Schedule& schedule) {
+  HARE_SPAN("planner", "planner.schedule_incremental");
   HARE_CHECK_MSG(config_.relaxation.mode == RelaxMode::Fluid,
                  "incremental planning requires the Fluid relaxation");
   HARE_CHECK_MSG(config_.sync == SyncScheme::Relaxed,

@@ -6,8 +6,11 @@
 #include <queue>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "core/placement_index.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "opt/queyranne.hpp"
 #include "opt/simplex.hpp"
 #include "workload/feasibility.hpp"
@@ -49,6 +52,7 @@ FluidPass run_fluid_pass(const cluster::Cluster& cluster,
                          const profiler::TimeTable& times,
                          const SubProblem& sub, const PlannerEngine& engine,
                          PlannerScratch* scratch) {
+  HARE_SPAN("planner", "planner.fluid_pass");
   const std::size_t task_count = jobs.task_count();
   const std::size_t gpu_count = cluster.gpu_count();
   HARE_CHECK_MSG(gpu_count > 0, "cluster has no GPUs");
@@ -171,6 +175,7 @@ std::vector<Time> middle_completion_times(const workload::JobSet& jobs,
                                           const profiler::TimeTable& times,
                                           const std::vector<Time>& x_hat,
                                           const PlannerEngine& engine) {
+  HARE_SPAN("planner", "planner.middle_completion");
   std::vector<Time> h(jobs.task_count(), 0.0);
   if (engine.naive) {
     // Seed behaviour: rescan the GPU axis for every task.
@@ -199,6 +204,7 @@ RelaxationResult HareRelaxation::solve(const cluster::Cluster& cluster,
                                        const profiler::TimeTable& times,
                                        const SubProblem& sub,
                                        PlannerScratch* scratch) const {
+  HARE_SPAN("planner", "planner.relaxation");
   HARE_CHECK_MSG(times.job_count() == jobs.job_count() &&
                      times.gpu_count() == cluster.gpu_count(),
                  "time table does not match instance");
@@ -233,6 +239,10 @@ RelaxationResult HareRelaxation::solve_lp_cuts(
     const cluster::Cluster& cluster, const workload::JobSet& jobs,
     const profiler::TimeTable& times, const SubProblem& sub,
     PlannerScratch* scratch) const {
+  HARE_SPAN("planner", "planner.lp_cuts");
+  static obs::Counter& lp_solve_counter = obs::counter("planner.lp_solves");
+  static obs::Counter& pivot_counter = obs::counter("planner.lp_pivots");
+  static obs::Counter& cut_counter = obs::counter("planner.cuts_added");
   HARE_CHECK_MSG(sub.job_mask.empty() && sub.initial_phi.empty(),
                  "LpCuts mode does not support incremental sub-problems; "
                  "use Fluid for online planning");
@@ -244,6 +254,7 @@ RelaxationResult HareRelaxation::solve_lp_cuts(
   const std::size_t gpu_count = cluster.gpu_count();
   common::ThreadPool* pool = config_.engine.pool();
 
+  obs::Span lp_build_span("planner", "planner.lp_build");
   opt::LinearProgram lp;
   // Variables: x_i per task, then E_{n,r} per round, then C_n per job.
   std::vector<std::size_t> x_var(task_count);
@@ -303,11 +314,18 @@ RelaxationResult HareRelaxation::solve_lp_cuts(
 
   const bool warm = config_.engine.warm_start_lp && !config_.engine.naive;
   opt::IncrementalLpSolver solver(lp, warm);
+  lp_build_span.end();
 
-  opt::LpSolution solution = solver.solve();
+  opt::LpSolution solution;
+  {
+    HARE_SPAN_ARG("planner", "planner.lp_solve", "round", 0);
+    solution = solver.solve();
+  }
   HARE_CHECK_MSG(solution.optimal(), "relaxation LP is infeasible/unbounded");
   ++result.lp_solves;
   result.simplex_pivots += solver.last_stats().total();
+  lp_solve_counter.add();
+  pivot_counter.add(solver.last_stats().total());
   result.lp_rounds.push_back(LpRoundStats{0, solver.last_stats().total(),
                                           solver.last_solve_was_warm()});
 
@@ -333,10 +351,13 @@ RelaxationResult HareRelaxation::solve_lp_cuts(
   };
 
   for (std::size_t round = 0; round < config_.max_cut_rounds; ++round) {
-    if (pool) {
-      pool->parallel_for_each(gpu_count, separate_machine);
-    } else {
-      for (std::size_t g = 0; g < gpu_count; ++g) separate_machine(g);
+    {
+      HARE_SPAN_ARG("planner", "planner.separation", "round", round);
+      if (pool) {
+        pool->parallel_for_each(gpu_count, separate_machine);
+      } else {
+        for (std::size_t g = 0; g < gpu_count; ++g) separate_machine(g);
+      }
     }
 
     std::size_t added = 0;
@@ -362,10 +383,16 @@ RelaxationResult HareRelaxation::solve_lp_cuts(
       ++added;
     }
     if (added == 0) break;
-    solution = solver.solve();
+    cut_counter.add(added);
+    {
+      HARE_SPAN_ARG("planner", "planner.lp_solve", "round", round + 1);
+      solution = solver.solve();
+    }
     HARE_CHECK_MSG(solution.optimal(), "cut LP became infeasible");
     ++result.lp_solves;
     result.simplex_pivots += solver.last_stats().total();
+    lp_solve_counter.add();
+    pivot_counter.add(solver.last_stats().total());
     result.lp_rounds.push_back(LpRoundStats{added, solver.last_stats().total(),
                                             solver.last_solve_was_warm()});
   }
@@ -376,6 +403,9 @@ RelaxationResult HareRelaxation::solve_lp_cuts(
   }
   result.objective = solution.objective;
   result.h = middle_completion_times(jobs, times, result.x_hat, config_.engine);
+  common::log_debug("planner: lp_cuts converged, ", result.lp_solves,
+                    " solves, ", result.cut_count, " cuts, ",
+                    result.simplex_pivots, " pivots");
   return result;
 }
 

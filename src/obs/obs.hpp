@@ -1,0 +1,8 @@
+// Umbrella header for hare::obs — spans, metrics, exporters.
+//
+// See docs/OBSERVABILITY.md for naming conventions and usage.
+#pragma once
+
+#include "obs/export.hpp"    // IWYU pragma: export
+#include "obs/metrics.hpp"   // IWYU pragma: export
+#include "obs/trace.hpp"     // IWYU pragma: export

@@ -1,0 +1,125 @@
+#include "obs/trace.hpp"
+
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace hare::obs {
+
+namespace {
+
+std::size_t ring_capacity_from_env() {
+  if (const char* env = std::getenv("HARE_OBS_RING")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return std::size_t{1} << 16;
+}
+
+const char* level_span_name(common::LogLevel level) {
+  switch (level) {
+    case common::LogLevel::Debug: return "log.debug";
+    case common::LogLevel::Info: return "log.info";
+    case common::LogLevel::Warn: return "log.warn";
+    case common::LogLevel::Error: return "log.error";
+    case common::LogLevel::Off: return "log.off";
+  }
+  return "log";
+}
+
+}  // namespace
+
+/// Thread-local handle. Caches the ring shared_ptr plus the tracer
+/// generation so clear() (which drops every ring) forces re-registration
+/// instead of writes into an orphaned ring.
+struct ThreadRingCache {
+  std::shared_ptr<SpanRing> ring;
+  std::uint64_t generation = ~std::uint64_t{0};
+};
+
+namespace {
+thread_local ThreadRingCache t_ring_cache;
+}  // namespace
+
+Tracer::Tracer() : ring_capacity_(ring_capacity_from_env()) {}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::atomic<bool>& Tracer::enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+void Tracer::enable() {
+  instance();  // construct before first record
+  enabled_flag().store(true, std::memory_order_relaxed);
+  common::Logger::instance().set_sink(
+      [](common::LogLevel level, std::string_view message) {
+        instant("log", level_span_name(level), std::string(message));
+      });
+}
+
+void Tracer::disable() {
+  enabled_flag().store(false, std::memory_order_relaxed);
+  common::Logger::instance().set_sink(nullptr);
+}
+
+void Tracer::clear() {
+  std::scoped_lock lock(mutex_);
+  rings_.clear();
+  next_tid_ = 1;
+  ++generation_;
+}
+
+void Tracer::set_ring_capacity(std::size_t capacity) {
+  std::scoped_lock lock(mutex_);
+  if (capacity > 0) ring_capacity_ = capacity;
+}
+
+void Tracer::set_thread_name(std::string name) {
+  this_thread_ring().set_thread_name(std::move(name));
+}
+
+SpanRing& Tracer::this_thread_ring() {
+  if (t_ring_cache.ring &&
+      t_ring_cache.generation == generation_.load(std::memory_order_acquire)) {
+    return *t_ring_cache.ring;
+  }
+  std::scoped_lock lock(mutex_);
+  auto ring = std::make_shared<SpanRing>(next_tid_++, ring_capacity_);
+  rings_.push_back(ring);
+  t_ring_cache.ring = std::move(ring);
+  t_ring_cache.generation = generation_.load(std::memory_order_relaxed);
+  return *t_ring_cache.ring;
+}
+
+std::vector<std::shared_ptr<SpanRing>> Tracer::rings() const {
+  std::scoped_lock lock(mutex_);
+  return rings_;
+}
+
+std::uint64_t Tracer::now_ns() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+void instant(const char* category, const char* name, std::string detail) {
+  if (!Tracer::enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.start_ns = Tracer::now_ns();
+  event.end_ns = event.start_ns;
+  event.phase = Phase::Instant;
+  event.detail = std::move(detail);
+  Tracer::instance().this_thread_ring().record(std::move(event));
+}
+
+}  // namespace hare::obs

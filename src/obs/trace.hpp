@@ -1,0 +1,211 @@
+// hare::obs span tracer.
+//
+// RAII `HARE_SPAN(category, name)` scopes are recorded into lock-free
+// per-thread ring buffers and exported as Chrome/Perfetto `trace_event`
+// JSON (obs/export.hpp). The tracer is a process-wide singleton that is
+// *disabled* by default: a disabled span costs one relaxed atomic load and
+// a branch, so instrumentation can stay compiled into hot paths (the
+// planner's LP-cut rounds, the simulator's event loop) without perturbing
+// benchmarks. Compile with -DHARE_OBS_ENABLED=0 to erase the macros
+// entirely.
+//
+// Writers are wait-free: each thread owns its ring (registered once, on
+// first record) and publishes events with a release store of the head
+// index. Snapshots are taken at quiescent points (end of a run / test
+// barrier); a snapshot racing an active writer may miss or tear the very
+// newest events but never blocks the writer.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef HARE_OBS_ENABLED
+#define HARE_OBS_ENABLED 1
+#endif
+
+namespace hare::obs {
+
+enum class Phase : std::uint8_t { Complete, Instant };
+
+/// One recorded scope (Complete) or point event (Instant). `name`,
+/// `category` and `arg_name` must be pointers to static-storage strings
+/// (string literals at the instrumentation site); `detail` owns free-form
+/// text for instant events (log records) and stays empty for spans.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;  ///< == start_ns for Instant
+  Phase phase = Phase::Complete;
+  const char* arg_name = nullptr;  ///< optional numeric annotation
+  double arg_value = 0.0;
+  std::string detail;
+};
+
+/// Fixed-capacity single-writer ring. The owning thread appends with a
+/// release publish; older events are overwritten once full (`dropped()`
+/// reports how many).
+class SpanRing {
+ public:
+  SpanRing(std::uint32_t tid, std::size_t capacity)
+      : tid_(tid), slots_(capacity) {}
+
+  void record(TraceEvent event) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    slots_[head % slots_.size()] = std::move(event);
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::uint32_t tid() const { return tid_; }
+  [[nodiscard]] const std::string& thread_name() const { return thread_name_; }
+  void set_thread_name(std::string name) { thread_name_ = std::move(name); }
+
+  /// Events written beyond capacity (oldest were overwritten).
+  [[nodiscard]] std::uint64_t dropped() const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return head > slots_.size() ? head - slots_.size() : 0;
+  }
+
+  /// Copy surviving events oldest-first. Only safe while the owning thread
+  /// is not concurrently recording (quiescent point).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t n = std::min<std::uint64_t>(head, slots_.size());
+    std::vector<TraceEvent> events;
+    events.reserve(n);
+    for (std::uint64_t i = head - n; i < head; ++i) {
+      events.push_back(slots_[i % slots_.size()]);
+    }
+    return events;
+  }
+
+ private:
+  std::uint32_t tid_;
+  std::string thread_name_;
+  std::vector<TraceEvent> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// Process-wide tracer: owns the per-thread rings and the shared epoch.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Hot-path gate: one relaxed load.
+  static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+
+  /// Enabling also mirrors log records into the trace as instant events
+  /// (common/logging.hpp sink) so logs and spans share one clock.
+  void enable();
+  void disable();
+
+  /// Drop all recorded events and thread registrations. Test-only: callers
+  /// must guarantee no thread is concurrently recording.
+  void clear();
+
+  /// Capacity for rings created after this call (existing rings keep
+  /// theirs). Overridable with env HARE_OBS_RING at process start.
+  void set_ring_capacity(std::size_t capacity);
+
+  /// Name the calling thread's track in the exported trace.
+  void set_thread_name(std::string name);
+
+  /// The calling thread's ring (registered on first use).
+  SpanRing& this_thread_ring();
+
+  /// Stable copy of all registered rings.
+  [[nodiscard]] std::vector<std::shared_ptr<SpanRing>> rings() const;
+
+  /// Nanoseconds since the tracer epoch (process-wide steady clock).
+  static std::uint64_t now_ns();
+
+ private:
+  Tracer();
+  static std::atomic<bool>& enabled_flag();
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<SpanRing>> rings_;
+  std::size_t ring_capacity_;
+  std::uint32_t next_tid_ = 1;
+  /// Bumped by clear() to invalidate thread-local ring caches without
+  /// locking on the record path.
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+/// Record a point event (log record, marker) on the calling thread.
+void instant(const char* category, const char* name, std::string detail = {});
+
+/// RAII scope. Costs nothing beyond the enabled() check when tracing is
+/// off; records a Complete event on destruction when on.
+class Span {
+ public:
+  Span(const char* category, const char* name) {
+    if (!Tracer::enabled()) return;
+    active_ = true;
+    category_ = category;
+    name_ = name;
+    start_ns_ = Tracer::now_ns();
+  }
+
+  Span(const char* category, const char* name, const char* arg_name,
+       double arg_value)
+      : Span(category, name) {
+    arg_name_ = arg_name;
+    arg_value_ = arg_value;
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach/overwrite the numeric annotation before the scope closes.
+  void set_arg(const char* name, double value) {
+    arg_name_ = name;
+    arg_value_ = value;
+  }
+
+  /// Close the scope early (idempotent); the destructor is a no-op after.
+  void end() {
+    if (!active_) return;
+    active_ = false;
+    TraceEvent event;
+    event.name = name_;
+    event.category = category_;
+    event.start_ns = start_ns_;
+    event.end_ns = Tracer::now_ns();
+    event.arg_name = arg_name_;
+    event.arg_value = arg_value_;
+    Tracer::instance().this_thread_ring().record(std::move(event));
+  }
+
+  ~Span() { end(); }
+
+ private:
+  const char* category_ = nullptr;
+  const char* name_ = nullptr;
+  const char* arg_name_ = nullptr;
+  double arg_value_ = 0.0;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace hare::obs
+
+#if HARE_OBS_ENABLED
+#define HARE_OBS_CONCAT_IMPL(a, b) a##b
+#define HARE_OBS_CONCAT(a, b) HARE_OBS_CONCAT_IMPL(a, b)
+#define HARE_SPAN(category, name) \
+  ::hare::obs::Span HARE_OBS_CONCAT(hare_obs_span_, __LINE__)(category, name)
+#define HARE_SPAN_ARG(category, name, arg_name, arg_value)             \
+  ::hare::obs::Span HARE_OBS_CONCAT(hare_obs_span_, __LINE__)(         \
+      category, name, arg_name, static_cast<double>(arg_value))
+#else
+#define HARE_SPAN(category, name) static_cast<void>(0)
+#define HARE_SPAN_ARG(category, name, arg_name, arg_value) static_cast<void>(0)
+#endif

@@ -12,7 +12,18 @@
 #include <mutex>
 #include <optional>
 
+#include "obs/metrics.hpp"
+
 namespace hare::runtime {
+
+namespace detail {
+/// Shared across every MessageQueue instantiation: the instantaneous
+/// number of queued control messages in the process.
+inline obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& gauge = obs::gauge("runtime.queue_depth");
+  return gauge;
+}
+}  // namespace detail
 
 template <typename Message>
 class MessageQueue {
@@ -24,6 +35,9 @@ class MessageQueue {
       if (closed_) return false;
       queue_.push_back(std::move(message));
     }
+    static obs::Counter& pushed = obs::counter("runtime.messages_pushed");
+    pushed.add();
+    detail::queue_depth_gauge().add(1.0);
     cv_.notify_one();
     return true;
   }
@@ -35,6 +49,7 @@ class MessageQueue {
     if (queue_.empty()) return std::nullopt;
     Message message = std::move(queue_.front());
     queue_.pop_front();
+    detail::queue_depth_gauge().add(-1.0);
     return message;
   }
 
@@ -48,6 +63,7 @@ class MessageQueue {
     if (queue_.empty()) return std::nullopt;
     Message message = std::move(queue_.front());
     queue_.pop_front();
+    detail::queue_depth_gauge().add(-1.0);
     return message;
   }
 
@@ -57,6 +73,7 @@ class MessageQueue {
     if (queue_.empty()) return std::nullopt;
     Message message = std::move(queue_.front());
     queue_.pop_front();
+    detail::queue_depth_gauge().add(-1.0);
     return message;
   }
 

@@ -5,6 +5,9 @@
 #include <queue>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/message_queue.hpp"
 #include "workload/model_zoo.hpp"
 
@@ -85,6 +88,8 @@ struct SharedState {
 
   /// Hub side: apply one synchronized gradient.
   void apply(const workload::JobSet& jobs, const GradientMessage& message) {
+    static obs::Counter& applied = obs::counter("runtime.gradients_applied");
+    applied.add();
     std::scoped_lock lock(mutex);
     const auto j = static_cast<std::size_t>(message.job.value());
     const auto round = static_cast<std::size_t>(message.round);
@@ -105,6 +110,10 @@ struct SharedState {
 /// its (virtual) synchronization completion time.
 void hub_loop(const workload::JobSet& jobs, const VirtualClock& clock,
               MessageQueue<GradientMessage>& queue, SharedState& shared) {
+  if (obs::Tracer::enabled()) {
+    obs::Tracer::instance().set_thread_name("ps-hub");
+  }
+  HARE_SPAN("runtime", "runtime.hub");
   auto later = [](const GradientMessage& a, const GradientMessage& b) {
     return a.sync_end > b.sync_end;
   };
@@ -146,6 +155,7 @@ ExecutorRuntime::ExecutorRuntime(const cluster::Cluster& cluster,
 }
 
 RuntimeResult ExecutorRuntime::run(const sim::Schedule& schedule) {
+  HARE_SPAN("runtime", "runtime.run");
   HARE_CHECK_MSG(schedule.gpu_count() == cluster_.gpu_count(),
                  "schedule does not match cluster");
   sim::validate_schedule(schedule, jobs_);
@@ -163,6 +173,11 @@ RuntimeResult ExecutorRuntime::run(const sim::Schedule& schedule) {
   executors.reserve(cluster_.gpu_count());
   for (std::size_t g = 0; g < cluster_.gpu_count(); ++g) {
     executors.emplace_back([&, g] {
+      if (obs::Tracer::enabled()) {
+        obs::Tracer::instance().set_thread_name("executor-" +
+                                                std::to_string(g));
+      }
+      HARE_SPAN("runtime", "runtime.executor");
       const GpuId gpu_id(static_cast<int>(g));
       const cluster::Gpu& hw = cluster_.gpu(gpu_id);
       std::optional<switching::SpeculativeMemoryManager> memory;
@@ -179,6 +194,7 @@ RuntimeResult ExecutorRuntime::run(const sim::Schedule& schedule) {
       // not accumulate into the results.
       Time cursor = 0.0;
       for (TaskId task_id : schedule.sequences[g]) {
+        HARE_SPAN_ARG("runtime", "runtime.task", "vt", cursor);
         const workload::Task& task = jobs_.task(task_id);
         const workload::Job& job = jobs_.job(task.job);
 
@@ -241,6 +257,8 @@ RuntimeResult ExecutorRuntime::run(const sim::Schedule& schedule) {
   }
   result.switch_count = switch_count.load();
   result.resident_hits = resident_hits.load();
+  common::log_debug("runtime: replay finished, makespan ", result.makespan,
+                    " s, ", result.switch_count, " switches");
   return result;
 }
 

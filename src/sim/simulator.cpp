@@ -6,7 +6,10 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 
@@ -73,6 +76,7 @@ Simulator::Simulator(const cluster::Cluster& cluster,
 }
 
 SimResult Simulator::run(const Schedule& schedule) const {
+  HARE_SPAN("sim", "sim.run");
   HARE_CHECK_MSG(schedule.gpu_count() == cluster_.gpu_count(),
                  "schedule covers " << schedule.gpu_count()
                                     << " GPUs, cluster has "
@@ -186,6 +190,9 @@ SimResult Simulator::run(const Schedule& schedule) const {
       ++stat.switch_count;
       stat.total_switch_time += switch_time;
       if (breakdown.model_resident) ++stat.resident_hits;
+      static obs::Histogram& preempt_latency = obs::histogram(
+          "switch.preempt_latency_us", obs::latency_bounds_us());
+      preempt_latency.record(switch_time * 1e6);  // virtual seconds -> µs
     }
 
     gpu.busy = true;
@@ -290,12 +297,15 @@ SimResult Simulator::run(const Schedule& schedule) const {
                                   GpuId(static_cast<int>(g)), TaskId{}});
   }
 
+  static obs::Counter& events_processed =
+      obs::counter("sim.events_processed");
   while (!events.empty() || network.active_count() > 0) {
     const Time network_time = network.next_completion();
     const Time event_time =
         events.empty() ? kTimeInfinity : events.top().time;
 
     if (network_time <= event_time) {
+      HARE_SPAN_ARG("sim", "sim.event.network_sync", "vt", network_time);
       for (const auto transfer : network.complete_at(network_time)) {
         const auto it = inflight_syncs.find(transfer);
         HARE_CHECK_MSG(it != inflight_syncs.end(), "unknown transfer");
@@ -303,21 +313,29 @@ SimResult Simulator::run(const Schedule& schedule) const {
         events.push(network_time + config_.sync_latency_s,
                     EventPayload{EventKind::SyncDone, GpuId{}, it->second});
         inflight_syncs.erase(it);
+        events_processed.add();
       }
       continue;
     }
 
     const auto event = events.pop();
+    events_processed.add();
     switch (event.payload.kind) {
-      case EventKind::TryStart:
+      case EventKind::TryStart: {
+        HARE_SPAN_ARG("sim", "sim.event.try_start", "vt", event.time);
         try_start(event.payload.gpu, event.time);
         break;
-      case EventKind::ComputeDone:
+      }
+      case EventKind::ComputeDone: {
+        HARE_SPAN_ARG("sim", "sim.event.compute_done", "vt", event.time);
         handle_compute_done(event.payload.gpu, event.payload.task, event.time);
         break;
-      case EventKind::SyncDone:
+      }
+      case EventKind::SyncDone: {
+        HARE_SPAN_ARG("sim", "sim.event.sync_done", "vt", event.time);
         handle_sync_done(event.payload.task, event.time);
         break;
+      }
     }
   }
 
@@ -333,6 +351,8 @@ SimResult Simulator::run(const Schedule& schedule) const {
     result.weighted_completion += record.weight * record.completion;
     result.weighted_jct += record.weight * record.jct();
   }
+  common::log_debug("sim: run finished, makespan ", result.makespan,
+                    " s, weighted JCT ", result.weighted_jct, " s");
   return result;
 }
 

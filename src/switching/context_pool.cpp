@@ -1,8 +1,23 @@
 #include "switching/context_pool.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace hare::switching {
+
+namespace {
+
+obs::Counter& warm_hit_counter() {
+  static obs::Counter& counter = obs::counter("switch.ctx_warm_hits");
+  return counter;
+}
+
+obs::Counter& cold_miss_counter() {
+  static obs::Counter& counter = obs::counter("switch.ctx_cold_misses");
+  return counter;
+}
+
+}  // namespace
 
 ContextPool::Acquire ContextPool::acquire(JobId job) {
   HARE_CHECK_MSG(!slots_.empty(), "context pool has no slots");
@@ -16,6 +31,7 @@ ContextPool::Acquire ContextPool::acquire(JobId job) {
       s.last_job = job;
       s.last_used = clock_;
       ++warm_hits_;
+      warm_hit_counter().add();
       return {true, i};
     }
   }
@@ -33,10 +49,12 @@ ContextPool::Acquire ContextPool::acquire(JobId job) {
     s.last_job = job;
     s.last_used = clock_;
     ++warm_hits_;
+    warm_hit_counter().add();
     return {true, best};
   }
   // Every process is busy: the caller must create a context synchronously.
   ++cold_misses_;
+  cold_miss_counter().add();
   return {false, 0};
 }
 

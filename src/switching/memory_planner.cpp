@@ -5,10 +5,22 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hare::switching {
 
 namespace {
+
+/// Memory-planner decisions feed `switch.memplan_*` so a trace of the
+/// switching runtime shows how much state the plan kept on-device.
+void record_plan_metrics(const MemoryPlan& plan) {
+  static obs::Counter& hits = obs::counter("switch.memplan_resident_hits");
+  static obs::Counter& transferred =
+      obs::counter("switch.memplan_transferred_bytes");
+  hits.add(plan.resident_hits);
+  transferred.add(plan.transferred_bytes);
+}
 
 /// Tasks of one job share a model, so their state and footprint must be
 /// identical throughout a sequence (a task trains the same network on the
@@ -46,6 +58,7 @@ std::vector<std::size_t> next_use_index(
 
 MemoryPlan evaluate_plan(const std::vector<PlannedTask>& sequence,
                          Bytes capacity, const std::vector<char>& keep) {
+  HARE_SPAN("switching", "switching.evaluate_plan");
   HARE_CHECK_MSG(keep.size() == sequence.size(),
                  "keep vector size mismatch");
   check_consistent_sizes(sequence);
@@ -75,11 +88,13 @@ MemoryPlan evaluate_plan(const std::vector<PlannedTask>& sequence,
       resident_bytes += task.state_bytes;
     }
   }
+  record_plan_metrics(plan);
   return plan;
 }
 
 MemoryPlan plan_greedy(const std::vector<PlannedTask>& sequence,
                        Bytes capacity) {
+  HARE_SPAN("switching", "switching.plan_greedy");
   check_consistent_sizes(sequence);
   const std::size_t n = sequence.size();
   MemoryPlan plan;
@@ -124,6 +139,7 @@ MemoryPlan plan_greedy(const std::vector<PlannedTask>& sequence,
   }
   // States still resident at the end count as kept.
   for (const Kept& k : kept) plan.keep[k.completed_at] = 1;
+  record_plan_metrics(plan);
   return plan;
 }
 
@@ -185,6 +201,7 @@ struct Search {
 
 MemoryPlan plan_optimal(const std::vector<PlannedTask>& sequence,
                         Bytes capacity) {
+  HARE_SPAN("switching", "switching.plan_optimal");
   check_consistent_sizes(sequence);
   for (std::size_t i = 0; i < sequence.size(); ++i) {
     HARE_CHECK_MSG(sequence[i].footprint <= capacity,

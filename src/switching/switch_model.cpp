@@ -1,8 +1,38 @@
 #include "switching/switch_model.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hare::switching {
+
+namespace {
+
+/// Per-state dwell histograms of the switching pipeline, in virtual
+/// microseconds of switch-path time (Table 3's component breakdown).
+void record_switch_metrics(const SwitchBreakdown& breakdown, bool cross_job) {
+  static obs::Histogram& clean_us =
+      obs::histogram("switch.clean_us", obs::latency_bounds_us());
+  static obs::Histogram& context_us =
+      obs::histogram("switch.context_us", obs::latency_bounds_us());
+  static obs::Histogram& init_us =
+      obs::histogram("switch.init_us", obs::latency_bounds_us());
+  static obs::Histogram& alloc_us =
+      obs::histogram("switch.alloc_us", obs::latency_bounds_us());
+  static obs::Histogram& transfer_us =
+      obs::histogram("switch.transfer_us", obs::latency_bounds_us());
+  static obs::Counter& switches = obs::counter("switch.cross_job_switches");
+  static obs::Counter& resident = obs::counter("switch.resident_hits");
+  clean_us.record(breakdown.clean * 1e6);
+  context_us.record(breakdown.context * 1e6);
+  init_us.record(breakdown.init * 1e6);
+  alloc_us.record(breakdown.alloc * 1e6);
+  transfer_us.record(breakdown.transfer * 1e6);
+  if (cross_job) switches.add();
+  if (breakdown.model_resident) resident.add();
+}
+
+}  // namespace
 
 std::string_view switch_policy_name(SwitchPolicy policy) {
   switch (policy) {
@@ -53,6 +83,7 @@ SwitchBreakdown SwitchCostModel::switch_cost(
     JobId job, workload::ModelType model, cluster::GpuType gpu,
     std::optional<JobId> previous_job,
     const SpeculativeMemoryManager* memory) const {
+  HARE_SPAN("switching", "switching.switch_cost");
   const workload::ModelSpec& spec = workload::model_spec(model);
   const cluster::GpuSpec& g = cluster::gpu_spec(gpu);
 
@@ -124,6 +155,7 @@ SwitchBreakdown SwitchCostModel::switch_cost(
       break;
     }
   }
+  record_switch_metrics(breakdown, previous_job.has_value());
   return breakdown;
 }
 
