@@ -7,11 +7,15 @@
 //                  [--gantt] [--csv] [--bandwidth 25] [--seed 42]
 //   hare compare   --trace trace.txt [--gpus 16 | --testbed] [--csv]
 //   hare profile   --trace trace.txt [--gpus 16 | --testbed] [--db db.txt]
+//   hare sweep     [--trace trace.txt | --jobs 40,80] [--seeds 1,2,3]
+//                  [--gpus 16 | --testbed] [--serial] [--workers N] [--csv]
 //
 // `generate` synthesizes a workload trace; `schedule` runs one scheduler
 // and reports metrics (optionally an ASCII Gantt chart); `compare` runs
 // Hare and every baseline; `profile` shows the profiled time table and can
-// persist the historical profile database.
+// persist the historical profile database; `sweep` fans a
+// (scenario × seed × scheme) grid across the hare::exp engine — results
+// are bit-identical to `--serial`, which runs the same cells one by one.
 //
 // Every command accepts `--trace-out FILE` (Chrome trace_event JSON for
 // chrome://tracing), `--metrics-out FILE` (hare::obs counters/gauges/
@@ -22,9 +26,12 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/hare.hpp"
+#include "exp/engine.hpp"
 #include "obs/obs.hpp"
 #include "runtime/runtime.hpp"
 #include "sim/gantt.hpp"
@@ -46,6 +53,8 @@ using namespace hare;
   hare compare  --trace FILE [--gpus N | --testbed] [--csv] [--seed S]
   hare profile  --trace FILE [--gpus N | --testbed] [--db FILE] [--seed S]
   hare advise   --model NAME [--rounds N] [--gpus N | --testbed]
+  hare sweep    [--trace FILE | --jobs N1,N2,...] [--seeds S1,S2,...]
+                [--gpus N | --testbed] [--serial] [--workers N] [--csv]
 
 telemetry (any command):
   --trace-out FILE    write Chrome trace_event JSON (chrome://tracing)
@@ -91,7 +100,7 @@ Args parse(int argc, char** argv) {
     if (token.rfind("--", 0) != 0) usage("unexpected argument: " + token);
     token = token.substr(2);
     const bool boolean_flag = token == "gantt" || token == "csv" ||
-                              token == "testbed";
+                              token == "testbed" || token == "serial";
     if (boolean_flag) {
       args.flags[token] = true;
     } else {
@@ -350,6 +359,71 @@ int cmd_profile(const Args& args) {
   return 0;
 }
 
+std::vector<std::uint64_t> parse_u64_list(const std::string& text) {
+  std::vector<std::uint64_t> out;
+  std::stringstream stream(text);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) out.push_back(std::stoull(token));
+  }
+  return out;
+}
+
+int cmd_sweep(const Args& args) {
+  const cluster::Cluster cluster = make_cluster(args);
+
+  exp::SweepSpec spec;
+  const std::string trace = args.get("trace");
+  if (!trace.empty()) {
+    spec.scenarios.push_back(
+        exp::ScenarioSpec{trace, cluster, workload::load_trace_file(trace)});
+  } else {
+    const std::uint64_t gen_seed =
+        static_cast<std::uint64_t>(args.get_size("seed", 42));
+    for (const std::uint64_t count : parse_u64_list(args.get("jobs", "40"))) {
+      workload::TraceConfig config;
+      config.job_count = static_cast<std::size_t>(count);
+      workload::TraceGenerator generator(gen_seed);
+      spec.scenarios.push_back(
+          exp::ScenarioSpec{std::to_string(count) + " jobs", cluster,
+                            generator.generate(config)});
+    }
+  }
+  spec.seeds = parse_u64_list(args.get("seeds", ""));
+  if (spec.scenarios.empty()) usage("sweep: empty scenario grid");
+
+  exp::Engine::Options engine_options;
+  engine_options.workers = args.get_size("workers", 0);
+  engine_options.serial = args.flag("serial");
+  exp::Engine engine(engine_options);
+  const exp::SweepResult result = engine.run(spec);
+
+  common::Table table({"scenario", "seed", "scheme", "weighted JCT (s)",
+                       "makespan (s)", "mean util", "sched (ms)"});
+  for (const auto& cell : result.cells) {
+    table.row()
+        .cell(spec.scenarios[cell.scenario].label)
+        .cell(static_cast<std::size_t>(cell.seed))
+        .cell(cell.result.scheduler)
+        .cell(cell.result.weighted_jct, 1)
+        .cell(cell.result.makespan, 1)
+        .cell(cell.result.mean_utilization, 3)
+        .cell(cell.result.scheduling_ms, 2);
+  }
+  if (args.flag("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << result.cells.size() << " cells ("
+            << spec.scenarios.size() << " scenarios x "
+            << result.seeds_per_scenario << " seeds x "
+            << exp::scheme_count() << " schemes) on " << result.workers
+            << (result.workers == 1 ? " worker" : " workers") << " in "
+            << static_cast<long long>(result.wall_ms) << " ms\n";
+  return 0;
+}
+
 }  // namespace
 
 int run_command(const Args& args) {
@@ -358,6 +432,7 @@ int run_command(const Args& args) {
   if (args.command == "compare") return cmd_compare(args);
   if (args.command == "profile") return cmd_profile(args);
   if (args.command == "advise") return cmd_advise(args);
+  if (args.command == "sweep") return cmd_sweep(args);
   usage("unknown command: " + args.command);
 }
 

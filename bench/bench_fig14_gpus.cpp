@@ -20,8 +20,9 @@ int main() {
   }();
 
   const auto sweep = bench::parallel_sweep(std::size(gpu_counts), [&](std::size_t i) {
-    const auto cluster = cluster::make_simulation_cluster(gpu_counts[i]);
-    return bench::run_comparison(cluster, jobs);
+    return exp::ScenarioSpec{std::to_string(gpu_counts[i]) + " GPUs",
+                             cluster::make_simulation_cluster(gpu_counts[i]),
+                             jobs};
   });
 
   common::Table table({"GPUs", sweep[0][0].scheduler, sweep[0][1].scheduler,

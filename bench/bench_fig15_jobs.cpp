@@ -18,8 +18,9 @@ int main() {
         config.base_arrival_rate = 0.5;  // congested regime, as in the paper
     config.rounds_scale_min = 0.15;
         config.rounds_scale_max = 0.45;
-        const auto jobs = workload::TraceGenerator(777).generate(config);
-        return bench::run_comparison(cluster, jobs);
+        auto jobs = workload::TraceGenerator(777).generate(config);
+        return exp::ScenarioSpec{std::to_string(job_counts[i]) + " jobs",
+                                 cluster, std::move(jobs)};
       });
 
   common::Table table({"jobs", sweep[0][0].scheduler, sweep[0][1].scheduler,

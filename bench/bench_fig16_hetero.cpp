@@ -24,8 +24,9 @@ int main() {
   }();
 
   const auto sweep = bench::parallel_sweep(std::size(levels), [&](std::size_t i) {
-    const auto cluster = cluster::make_heterogeneity_cluster(levels[i], 160);
-    return bench::run_comparison(cluster, jobs);
+    return exp::ScenarioSpec{
+        "level " + std::to_string(i),
+        cluster::make_heterogeneity_cluster(levels[i], 160), jobs};
   });
 
   common::Table table({"level", sweep[0][0].scheduler, sweep[0][1].scheduler,

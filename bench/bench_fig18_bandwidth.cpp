@@ -24,9 +24,9 @@ int main() {
 
   const auto sweep =
       bench::parallel_sweep(std::size(bandwidths), [&](std::size_t i) {
-        const auto cluster =
-            cluster::make_simulation_cluster(160, bandwidths[i]);
-        return bench::run_comparison(cluster, jobs);
+        return exp::ScenarioSpec{
+            std::to_string(static_cast<int>(bandwidths[i])) + " Gbps",
+            cluster::make_simulation_cluster(160, bandwidths[i]), jobs};
       });
 
   common::Table table({"Gbps", sweep[0][0].scheduler, sweep[0][1].scheduler,

@@ -21,8 +21,9 @@ int main() {
     config.base_arrival_rate = 0.5;  // congested regime, as in the paper
     config.rounds_scale_min = 0.15;
     config.rounds_scale_max = 0.45;
-    const auto jobs = workload::TraceGenerator(51).generate(config);
-    return bench::run_comparison(cluster, jobs);
+    auto jobs = workload::TraceGenerator(51).generate(config);
+    return exp::ScenarioSpec{"batch x" + std::to_string(scales[i]), cluster,
+                             std::move(jobs)};
   });
 
   common::Table table({"batch", sweep[0][0].scheduler, sweep[0][1].scheduler,

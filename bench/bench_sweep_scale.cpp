@@ -1,0 +1,222 @@
+// Sweep-engine scaling bench + regression baseline generator.
+//
+// Builds one (scenario × seed × scheme) experiment grid and runs it twice
+// through the hare::exp engine: once serial (the reference path) and once
+// fanned across the worker pool. Asserts the two sweeps are
+// **bit-identical** cell by cell — every task record, job record, and
+// aggregate must match exactly — then reports the wall-clock speedup.
+//
+// Emits machine-readable BENCH_sweep.json (cells, workers, serial/parallel
+// wall ms, speedup, determinism flags) which
+// scripts/check_bench_regression.py gates in CI: determinism always; the
+// >=3x speedup floor only when the recorded run had >= 4 workers (a
+// single-core container cannot demonstrate scaling — the committed
+// baseline records whatever grid machine regenerated it). `--quick`
+// shrinks the grid for smoke runs; `--json <path>` overrides the output
+// location.
+//
+// The timed sweeps run with hare::obs tracing disabled. Afterwards a small
+// parallel sweep is re-run with the tracer on and exported as Chrome-trace
+// JSON + metrics snapshot alongside the bench JSON, showing the whole
+// fan-out on named per-worker tracks (`--trace-out`/`--no-trace`).
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exp/engine.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+using namespace hare;
+
+exp::SweepSpec make_grid(bool quick) {
+  exp::SweepSpec spec;
+  const std::size_t job_counts[] = {20, 30, 40};
+  const std::size_t scenario_count = quick ? 1 : std::size(job_counts);
+  for (std::size_t i = 0; i < scenario_count; ++i) {
+    workload::TraceConfig config;
+    config.job_count = job_counts[i];
+    config.base_arrival_rate = 0.2;
+    config.rounds_scale_min = 0.1;
+    config.rounds_scale_max = 0.3;
+    auto jobs = workload::TraceGenerator(2200 + job_counts[i]).generate(config);
+    spec.scenarios.push_back(
+        exp::ScenarioSpec{std::to_string(job_counts[i]) + " jobs",
+                          cluster::make_simulation_cluster(16),
+                          std::move(jobs)});
+  }
+  spec.seeds = quick ? std::vector<std::uint64_t>{11}
+                     : std::vector<std::uint64_t>{11, 23, 37, 53};
+  return spec;
+}
+
+/// Exact (bitwise) equality of everything a cell computes — wall-clock
+/// fields (scheduling_ms, cell_ms) are the only fields excluded.
+bool cells_identical(const exp::CellResult& a, const exp::CellResult& b) {
+  if (a.scenario != b.scenario || a.seed != b.seed || a.scheme != b.scheme ||
+      a.result.scheduler != b.result.scheduler) {
+    return false;
+  }
+  const sim::SimResult& ra = a.result.sim;
+  const sim::SimResult& rb = b.result.sim;
+  if (ra.makespan != rb.makespan ||
+      ra.weighted_completion != rb.weighted_completion ||
+      ra.weighted_jct != rb.weighted_jct ||
+      ra.tasks.size() != rb.tasks.size() || ra.jobs.size() != rb.jobs.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < ra.tasks.size(); ++i) {
+    const sim::TaskRecord& ta = ra.tasks[i];
+    const sim::TaskRecord& tb = rb.tasks[i];
+    if (ta.gpu != tb.gpu || ta.ready != tb.ready || ta.start != tb.start ||
+        ta.switch_time != tb.switch_time ||
+        ta.compute_start != tb.compute_start ||
+        ta.compute_end != tb.compute_end || ta.sync_end != tb.sync_end ||
+        ta.model_resident != tb.model_resident) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < ra.jobs.size(); ++i) {
+    if (ra.jobs[i].completion != rb.jobs[i].completion) return false;
+  }
+  return true;
+}
+
+bool sweeps_identical(const exp::SweepResult& a, const exp::SweepResult& b) {
+  if (a.cells.size() != b.cells.size()) return false;
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    if (!cells_identical(a.cells[i], b.cells[i])) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] bool write_json(const std::string& path, std::size_t cells,
+                              std::size_t workers, double serial_ms,
+                              double parallel_ms, double speedup,
+                              bool deterministic, bool quick) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"bench\": \"bench_sweep_scale\",\n";
+  out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  out << "  \"cells\": " << cells << ",\n";
+  out << "  \"workers\": " << workers << ",\n";
+  out << "  \"serial_ms\": " << serial_ms << ",\n";
+  out << "  \"parallel_ms\": " << parallel_ms << ",\n";
+  out << "  \"speedup\": " << speedup << ",\n";
+  out << "  \"deterministic\": " << (deterministic ? "true" : "false") << "\n";
+  out << "}\n";
+
+  std::ofstream file(path);
+  file << out.str();
+  if (!file) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return false;
+  }
+  std::cout << "\nwrote " << path << "\n";
+  return true;
+}
+
+/// Re-run a small sweep with the tracer on and export the telemetry next
+/// to the bench JSON. Runs after the timed sweeps so span recording
+/// cannot perturb the regression numbers.
+bool export_traced_run(const std::string& trace_path) {
+  obs::Tracer::instance().set_thread_name("bench_sweep_scale");
+  obs::Tracer::instance().enable();
+  {
+    exp::Engine engine;
+    const exp::SweepResult traced = engine.run(make_grid(/*quick=*/true));
+    static_cast<void>(traced);
+  }
+  obs::Tracer::instance().disable();
+
+  bool ok = obs::write_chrome_trace_file(trace_path);
+  const std::string base =
+      trace_path.size() > 5 &&
+              trace_path.rfind(".json") == trace_path.size() - 5
+          ? trace_path.substr(0, trace_path.size() - 5)
+          : trace_path;
+  ok = obs::Registry::instance().write_json_file(base + "_metrics.json") && ok;
+  ok = obs::write_flame_summary_file(base + "_spans.txt") && ok;
+  if (ok) {
+    std::cout << "wrote " << trace_path << " (+ _metrics.json, _spans.txt)\n";
+  } else {
+    std::cerr << "error: cannot write trace outputs at " << trace_path << "\n";
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool trace = true;
+  std::string json_path = "BENCH_sweep.json";
+  std::string trace_path = "BENCH_sweep_trace.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-trace") == 0) {
+      trace = false;
+    } else {
+      std::cerr << "usage: bench_sweep_scale [--quick] [--json <path>] "
+                   "[--trace-out <path>] [--no-trace]\n";
+      return 2;
+    }
+  }
+
+  std::cout << "=== sweep engine scaling: serial vs parallel fan-out ===\n";
+  const exp::SweepSpec spec = make_grid(quick);
+
+  exp::Engine::Options serial_options;
+  serial_options.serial = true;
+  exp::Engine serial_engine(serial_options);
+  const exp::SweepResult serial = serial_engine.run(spec);
+
+  exp::Engine parallel_engine;
+  const exp::SweepResult parallel = parallel_engine.run(spec);
+
+  const bool deterministic = sweeps_identical(serial, parallel);
+  const double speedup =
+      serial.wall_ms / std::max(1e-6, parallel.wall_ms);
+
+  common::Table table({"path", "cells", "workers", "wall ms", "speedup",
+                       "identical"});
+  table.row()
+      .cell("serial")
+      .cell(serial.cells.size())
+      .cell(serial.workers)
+      .cell(serial.wall_ms, 1)
+      .cell(1.0, 2)
+      .cell("ref");
+  table.row()
+      .cell("parallel")
+      .cell(parallel.cells.size())
+      .cell(parallel.workers)
+      .cell(parallel.wall_ms, 1)
+      .cell(speedup, 2)
+      .cell(deterministic ? "yes" : "NO");
+  table.print(std::cout);
+  std::cout << "(identical = every task/job record and aggregate matches the "
+               "serial sweep bit for bit)\n";
+
+  bool wrote = write_json(json_path, spec.cell_count(), parallel.workers,
+                          serial.wall_ms, parallel.wall_ms, speedup,
+                          deterministic, quick);
+  if (trace) wrote = export_traced_run(trace_path) && wrote;
+
+  if (!deterministic) {
+    std::cerr << "FAIL: parallel sweep diverged from the serial reference\n";
+    return 1;
+  }
+  return wrote ? 0 : 1;
+}

@@ -7,70 +7,39 @@
 // memory (its §4 contribution), the baselines get the default executor —
 // they switch GPUs only at job granularity, so the cold cost amortizes,
 // exactly the status quo the paper compares against.
+//
+// All bench execution rides the hare::exp engine: a sweep fans its
+// (scenario × scheme) cells across worker threads and merges results in
+// canonical order, so output is bit-identical to a serial run. Set
+// HARE_EXP_SERIAL=1 to force the serial path and HARE_JOBS=N to cap the
+// worker count.
 #pragma once
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.hpp"
-#include "common/thread_pool.hpp"
 #include "core/hare.hpp"
+#include "exp/engine.hpp"
 
 namespace hare::bench {
 
-struct SchemeResult {
-  std::string scheduler;
-  double weighted_jct = 0.0;
-  double weighted_completion = 0.0;
-  double makespan = 0.0;
-  double mean_utilization = 0.0;
-  double scheduling_ms = 0.0;
-  sim::SimResult sim;
-};
+using exp::ScenarioOptions;
+using exp::SchemeResult;
 
-struct ScenarioOptions {
-  std::uint64_t seed = 42;
-  /// Testbed mode: per-task runtime jitter (0 = exact simulator).
-  double runtime_noise_cv = 0.0;
-  core::HareConfig hare{};
-  workload::PerfModelConfig perf{};
-};
-
-/// Run Hare + the four baselines on one instance. Every scheme sees the
-/// same jobs, profiled times, and actual times.
+/// Run Hare + the four baselines on one instance (one-scenario sweep;
+/// schemes run as parallel cells). Every scheme sees the same jobs,
+/// profiled times, and actual times.
 [[nodiscard]] inline std::vector<SchemeResult> run_comparison(
     const cluster::Cluster& cluster, const workload::JobSet& jobs,
     const ScenarioOptions& options = {}) {
-  std::vector<SchemeResult> results;
-  for (const auto& scheduler : core::make_standard_schedulers(options.hare)) {
-    core::HareSystem::Options sys_options;
-    sys_options.seed = options.seed;
-    sys_options.perf = options.perf;
-    sys_options.sim.runtime_noise_cv = options.runtime_noise_cv;
-    sys_options.sim.noise_seed = options.seed ^ 0x5eedull;
-    const bool is_hare = scheduler->name() == std::string_view("Hare");
-    sys_options.sim.switching.policy = is_hare
-                                           ? switching::SwitchPolicy::Hare
-                                           : switching::SwitchPolicy::Default;
-    sys_options.sim.use_memory_manager = is_hare;
-
-    core::HareSystem system(cluster, sys_options);
-    system.submit_all(jobs);
-    const core::RunReport report = system.run(*scheduler);
-
-    SchemeResult entry;
-    entry.scheduler = report.scheduler;
-    entry.weighted_jct = report.result.weighted_jct;
-    entry.weighted_completion = report.result.weighted_completion;
-    entry.makespan = report.result.makespan;
-    entry.mean_utilization = report.result.mean_gpu_utilization();
-    entry.scheduling_ms = report.scheduling_ms;
-    entry.sim = std::move(report.result);
-    results.push_back(std::move(entry));
-  }
-  return results;
+  exp::SweepSpec spec;
+  spec.scenarios.push_back(exp::ScenarioSpec{"", cluster, jobs, options});
+  exp::Engine engine;
+  return engine.run(spec).comparison(0);
 }
 
 /// Default Table 2 workload on the given cluster scale.
@@ -86,12 +55,25 @@ struct ScenarioOptions {
   return generator.generate(config);
 }
 
-/// Evaluate `n` sweep points in parallel; fn(i) fills slot i of the result.
-template <typename Fn>
-std::vector<std::vector<SchemeResult>> parallel_sweep(std::size_t n, Fn&& fn) {
-  std::vector<std::vector<SchemeResult>> out(n);
-  common::ThreadPool pool;
-  pool.parallel_for_each(n, [&](std::size_t i) { out[i] = fn(i); });
+/// Evaluate `n` sweep points: make_scenario(i) builds point i's
+/// ScenarioSpec, the engine fans all n×5 (scenario, scheme) cells across
+/// its pool, and slot i of the result holds point i's scheme line-up —
+/// the same shape (and bits) the old serial per-point loop produced.
+template <typename MakeScenario>
+[[nodiscard]] std::vector<std::vector<SchemeResult>> parallel_sweep(
+    std::size_t n, MakeScenario&& make_scenario) {
+  exp::SweepSpec spec;
+  spec.scenarios.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    spec.scenarios.push_back(make_scenario(i));
+  }
+  exp::Engine engine;
+  const exp::SweepResult result = engine.run(spec);
+  std::vector<std::vector<SchemeResult>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(result.comparison(i));
+  }
   return out;
 }
 

@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Gate planner-performance results from bench_planner_scale.
+"""Gate performance results from the perf benches.
 
-Reads the BENCH_planner.json the bench emits and fails (exit 1) when the
-optimized planning engine regresses:
+Reads the machine-readable JSON a perf bench emits and fails (exit 1) on a
+regression. Two bench formats are understood, dispatched on the "bench"
+field:
 
+bench_planner_scale (BENCH_planner.json):
   * any engine configuration produced a schedule that differs from its
     reference (naive vs cold-indexed, warm-serial vs pooled) — determinism
     is a correctness contract, never waived;
@@ -13,11 +15,20 @@ optimized planning engine regresses:
     (optimized vs the in-process naive baseline measured in the same run),
     so they hold across machines; absolute milliseconds are never compared.
 
-Quick mode (--quick, or a JSON produced by `bench_planner_scale --quick`)
-runs tiny grids where fixed costs dominate, so only determinism and pivot
-counts are enforced there.
+bench_sweep_scale (BENCH_sweep.json):
+  * the parallel sweep diverged from the serial reference (bit-identity is
+    a correctness contract, never waived);
+  * the parallel-over-serial speedup fell below the floor — enforced only
+    when the recorded run had >= 4 workers, since a 1-2 core container
+    cannot demonstrate fan-out scaling (the ratio is measured in-process,
+    so it holds across grid machines).
 
-Usage: scripts/check_bench_regression.py [BENCH_planner.json] [--quick]
+Quick mode (--quick, or a JSON produced with --quick) runs tiny grids
+where fixed costs dominate, so only the determinism contracts are
+enforced there.
+
+Usage: scripts/check_bench_regression.py [JSON...] [--quick]
+       (default: BENCH_planner.json)
 """
 
 import json
@@ -30,33 +41,21 @@ LARGE_FLUID_MIN_SPEEDUP = 3.0
 LP_CUTS_MIN_SPEEDUP = 2.0
 ANY_POINT_MIN_SPEEDUP = 0.7  # noise floor for tiny grids
 
+# Sweep-engine thresholds: the parallel fan-out must beat the serial
+# reference by this much on a machine with enough cores to show it.
+SWEEP_MIN_SPEEDUP = 3.0
+SWEEP_MIN_WORKERS = 4  # below this, fan-out speedup is not demonstrable
+
 
 def fail(msg):
     print(f"REGRESSION: {msg}")
     return 1
 
 
-def main(argv):
-    path = "BENCH_planner.json"
-    quick = False
-    for arg in argv[1:]:
-        if arg == "--quick":
-            quick = True
-        elif arg.startswith("-"):
-            print(__doc__)
-            return 2
-        else:
-            path = arg
-
-    try:
-        with open(path) as fh:
-            data = json.load(fh)
-    except (OSError, json.JSONDecodeError) as exc:
-        return fail(f"cannot read {path}: {exc}")
+def check_planner(data, quick, path):
     points = data.get("points", [])
     if not points:
         return fail(f"{path} contains no grid points")
-    quick = quick or bool(data.get("quick", False))
 
     errors = 0
     for p in points:
@@ -98,10 +97,77 @@ def main(argv):
                 )
 
     if errors:
-        print(f"{errors} regression(s) in {path}")
-        return 1
+        return errors
     mode = "quick (determinism/pivots only)" if quick else "full"
-    print(f"OK: {len(points)} grid points pass the {mode} gate in {path}")
+    print(f"OK: {len(points)} grid points pass the {mode} planner gate in {path}")
+    return 0
+
+
+def check_sweep(data, quick, path):
+    errors = 0
+    if not data.get("deterministic", False):
+        errors += fail(
+            f"{path}: parallel sweep diverged from the serial reference"
+        )
+    if data.get("cells", 0) <= 0:
+        errors += fail(f"{path}: sweep ran no cells")
+
+    workers = data.get("workers", 1)
+    if not quick and workers >= SWEEP_MIN_WORKERS:
+        speedup = data.get("speedup", 0.0)
+        if speedup < SWEEP_MIN_SPEEDUP:
+            errors += fail(
+                f"{path}: sweep speedup {speedup:.2f} < "
+                f"{SWEEP_MIN_SPEEDUP:.1f} on {workers} workers"
+            )
+    elif not quick:
+        print(
+            f"note: {path} recorded {workers} worker(s); the "
+            f"{SWEEP_MIN_SPEEDUP:.0f}x floor needs >= {SWEEP_MIN_WORKERS} "
+            "(determinism still enforced)"
+        )
+
+    if errors:
+        return errors
+    mode = "quick (determinism only)" if quick else "full"
+    print(
+        f"OK: {data.get('cells', '?')} cells on {workers} worker(s) pass "
+        f"the {mode} sweep gate in {path}"
+    )
+    return 0
+
+
+def check_file(path, quick):
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return fail(f"cannot read {path}: {exc}")
+    quick = quick or bool(data.get("quick", False))
+    bench = data.get("bench", "bench_planner_scale")
+    if bench == "bench_sweep_scale":
+        return check_sweep(data, quick, path)
+    return check_planner(data, quick, path)
+
+
+def main(argv):
+    paths = []
+    quick = False
+    for arg in argv[1:]:
+        if arg == "--quick":
+            quick = True
+        elif arg.startswith("-"):
+            print(__doc__)
+            return 2
+        else:
+            paths.append(arg)
+    if not paths:
+        paths = ["BENCH_planner.json"]
+
+    errors = sum(check_file(path, quick) for path in paths)
+    if errors:
+        print(f"{errors} regression(s)")
+        return 1
     return 0
 
 

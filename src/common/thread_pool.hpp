@@ -8,13 +8,20 @@
 // until done, and rethrow the first exception. Results are written to
 // pre-sized slots and merged in index order by the callers, so pool use
 // never changes an outcome — only wall-clock.
+//
+// Default worker count (threads == 0) honors the HARE_JOBS environment
+// variable, falling back to one worker per hardware thread. Exceptions
+// from bare submit() tasks are stored and surfaced via rethrow_pending()
+// instead of being lost inside a worker.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdlib>
 #include <exception>
 #include <functional>
+#include <iostream>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -24,12 +31,25 @@
 
 namespace hare::common {
 
+/// Worker count for pools constructed with `threads == 0`: the HARE_JOBS
+/// environment variable when set to a positive integer, else one worker
+/// per hardware thread. Lets users cap (or force) experiment parallelism
+/// without touching call sites.
+[[nodiscard]] inline std::size_t default_worker_count() {
+  if (const char* env = std::getenv("HARE_JOBS")) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && n > 0) {
+      return static_cast<std::size_t>(n);
+    }
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t threads = 0) {
-    if (threads == 0) {
-      threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-    }
+    if (threads == 0) threads = default_worker_count();
     workers_.reserve(threads);
     for (std::size_t t = 0; t < threads; ++t) {
       workers_.emplace_back([this] { worker_loop(); });
@@ -46,18 +66,58 @@ class ThreadPool {
     }
     cv_.notify_all();
     for (auto& w : workers_) w.join();
+    // A stored exception nobody collected would otherwise vanish with the
+    // pool; surfacing it here is the last chance to make the failure loud.
+    if (pending_error_) {
+      try {
+        std::rethrow_exception(pending_error_);
+      } catch (const std::exception& e) {
+        std::cerr << "ThreadPool: uncollected task exception at shutdown: "
+                  << e.what() << '\n';
+      } catch (...) {
+        std::cerr << "ThreadPool: uncollected task exception at shutdown\n";
+      }
+    }
   }
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
   /// Enqueue a task. Tasks must not enqueue further tasks and wait on them
-  /// (no nesting); the bench harness only uses flat fan-out.
+  /// (no nesting); the bench harness only uses flat fan-out. A task that
+  /// throws has its (first) exception stored — collect it at a join point
+  /// with rethrow_pending().
   void submit(std::function<void()> fn) {
     {
       std::scoped_lock lock(mutex_);
       tasks_.push(std::move(fn));
     }
     cv_.notify_one();
+  }
+
+  /// Wait until every task submitted so far has finished (the queue is
+  /// empty and no worker is mid-task).
+  void wait_idle() {
+    std::unique_lock lock(mutex_);
+    idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  }
+
+  /// Rethrow the first exception thrown by a submit()-ed task, if any
+  /// (then clears it). parallel_for_each collects its own shard errors;
+  /// this covers the bare submit() path, where a throwing task would
+  /// otherwise be lost with nothing but a worker silently moving on.
+  void rethrow_pending() {
+    std::exception_ptr error;
+    {
+      std::scoped_lock lock(error_mutex_);
+      std::swap(error, pending_error_);
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+  /// True if a submit()-ed task has thrown since the last rethrow_pending.
+  [[nodiscard]] bool has_pending_exception() const {
+    std::scoped_lock lock(error_mutex_);
+    return pending_error_ != nullptr;
   }
 
   /// Run fn(i) for i in [0, n) across the pool; blocks until all complete.
@@ -121,8 +181,19 @@ class ThreadPool {
         if (stopping_ && tasks_.empty()) return;
         task = std::move(tasks_.front());
         tasks_.pop();
+        ++active_;
       }
-      task();
+      try {
+        task();
+      } catch (...) {
+        std::scoped_lock lock(error_mutex_);
+        if (!pending_error_) pending_error_ = std::current_exception();
+      }
+      {
+        std::scoped_lock lock(mutex_);
+        --active_;
+        if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
+      }
     }
   }
 
@@ -130,7 +201,11 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
   bool stopping_ = false;
+  mutable std::mutex error_mutex_;
+  std::exception_ptr pending_error_;
 };
 
 /// Process-wide pool for planner-internal fan-out (cut separation, per-job

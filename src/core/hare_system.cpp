@@ -43,6 +43,12 @@ const profiler::TimeTable& HareSystem::actual_times() {
 }
 
 RunReport HareSystem::run(sched::Scheduler& scheduler) {
+  sim::SimScratch scratch;
+  return run(scheduler, scratch);
+}
+
+RunReport HareSystem::run(sched::Scheduler& scheduler,
+                          sim::SimScratch& scratch) {
   ensure_profiled();
   const sched::SchedulerInput input{cluster_, jobs_, profiled_};
 
@@ -54,7 +60,7 @@ RunReport HareSystem::run(sched::Scheduler& scheduler) {
 
   RunReport report;
   report.scheduler = std::string(scheduler.name());
-  report.result = simulator.run(schedule);
+  report.result = simulator.run(schedule, scratch);
   report.planned_objective = schedule.predicted_objective;
   report.scheduling_ms =
       std::chrono::duration<double, std::milli>(end - start).count();

@@ -53,6 +53,11 @@ class HareSystem {
   /// Profile (re)runs lazily before the first run() after a submission.
   [[nodiscard]] RunReport run(sched::Scheduler& scheduler);
 
+  /// Same, reusing `scratch`'s simulator buffers (the sweep engine keeps
+  /// one per worker thread). Never changes a result.
+  [[nodiscard]] RunReport run(sched::Scheduler& scheduler,
+                              sim::SimScratch& scratch);
+
   /// Hare + the four §7.1 baselines on the identical instance.
   [[nodiscard]] std::vector<RunReport> run_comparison(
       HareConfig hare_config = {});

@@ -1,0 +1,115 @@
+#include "exp/engine.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hare::exp {
+
+namespace {
+
+/// Sweep-wide telemetry handles (process-global registry).
+struct SweepMetrics {
+  obs::Counter& dispatched = obs::counter("exp.cells_dispatched");
+  obs::Counter& completed = obs::counter("exp.cells_completed");
+  obs::Gauge& queue_depth = obs::gauge("exp.queue_depth");
+  obs::Histogram& cell_ms =
+      obs::histogram("exp.cell_ms", obs::latency_bounds_us());
+};
+
+SweepMetrics& sweep_metrics() {
+  static SweepMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+Engine::Engine() : Engine(Options{}) {}
+
+Engine::Engine(Options options)
+    : options_(options), serial_(options.serial || serial_requested()) {}
+
+Engine::~Engine() = default;
+
+std::size_t Engine::workers() const {
+  if (serial_) return 1;
+  return options_.workers == 0 ? common::default_worker_count()
+                               : options_.workers;
+}
+
+common::ThreadPool& Engine::pool() {
+  if (!pool_) {
+    pool_ = std::make_unique<common::ThreadPool>(workers());
+  }
+  return *pool_;
+}
+
+SweepResult Engine::run(const SweepSpec& spec) {
+  HARE_SPAN_ARG("exp", "exp.sweep", "cells",
+                static_cast<double>(spec.cell_count()));
+  const auto sweep_start = std::chrono::steady_clock::now();
+
+  const std::size_t seeds_per = spec.seeds_per_scenario();
+  const std::size_t schemes = scheme_count();
+  const std::size_t n = spec.cell_count();
+
+  SweepMetrics& metrics = sweep_metrics();
+  metrics.dispatched.add(n);
+  std::atomic<std::size_t> remaining{n};
+  metrics.queue_depth.set(static_cast<double>(n));
+
+  auto run_one = [&](std::size_t index) {
+    const std::size_t scheme = index % schemes;
+    const std::size_t seed_index = (index / schemes) % seeds_per;
+    const std::size_t scenario = index / (schemes * seeds_per);
+    const ScenarioSpec& spec_s = spec.scenarios[scenario];
+    const std::uint64_t seed =
+        spec.seeds.empty() ? spec_s.options.seed : spec.seeds[seed_index];
+
+    if (!serial_) {
+      // Label this worker's span ring once, so exported traces show the
+      // sweep fan-out on named per-worker tracks.
+      thread_local const bool named = [] {
+        obs::Tracer::instance().set_thread_name("exp-worker");
+        return true;
+      }();
+      static_cast<void>(named);
+    }
+
+    HARE_SPAN_ARG("exp", "exp.cell", "cell", static_cast<double>(index));
+    const auto cell_start = std::chrono::steady_clock::now();
+
+    // One simulator scratch per worker thread, reused across every cell
+    // that thread happens to run (pure wall-clock optimization).
+    thread_local sim::SimScratch scratch;
+
+    CellResult cell;
+    cell.scenario = scenario;
+    cell.seed_index = seed_index;
+    cell.scheme = scheme;
+    cell.seed = seed;
+    cell.result = run_cell(spec_s, seed, scheme, &scratch);
+    cell.cell_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - cell_start)
+                       .count();
+
+    metrics.completed.add();
+    metrics.cell_ms.record(cell.cell_ms * 1e3);  // histogram is in µs
+    metrics.queue_depth.set(static_cast<double>(
+        remaining.fetch_sub(1, std::memory_order_relaxed) - 1));
+    return cell;
+  };
+
+  SweepResult result;
+  result.seeds_per_scenario = seeds_per;
+  result.workers = serial_ ? 1 : std::min<std::size_t>(workers(), n ? n : 1);
+  result.cells = map(n, run_one);
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - sweep_start)
+                       .count();
+  return result;
+}
+
+}  // namespace hare::exp

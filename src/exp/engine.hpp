@@ -1,0 +1,145 @@
+// Deterministic parallel experiment engine.
+//
+// Enumerates a sweep's (scenario × seed × scheme) cells in one canonical
+// order, fans them across a private thread pool, and merges results into
+// pre-sized slots indexed by that same order — so the parallel output is
+// **bit-identical** to running the cells serially (and to the pre-engine
+// serial bench loops): parallelism changes wall-clock only, never a
+// number. Each worker reuses one `sim::SimScratch` across the cells it
+// happens to run, which also never changes a result (see simulator.hpp).
+//
+// Escape hatches: `Options::serial` (CLI `--serial`) or the
+// HARE_EXP_SERIAL environment variable run every cell on the calling
+// thread in canonical order; HARE_JOBS caps the worker count
+// (common/thread_pool.hpp). A cell that throws fails the whole sweep
+// loudly: the first exception is rethrown on the calling thread.
+//
+// Telemetry (hare::obs): `exp.cells_dispatched` / `exp.cells_completed`
+// counters, an `exp.queue_depth` gauge of not-yet-finished cells, an
+// `exp.cell_ms` histogram of per-cell wall time, and one `exp.cell` span
+// per cell on its worker's ring — `--trace-out` on a sweep shows the
+// whole fan-out on a per-worker timeline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "exp/experiment.hpp"
+
+namespace hare::exp {
+
+/// True when the HARE_EXP_SERIAL environment variable requests the serial
+/// path (set to anything but "" or "0").
+[[nodiscard]] inline bool serial_requested() {
+  const char* env = std::getenv("HARE_EXP_SERIAL");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+/// A grid of experiment cells: every scenario × every seed × every scheme.
+struct SweepSpec {
+  std::vector<ScenarioSpec> scenarios;
+  /// Seeds applied to every scenario; empty = each scenario's own
+  /// `options.seed` (one seed per scenario).
+  std::vector<std::uint64_t> seeds;
+
+  [[nodiscard]] std::size_t seeds_per_scenario() const {
+    return seeds.empty() ? 1 : seeds.size();
+  }
+  [[nodiscard]] std::size_t cell_count() const {
+    return scenarios.size() * seeds_per_scenario() * scheme_count();
+  }
+};
+
+/// One cell's coordinates plus its result.
+struct CellResult {
+  std::size_t scenario = 0;
+  std::size_t seed_index = 0;
+  std::size_t scheme = 0;
+  std::uint64_t seed = 0;
+  double cell_ms = 0.0;  ///< wall time of this cell (not replayable)
+  SchemeResult result;
+};
+
+/// All cells in canonical order: scenario-major, then seed, then scheme.
+struct SweepResult {
+  std::vector<CellResult> cells;
+  std::size_t seeds_per_scenario = 1;
+  std::size_t workers = 1;   ///< 1 = serial path
+  double wall_ms = 0.0;      ///< whole-sweep wall time
+
+  [[nodiscard]] const CellResult& cell(std::size_t scenario,
+                                       std::size_t seed_index,
+                                       std::size_t scheme) const {
+    return cells[(scenario * seeds_per_scenario + seed_index) *
+                     scheme_count() +
+                 scheme];
+  }
+
+  /// The scheme line-up for one (scenario, seed) — the shape the old
+  /// serial `run_comparison` returned.
+  [[nodiscard]] std::vector<SchemeResult> comparison(
+      std::size_t scenario, std::size_t seed_index = 0) const {
+    std::vector<SchemeResult> out;
+    out.reserve(scheme_count());
+    for (std::size_t m = 0; m < scheme_count(); ++m) {
+      out.push_back(cell(scenario, seed_index, m).result);
+    }
+    return out;
+  }
+};
+
+class Engine {
+ public:
+  struct Options {
+    /// Worker threads; 0 = default_worker_count() (HARE_JOBS-aware).
+    std::size_t workers = 0;
+    /// Run every cell on the calling thread, in canonical order. ORed
+    /// with the HARE_EXP_SERIAL environment variable.
+    bool serial = false;
+  };
+
+  Engine();
+  explicit Engine(Options options);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Effective worker count (1 when serial).
+  [[nodiscard]] std::size_t workers() const;
+  [[nodiscard]] bool serial() const { return serial_; }
+
+  /// Run every cell of the sweep; cells land in canonical order
+  /// regardless of completion order. Rethrows the first cell failure.
+  [[nodiscard]] SweepResult run(const SweepSpec& spec);
+
+  /// Low-level deterministic fan-out: evaluate fn(i) for i in [0, n) and
+  /// return the results in index order. fn must be safe to call from any
+  /// thread with distinct i; its result type must be default-constructible
+  /// and movable. The sweep above is built on this; tests and custom grids
+  /// can use it directly.
+  template <typename Fn>
+  auto map(std::size_t n, Fn&& fn)
+      -> std::vector<decltype(fn(std::size_t{0}))> {
+    std::vector<decltype(fn(std::size_t{0}))> out(n);
+    if (serial_ || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) out[i] = fn(i);
+      return out;
+    }
+    pool().parallel_for_each(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  [[nodiscard]] common::ThreadPool& pool();
+
+  Options options_;
+  bool serial_;
+  std::unique_ptr<common::ThreadPool> pool_;  ///< lazy; never in serial mode
+};
+
+}  // namespace hare::exp

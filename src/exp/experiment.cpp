@@ -1,0 +1,59 @@
+#include "exp/experiment.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/hare_system.hpp"
+
+namespace hare::exp {
+
+std::size_t scheme_count() { return 5; }
+
+std::string scheme_name(std::size_t scheme) {
+  switch (scheme) {
+    case 0: return "Hare";
+    case 1: return "Gavel_FIFO";
+    case 2: return "SRTF";
+    case 3: return "Sched_Homo";
+    case 4: return "Sched_Allox";
+    default: break;
+  }
+  HARE_CHECK_MSG(false, "scheme index " << scheme << " out of range");
+  return {};
+}
+
+SchemeResult run_cell(const ScenarioSpec& scenario, std::uint64_t seed,
+                      std::size_t scheme, sim::SimScratch* scratch) {
+  HARE_CHECK_MSG(scheme < scheme_count(),
+                 "scheme index " << scheme << " out of range");
+  auto schedulers = core::make_standard_schedulers(scenario.options.hare);
+  sched::Scheduler& scheduler = *schedulers[scheme];
+
+  core::HareSystem::Options sys_options;
+  sys_options.seed = seed;
+  sys_options.perf = scenario.options.perf;
+  sys_options.sim.runtime_noise_cv = scenario.options.runtime_noise_cv;
+  sys_options.sim.noise_seed = seed ^ 0x5eedull;
+  const bool is_hare = scheduler.name() == std::string_view("Hare");
+  sys_options.sim.switching.policy = is_hare ? switching::SwitchPolicy::Hare
+                                             : switching::SwitchPolicy::Default;
+  sys_options.sim.use_memory_manager = is_hare;
+
+  core::HareSystem system(scenario.cluster, sys_options);
+  system.submit_all(scenario.jobs);
+  core::RunReport report = scratch != nullptr
+                               ? system.run(scheduler, *scratch)
+                               : system.run(scheduler);
+
+  SchemeResult entry;
+  entry.scheduler = std::move(report.scheduler);
+  entry.weighted_jct = report.result.weighted_jct;
+  entry.weighted_completion = report.result.weighted_completion;
+  entry.makespan = report.result.makespan;
+  entry.mean_utilization = report.result.mean_gpu_utilization();
+  entry.scheduling_ms = report.scheduling_ms;
+  entry.sim = std::move(report.result);
+  return entry;
+}
+
+}  // namespace hare::exp

@@ -1,0 +1,74 @@
+// Experiment cells: the unit of work the sweep engine fans out.
+//
+// A *cell* is one (scenario, seed, scheme) triple: one scheduler from the
+// standard §7.1 line-up run end-to-end (profile → plan → simulate) on one
+// generated instance. Cells are pure functions of their inputs — each cell
+// builds its own HareSystem, draws from its own seeded RNG streams, and
+// shares no mutable state with any other cell — which is what lets the
+// engine run them on any thread, in any order, and still merge results
+// that are bit-identical to a serial loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/hare_scheduler.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/job.hpp"
+#include "workload/perf_model.hpp"
+
+namespace hare::exp {
+
+/// Per-scenario knobs (mirrors what the figure benches vary).
+struct ScenarioOptions {
+  std::uint64_t seed = 42;
+  /// Testbed mode: per-task runtime jitter (0 = exact simulator).
+  double runtime_noise_cv = 0.0;
+  core::HareConfig hare{};
+  workload::PerfModelConfig perf{};
+};
+
+/// One experiment instance: a cluster, a workload, and the knobs. Owns its
+/// inputs by value so a cell never reads memory another cell writes.
+struct ScenarioSpec {
+  std::string label;
+  cluster::Cluster cluster;
+  workload::JobSet jobs;
+  ScenarioOptions options{};
+};
+
+/// Number of schemes in the standard line-up (Hare + four baselines).
+[[nodiscard]] std::size_t scheme_count();
+
+/// Scheme display name without instantiating a scheduler stack.
+[[nodiscard]] std::string scheme_name(std::size_t scheme);
+
+/// One scheme's realized metrics on one instance.
+struct SchemeResult {
+  std::string scheduler;
+  double weighted_jct = 0.0;
+  double weighted_completion = 0.0;
+  double makespan = 0.0;
+  double mean_utilization = 0.0;
+  double scheduling_ms = 0.0;  ///< wall time of the algorithm (not replayable)
+  sim::SimResult sim;
+};
+
+/// Run scheme `scheme` of the standard line-up on `scenario`, overriding
+/// the scenario's seed with `seed`. Every scheme sees the same jobs,
+/// profiled times, and actual times: Hare runs under its fast-switching
+/// executor with speculative memory, the baselines under the default
+/// executor (they switch GPUs only at job granularity, so the cold cost
+/// amortizes — the status quo the paper compares against).
+///
+/// `scratch` optionally reuses simulator buffers across cells on the same
+/// thread; it never changes a result.
+[[nodiscard]] SchemeResult run_cell(const ScenarioSpec& scenario,
+                                    std::uint64_t seed, std::size_t scheme,
+                                    sim::SimScratch* scratch = nullptr);
+
+}  // namespace hare::exp

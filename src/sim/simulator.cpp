@@ -10,12 +10,11 @@
 #include "common/rng.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 
 namespace hare::sim {
 
-namespace {
+namespace detail {
 
 constexpr double kTimeEps = 1e-9;
 
@@ -47,7 +46,32 @@ struct JobState {
   bool finished = false;
 };
 
-}  // namespace
+/// Everything a run touches per event, owned by SimScratch so repeated
+/// runs reuse the buffers. The per-job info and the switch-cost table are
+/// the memoized lookups: built in one pass at run start, read per event.
+struct SimScratchImpl {
+  struct JobInfo {
+    workload::ModelType model{};
+    Bytes footprint = 0;    ///< task_memory_footprint at the job's batch
+    Bytes state_bytes = 0;  ///< model_state_bytes
+  };
+
+  std::vector<double> tc_noise;
+  std::vector<double> ts_noise;
+  std::vector<GpuState> gpus;
+  std::vector<JobState> job_states;
+  std::vector<JobInfo> job_info;
+  EventQueue<EventPayload> events;
+  std::unordered_map<NetworkModel::TransferId, TaskId> inflight_syncs;
+  switching::SwitchCostTable switch_table;
+};
+
+}  // namespace detail
+
+SimScratch::SimScratch() : impl_(std::make_unique<detail::SimScratchImpl>()) {}
+SimScratch::~SimScratch() = default;
+SimScratch::SimScratch(SimScratch&&) noexcept = default;
+SimScratch& SimScratch::operator=(SimScratch&&) noexcept = default;
 
 double SimResult::busy_fraction(GpuId gpu, Time lo, Time hi) const {
   HARE_CHECK_MSG(!busy_intervals.empty(),
@@ -76,6 +100,18 @@ Simulator::Simulator(const cluster::Cluster& cluster,
 }
 
 SimResult Simulator::run(const Schedule& schedule) const {
+  SimScratch scratch;
+  return run(schedule, scratch);
+}
+
+SimResult Simulator::run(const Schedule& schedule, SimScratch& state) const {
+  using detail::EventKind;
+  using detail::EventPayload;
+  using detail::GpuState;
+  using detail::JobState;
+  using detail::RoundState;
+  using detail::kTimeEps;
+
   HARE_SPAN("sim", "sim.run");
   HARE_CHECK_MSG(schedule.gpu_count() == cluster_.gpu_count(),
                  "schedule covers " << schedule.gpu_count()
@@ -85,12 +121,17 @@ SimResult Simulator::run(const Schedule& schedule) const {
 
   const std::size_t task_count = jobs_.task_count();
   const std::size_t gpu_count = cluster_.gpu_count();
+  detail::SimScratchImpl& scratch = *state.impl_;
 
   // Pre-drawn per-task noise keeps actual durations independent of event
-  // order (deterministic replay regardless of schedule shape).
-  std::vector<double> tc_noise(task_count, 1.0);
-  std::vector<double> ts_noise(task_count, 1.0);
-  if (config_.runtime_noise_cv > 0.0) {
+  // order (deterministic replay regardless of schedule shape). With noise
+  // off (exact simulator mode) the vectors are skipped entirely.
+  const bool with_noise = config_.runtime_noise_cv > 0.0;
+  std::vector<double>& tc_noise = scratch.tc_noise;
+  std::vector<double>& ts_noise = scratch.ts_noise;
+  if (with_noise) {
+    tc_noise.assign(task_count, 1.0);
+    ts_noise.assign(task_count, 1.0);
     common::Rng rng(config_.noise_seed);
     const double cv = config_.runtime_noise_cv;
     const double sigma = std::sqrt(std::log(1.0 + cv * cv));
@@ -100,12 +141,26 @@ SimResult Simulator::run(const Schedule& schedule) const {
     }
   }
 
+  // Memoized lookups: per-(model, GPU-type) switch costs and per-job model
+  // info, built once instead of re-derived at every task start.
   const switching::SwitchCostModel switch_model(config_.switching);
+  scratch.switch_table.build(switch_model);
+  scratch.job_info.assign(jobs_.job_count(), {});
+  for (const auto& job : jobs_.jobs()) {
+    const workload::ModelSpec& model = workload::model_spec(job.spec.model);
+    auto& info = scratch.job_info[static_cast<std::size_t>(job.id.value())];
+    info.model = job.spec.model;
+    info.footprint =
+        workload::task_memory_footprint(model, job.effective_batch_size());
+    info.state_bytes = workload::model_state_bytes(model);
+  }
+
   const bool with_memory =
       config_.use_memory_manager &&
       config_.switching.policy == switching::SwitchPolicy::Hare;
 
-  std::vector<GpuState> gpus(gpu_count);
+  std::vector<GpuState>& gpus = scratch.gpus;
+  gpus.assign(gpu_count, {});
   for (std::size_t g = 0; g < gpu_count; ++g) {
     if (with_memory) {
       gpus[g].memory.emplace(
@@ -113,12 +168,17 @@ SimResult Simulator::run(const Schedule& schedule) const {
     }
   }
 
-  std::vector<JobState> job_states(jobs_.job_count());
+  std::vector<JobState>& job_states = scratch.job_states;
+  job_states.resize(jobs_.job_count());
   for (const auto& job : jobs_.jobs()) {
-    auto& state = job_states[static_cast<std::size_t>(job.id.value())];
-    state.rounds.resize(job.rounds());
-    for (auto& round : state.rounds) {
+    auto& js = job_states[static_cast<std::size_t>(job.id.value())];
+    js.finished = false;
+    js.rounds.resize(job.rounds());
+    for (auto& round : js.rounds) {
       round.remaining = static_cast<int>(job.tasks_per_round());
+      round.barrier = 0.0;
+      round.done = false;
+      round.waiters.clear();
     }
   }
 
@@ -133,33 +193,39 @@ SimResult Simulator::run(const Schedule& schedule) const {
   result.gpus.assign(gpu_count, {});
   if (config_.record_timeline) result.busy_intervals.resize(gpu_count);
 
-  EventQueue<EventPayload> events;
+  if (scratch.events.backend() != config_.event_queue) {
+    scratch.events = EventQueue<EventPayload>(config_.event_queue);
+  } else {
+    scratch.events.clear();
+  }
+  EventQueue<EventPayload>& events = scratch.events;
+  events.reserve(gpu_count * 2 + 16);
   NetworkModel network(cluster_);
-  std::unordered_map<NetworkModel::TransferId, TaskId> inflight_syncs;
+  auto& inflight_syncs = scratch.inflight_syncs;
+  inflight_syncs.clear();
 
   // --- helpers -----------------------------------------------------------
 
   auto start_task = [&](GpuId gpu_id, TaskId task_id, Time now, Time ready) {
     GpuState& gpu = gpus[static_cast<std::size_t>(gpu_id.value())];
     const workload::Task& task = jobs_.task(task_id);
-    const workload::Job& job = jobs_.job(task.job);
-    const workload::ModelSpec& model = workload::model_spec(job.spec.model);
+    const auto& info =
+        scratch.job_info[static_cast<std::size_t>(task.job.value())];
     const cluster::Gpu& hw = cluster_.gpu(gpu_id);
 
     const switching::SpeculativeMemoryManager* memory_view =
         gpu.memory ? &*gpu.memory : nullptr;
-    const switching::SwitchBreakdown breakdown = switch_model.switch_cost(
-        task.job, job.spec.model, hw.type, gpu.previous_job, memory_view);
+    const switching::SwitchBreakdown& breakdown = scratch.switch_table.lookup(
+        task.job, info.model, hw.type, gpu.previous_job, memory_view);
     if (gpu.memory) {
-      gpu.memory->on_task_start(
-          task.job,
-          workload::task_memory_footprint(model, job.effective_batch_size()),
-          workload::model_state_bytes(model));
+      gpu.memory->on_task_start(task.job, info.footprint, info.state_bytes);
     }
 
     const double tc =
-        actual_.tc(task.job, gpu_id) *
-        tc_noise[static_cast<std::size_t>(task_id.value())];
+        with_noise
+            ? actual_.tc(task.job, gpu_id) *
+                  tc_noise[static_cast<std::size_t>(task_id.value())]
+            : actual_.tc(task.job, gpu_id);
     const Time switch_time = breakdown.total();
 
     TaskRecord& record =
@@ -183,8 +249,7 @@ SimResult Simulator::run(const Schedule& schedule) const {
           .emplace_back(now, record.compute_end);
     }
 
-    auto& stat =
-        result.switch_stats[static_cast<std::size_t>(job.spec.model)];
+    auto& stat = result.switch_stats[static_cast<std::size_t>(info.model)];
     stat.total_compute_time += tc;
     if (gpu.previous_job && *gpu.previous_job != task.job) {
       ++stat.switch_count;
@@ -271,9 +336,9 @@ SimResult Simulator::run(const Schedule& schedule) const {
     if (gpu.memory) gpu.memory->on_task_complete(now);
 
     const workload::Task& task = jobs_.task(task_id);
-    const workload::Job& job = jobs_.job(task.job);
     if (config_.model_network_contention) {
-      const workload::ModelSpec& model = workload::model_spec(job.spec.model);
+      const workload::ModelSpec& model = workload::model_spec(
+          scratch.job_info[static_cast<std::size_t>(task.job.value())].model);
       const double bytes =
           2.0 * static_cast<double>(model.parameter_bytes) *
           config_.sync_volume_factor;
@@ -282,8 +347,10 @@ SimResult Simulator::run(const Schedule& schedule) const {
       inflight_syncs.emplace(id, task_id);
     } else {
       const double ts =
-          actual_.ts(task.job, gpu_id) *
-          ts_noise[static_cast<std::size_t>(task_id.value())];
+          with_noise
+              ? actual_.ts(task.job, gpu_id) *
+                    ts_noise[static_cast<std::size_t>(task_id.value())]
+              : actual_.ts(task.job, gpu_id);
       events.push(now + ts,
                   EventPayload{EventKind::SyncDone, gpu_id, task_id});
     }
@@ -342,8 +409,8 @@ SimResult Simulator::run(const Schedule& schedule) const {
   // --- aggregates --------------------------------------------------------
 
   for (const auto& job : jobs_.jobs()) {
-    const auto& state = job_states[static_cast<std::size_t>(job.id.value())];
-    HARE_CHECK_MSG(state.finished,
+    const auto& js = job_states[static_cast<std::size_t>(job.id.value())];
+    HARE_CHECK_MSG(js.finished,
                    "job " << job.id << " did not finish (scheduler bug)");
   }
   for (const auto& record : result.jobs) {

@@ -17,9 +17,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "cluster/cluster.hpp"
 #include "profiler/time_table.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 #include "sim/schedule.hpp"
 #include "switching/switch_model.hpp"
@@ -29,6 +31,10 @@ namespace hare::sim {
 
 struct SimConfig {
   switching::SwitchModelConfig switching{};
+  /// Event-queue backend. Calendar is the optimized bucketed ladder; Heap
+  /// is the reference binary heap. Both pop in identical (time, sequence)
+  /// order, so the choice never changes a result — only wall-clock.
+  QueueBackend event_queue = QueueBackend::Calendar;
   /// Give each GPU a speculative memory manager (only meaningful under the
   /// Hare switch policy; the ablation bench turns it off).
   bool use_memory_manager = true;
@@ -48,6 +54,30 @@ struct SimConfig {
   bool record_timeline = false;
 };
 
+namespace detail {
+struct SimScratchImpl;
+}
+
+/// Reusable per-run working state: event queue storage, per-GPU and
+/// per-job state vectors, noise draws, and the memoized per-job /
+/// per-(model, GPU-type) lookup tables. A run fully re-initializes every
+/// field, so reusing one scratch across runs (the sweep engine keeps one
+/// per worker thread) changes nothing but the allocation count. Not
+/// thread-safe: one scratch per concurrent run.
+class SimScratch {
+ public:
+  SimScratch();
+  ~SimScratch();
+  SimScratch(SimScratch&&) noexcept;
+  SimScratch& operator=(SimScratch&&) noexcept;
+  SimScratch(const SimScratch&) = delete;
+  SimScratch& operator=(const SimScratch&) = delete;
+
+ private:
+  friend class Simulator;
+  std::unique_ptr<detail::SimScratchImpl> impl_;
+};
+
 class Simulator {
  public:
   /// `actual` holds the ground-truth task times (profiler::Profiler::exact);
@@ -57,6 +87,10 @@ class Simulator {
 
   /// Execute the plan; validates it structurally first.
   [[nodiscard]] SimResult run(const Schedule& schedule) const;
+
+  /// Same, reusing `scratch`'s buffers instead of allocating fresh ones.
+  [[nodiscard]] SimResult run(const Schedule& schedule,
+                              SimScratch& scratch) const;
 
  private:
   const cluster::Cluster& cluster_;

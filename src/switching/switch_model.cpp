@@ -84,24 +84,37 @@ SwitchBreakdown SwitchCostModel::switch_cost(
     std::optional<JobId> previous_job,
     const SpeculativeMemoryManager* memory) const {
   HARE_SPAN("switching", "switching.switch_cost");
+  const bool same_job = previous_job && *previous_job == job;
+  const bool resident = memory != nullptr && memory->resident(job);
+  const SwitchBreakdown breakdown =
+      compute(model, gpu, same_job, previous_job.has_value(), resident);
+  record_switch_metrics(breakdown, previous_job.has_value());
+  return breakdown;
+}
+
+SwitchBreakdown SwitchCostModel::compute(workload::ModelType model,
+                                         cluster::GpuType gpu, bool same_job,
+                                         bool has_previous,
+                                         bool resident) const {
   const workload::ModelSpec& spec = workload::model_spec(model);
   const cluster::GpuSpec& g = cluster::gpu_spec(gpu);
 
   SwitchBreakdown breakdown;
   if (config_.free_switching) {
-    breakdown.model_resident = previous_job && *previous_job == job;
+    breakdown.model_resident = same_job;
     return breakdown;
   }
 
   // Same-job continuation: context, allocator and weights are all in
   // place; only round bookkeeping remains. This is the no-preemption
   // status quo every policy enjoys.
-  if (previous_job && *previous_job == job) {
+  if (same_job) {
     breakdown.init = config_.same_job_overhead_s;
     breakdown.model_resident = true;
     return breakdown;
   }
 
+  const bool previous_job = has_previous;  // clean cost trigger below
   const double pcie_bytes_per_s = g.pcie_gbps * 1e9;
   const double full_transfer =
       static_cast<double>(spec.parameter_bytes) / pcie_bytes_per_s;
@@ -142,7 +155,6 @@ SwitchBreakdown SwitchCostModel::switch_cost(
       breakdown.clean = 0.0;
       breakdown.context = 0.0;
       breakdown.init = config_.switch_base_s;
-      const bool resident = memory != nullptr && memory->resident(job);
       breakdown.model_resident = resident;
       if (resident) {
         breakdown.alloc = 0.0001;  // workspace only, cached allocator
@@ -155,6 +167,35 @@ SwitchBreakdown SwitchCostModel::switch_cost(
       break;
     }
   }
+  return breakdown;
+}
+
+void SwitchCostTable::build(const SwitchCostModel& model) {
+  entries_.assign(workload::kModelCount * cluster::kGpuTypeCount * 4, {});
+  for (const workload::ModelType m : workload::all_models()) {
+    for (const cluster::GpuType g : cluster::all_gpu_types()) {
+      for (const bool has_previous : {false, true}) {
+        for (const bool resident : {false, true}) {
+          entries_[index(m, g, has_previous, resident)] =
+              model.compute(m, g, /*same_job=*/false, has_previous, resident);
+        }
+      }
+    }
+  }
+  same_job_ = model.compute(workload::ModelType{}, cluster::GpuType{},
+                            /*same_job=*/true, true, true);
+}
+
+const SwitchBreakdown& SwitchCostTable::lookup(
+    JobId job, workload::ModelType model, cluster::GpuType gpu,
+    std::optional<JobId> previous_job,
+    const SpeculativeMemoryManager* memory) const {
+  HARE_SPAN("switching", "switching.switch_cost");
+  const bool same_job = previous_job && *previous_job == job;
+  const SwitchBreakdown& breakdown =
+      same_job ? same_job_
+               : entries_[index(model, gpu, previous_job.has_value(),
+                                memory != nullptr && memory->resident(job))];
   record_switch_metrics(breakdown, previous_job.has_value());
   return breakdown;
 }

@@ -90,6 +90,15 @@ class SwitchCostModel {
       std::optional<JobId> previous_job,
       const SpeculativeMemoryManager* memory) const;
 
+  /// The pure cost function behind switch_cost: a breakdown for one
+  /// (model, GPU type, same-job?, had-predecessor?, model-resident?)
+  /// combination, with no metrics recorded. SwitchCostTable enumerates
+  /// this once per run.
+  [[nodiscard]] SwitchBreakdown compute(workload::ModelType model,
+                                        cluster::GpuType gpu, bool same_job,
+                                        bool has_previous,
+                                        bool resident) const;
+
   [[nodiscard]] const SwitchModelConfig& config() const { return config_; }
 
   /// Calibrated cold process-start + framework import + model construction
@@ -102,6 +111,45 @@ class SwitchCostModel {
 
  private:
   SwitchModelConfig config_;
+};
+
+/// Memoized switch costs: every (model, GPU type, predecessor?, resident?)
+/// breakdown precomputed in one pass, so the simulator's per-event lookup
+/// is a flat array read instead of re-deriving model-spec/PCIe/pipeline
+/// arithmetic. The speculative memory manager is still consulted per
+/// lookup (its residency state evolves during a run), and the same
+/// per-switch metrics are recorded as the unmemoized path.
+class SwitchCostTable {
+ public:
+  SwitchCostTable() = default;
+
+  /// (Re)build for `model`'s config. Cheap: kModelCount x kGpuTypeCount x 4
+  /// closed-form evaluations.
+  void build(const SwitchCostModel& model);
+
+  [[nodiscard]] bool built() const { return !entries_.empty(); }
+
+  /// Bitwise-identical to `model.switch_cost(...)` for the model passed to
+  /// build(), including the recorded metrics.
+  [[nodiscard]] const SwitchBreakdown& lookup(
+      JobId job, workload::ModelType model, cluster::GpuType gpu,
+      std::optional<JobId> previous_job,
+      const SpeculativeMemoryManager* memory) const;
+
+ private:
+  [[nodiscard]] static std::size_t index(workload::ModelType model,
+                                         cluster::GpuType gpu,
+                                         bool has_previous, bool resident) {
+    return ((static_cast<std::size_t>(model) * cluster::kGpuTypeCount +
+             static_cast<std::size_t>(gpu)) *
+                2 +
+            (has_previous ? 1 : 0)) *
+               2 +
+           (resident ? 1 : 0);
+  }
+
+  std::vector<SwitchBreakdown> entries_;  ///< cross-job variants
+  SwitchBreakdown same_job_;              ///< model/GPU independent
 };
 
 }  // namespace hare::switching
