@@ -4,15 +4,23 @@
 // Hare planner under four engine configurations:
 //
 //   naive        — the pre-optimization reference path: O(G) linear candidate
-//                  scans, cold two-phase LP per cut round, no caches.
-//   cold_indexed — indexed scans + cached aggregates, LP still cold. Must
-//                  produce a bit-identical schedule to `naive` (asserted).
-//   warm_serial  — full optimized path: warm-started LP + indexed scans.
+//                  scans, cold *dense-tableau* LP per cut round, no caches.
+//   cold_indexed — indexed scans + cached aggregates, LP still cold dense.
+//                  Must produce a bit-identical schedule to `naive`
+//                  (asserted).
+//   warm_serial  — full optimized path: warm-started *sparse revised
+//                  simplex* LP + indexed scans. Bit-identical to `naive`
+//                  (asserted: LpCuts rounds canonicalize the reported
+//                  vertex, so the backend cannot change the schedule).
 //   pooled       — warm_serial plus the shared thread pool for per-machine
 //                  cut separation. Bit-identical to warm_serial (asserted).
 //
+// LpCuts grid points past the dense backend's practical range are marked
+// sparse-only (`dense_ref = false`): only warm_serial/pooled run there, and
+// the speedup columns are omitted.
+//
 // Emits machine-readable BENCH_planner.json (wall ms, LP solves, cuts,
-// simplex pivots, speedups, equality checks) which
+// per-backend simplex pivots, LP shape, speedups, equality checks) which
 // scripts/check_bench_regression.py gates in CI. `--quick` shrinks the grid
 // for smoke runs; `--json <path>` overrides the output location.
 //
@@ -35,6 +43,7 @@
 #include "common/table.hpp"
 #include "core/hare_scheduler.hpp"
 #include "obs/obs.hpp"
+#include "opt/simplex.hpp"
 #include "profiler/profiler.hpp"
 #include "workload/trace.hpp"
 
@@ -46,6 +55,10 @@ struct GridPoint {
   core::RelaxMode mode;
   std::size_t jobs;
   std::size_t gpus;
+  /// Run the dense-backend naive/cold reference at this point. Off for the
+  /// large LpCuts points where a cold dense solve per cut round is
+  /// impractically slow; only the sparse engine is timed there.
+  bool dense_ref = true;
 };
 
 struct Instance {
@@ -74,12 +87,15 @@ Instance make_instance(std::size_t job_count, std::size_t gpu_count,
 }
 
 core::HareConfig engine_config(core::RelaxMode mode, bool naive,
-                               bool warm_start, std::size_t threads) {
+                               bool warm_start, std::size_t threads,
+                               opt::LpBackend backend) {
   core::HareConfig config;
   config.relaxation.mode = mode;
   config.relaxation.engine.naive = naive;
   config.relaxation.engine.warm_start_lp = warm_start;
   config.relaxation.engine.threads = threads;
+  // Pinned per variant so HARE_LP_BACKEND cannot skew the comparison.
+  config.relaxation.engine.lp_backend = backend;
   config.placement = core::Placement::EarliestFinish;
   return config;
 }
@@ -128,10 +144,16 @@ struct PointResult {
   std::size_t lp_solves_warm = 0;
   std::size_t cuts_naive = 0;
   std::size_t cuts_warm = 0;
-  std::size_t pivots_naive = 0;
-  std::size_t pivots_warm = 0;
+  std::size_t pivots_naive = 0;  ///< dense-backend pivots (naive reference)
+  std::size_t pivots_warm = 0;   ///< sparse-backend pivots (warm engine)
+  // Final LP shape of the warm engine's relaxation (base rows + cuts).
+  std::size_t lp_rows = 0;
+  std::size_t lp_cols = 0;
+  std::size_t lp_nonzeros = 0;
+  std::size_t canonical_pivots = 0;  ///< vertex-canonicalization solves
   bool naive_matches_cold_indexed = false;
   bool warm_matches_pooled = false;
+  bool dense_matches_sparse = false;  ///< naive (dense) vs warm (sparse)
 };
 
 const char* mode_name(core::RelaxMode mode) {
@@ -144,34 +166,49 @@ PointResult run_point(const GridPoint& point, int repeats,
   const sched::SchedulerInput input{instance.cluster, instance.jobs,
                                     instance.times};
 
-  const auto naive =
-      run_variant(input, engine_config(point.mode, true, false, 1), repeats);
-  const auto cold_indexed =
-      run_variant(input, engine_config(point.mode, false, false, 1), repeats);
-  const auto warm_serial =
-      run_variant(input, engine_config(point.mode, false, true, 1), repeats);
+  const auto warm_serial = run_variant(
+      input, engine_config(point.mode, false, true, 1, opt::LpBackend::Sparse),
+      repeats);
   const auto pooled = run_variant(
-      input, engine_config(point.mode, false, true, pool_threads), repeats);
+      input,
+      engine_config(point.mode, false, true, pool_threads,
+                    opt::LpBackend::Sparse),
+      repeats);
 
   PointResult result;
   result.point = point;
-  result.tasks = naive.schedule.task_count();
-  result.naive_ms = naive.wall_ms;
-  result.cold_indexed_ms = cold_indexed.wall_ms;
+  result.tasks = warm_serial.schedule.task_count();
   result.warm_serial_ms = warm_serial.wall_ms;
   result.pooled_ms = pooled.wall_ms;
+  result.lp_solves_warm = warm_serial.relaxation.lp_solves;
+  result.cuts_warm = warm_serial.relaxation.cut_count;
+  result.pivots_warm = warm_serial.relaxation.simplex_pivots;
+  result.lp_rows = warm_serial.relaxation.lp_rows;
+  result.lp_cols = warm_serial.relaxation.lp_cols;
+  result.lp_nonzeros = warm_serial.relaxation.lp_nonzeros;
+  result.canonical_pivots = warm_serial.relaxation.canonical_pivots;
+  result.warm_matches_pooled =
+      schedules_equal(warm_serial.schedule, pooled.schedule);
+
+  if (!point.dense_ref) return result;
+
+  const auto naive = run_variant(
+      input, engine_config(point.mode, true, false, 1, opt::LpBackend::Dense),
+      repeats);
+  const auto cold_indexed = run_variant(
+      input, engine_config(point.mode, false, false, 1, opt::LpBackend::Dense),
+      repeats);
+  result.naive_ms = naive.wall_ms;
+  result.cold_indexed_ms = cold_indexed.wall_ms;
   result.speedup_serial = naive.wall_ms / std::max(1e-6, warm_serial.wall_ms);
   result.speedup_pooled = naive.wall_ms / std::max(1e-6, pooled.wall_ms);
   result.lp_solves_naive = naive.relaxation.lp_solves;
-  result.lp_solves_warm = warm_serial.relaxation.lp_solves;
   result.cuts_naive = naive.relaxation.cut_count;
-  result.cuts_warm = warm_serial.relaxation.cut_count;
   result.pivots_naive = naive.relaxation.simplex_pivots;
-  result.pivots_warm = warm_serial.relaxation.simplex_pivots;
   result.naive_matches_cold_indexed =
       schedules_equal(naive.schedule, cold_indexed.schedule);
-  result.warm_matches_pooled =
-      schedules_equal(warm_serial.schedule, pooled.schedule);
+  result.dense_matches_sparse =
+      schedules_equal(naive.schedule, warm_serial.schedule);
   return result;
 }
 
@@ -188,6 +225,7 @@ PointResult run_point(const GridPoint& point, int repeats,
     out << "    {\"mode\": \"" << mode_name(r.point.mode) << "\""
         << ", \"jobs\": " << r.point.jobs << ", \"gpus\": " << r.point.gpus
         << ", \"tasks\": " << r.tasks                       //
+        << ", \"dense_ref\": " << (r.point.dense_ref ? "true" : "false")
         << ", \"naive_ms\": " << r.naive_ms                 //
         << ", \"cold_indexed_ms\": " << r.cold_indexed_ms   //
         << ", \"warm_serial_ms\": " << r.warm_serial_ms     //
@@ -198,12 +236,18 @@ PointResult run_point(const GridPoint& point, int repeats,
         << ", \"lp_solves_warm\": " << r.lp_solves_warm     //
         << ", \"cuts_naive\": " << r.cuts_naive             //
         << ", \"cuts_warm\": " << r.cuts_warm               //
-        << ", \"pivots_naive\": " << r.pivots_naive         //
-        << ", \"pivots_warm\": " << r.pivots_warm           //
+        << ", \"pivots_dense\": " << r.pivots_naive         //
+        << ", \"pivots_sparse\": " << r.pivots_warm         //
+        << ", \"canonical_pivots\": " << r.canonical_pivots  //
+        << ", \"lp_rows\": " << r.lp_rows                   //
+        << ", \"lp_cols\": " << r.lp_cols                   //
+        << ", \"lp_nonzeros\": " << r.lp_nonzeros           //
         << ", \"naive_matches_cold_indexed\": "
         << (r.naive_matches_cold_indexed ? "true" : "false")
         << ", \"warm_matches_pooled\": "
-        << (r.warm_matches_pooled ? "true" : "false") << "}"
+        << (r.warm_matches_pooled ? "true" : "false")
+        << ", \"dense_matches_sparse\": "
+        << (r.dense_matches_sparse ? "true" : "false") << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -231,7 +275,10 @@ bool export_traced_run(const std::string& trace_path, bool quick) {
     const Instance instance = make_instance(jobs, gpus, 9000 + jobs);
     const sched::SchedulerInput input{instance.cluster, instance.jobs,
                                       instance.times};
-    run_variant(input, engine_config(mode, false, true, quick ? 1 : 2), 1);
+    run_variant(input,
+                engine_config(mode, false, true, quick ? 1 : 2,
+                              opt::LpBackend::Sparse),
+                1);
   }
   obs::Tracer::instance().disable();
 
@@ -277,7 +324,10 @@ int main(int argc, char** argv) {
 
   std::vector<GridPoint> grid;
   if (quick) {
-    grid = {{core::RelaxMode::Fluid, 30, 16}, {core::RelaxMode::LpCuts, 6, 4}};
+    // The quick LpCuts point keeps the dense reference so CI can enforce
+    // the sparse-backend speedup floor and dense/sparse schedule identity.
+    grid = {{core::RelaxMode::Fluid, 30, 16},
+            {core::RelaxMode::LpCuts, 16, 8}};
   } else {
     grid = {{core::RelaxMode::Fluid, 50, 16},
             {core::RelaxMode::Fluid, 100, 32},
@@ -286,7 +336,12 @@ int main(int argc, char** argv) {
             {core::RelaxMode::Fluid, 800, 512},
             {core::RelaxMode::LpCuts, 6, 4},
             {core::RelaxMode::LpCuts, 10, 6},
-            {core::RelaxMode::LpCuts, 16, 8}};
+            {core::RelaxMode::LpCuts, 16, 8},
+            // Sparse-only scale points: a cold dense tableau per cut round
+            // is minutes-per-solve here, so no reference run.
+            {core::RelaxMode::LpCuts, 24, 10, /*dense_ref=*/false},
+            {core::RelaxMode::LpCuts, 32, 12, /*dense_ref=*/false},
+            {core::RelaxMode::LpCuts, 40, 16, /*dense_ref=*/false}};
   }
   const int repeats = quick ? 1 : 3;
   const std::size_t pool_threads =
@@ -297,34 +352,50 @@ int main(int argc, char** argv) {
   bool all_match = true;
   for (const auto& point : grid) {
     auto row = run_point(point, repeats, pool_threads);
-    all_match = all_match && row.naive_matches_cold_indexed &&
-                row.warm_matches_pooled;
+    all_match = all_match && row.warm_matches_pooled;
+    if (point.dense_ref) {
+      all_match = all_match && row.naive_matches_cold_indexed &&
+                  row.dense_matches_sparse;
+    }
     rows.push_back(std::move(row));
   }
 
-  common::Table table({"mode", "jobs", "gpus", "tasks", "naive ms",
-                       "warm+idx ms", "pooled ms", "speedup", "lp solves n/w",
-                       "pivots n/w", "identical"});
+  common::Table table({"mode", "jobs", "gpus", "tasks", "dense ms",
+                       "sparse ms", "pooled ms", "speedup", "pivots d/s",
+                       "lp rxc (nnz)", "identical"});
   for (const auto& r : rows) {
     auto row = table.row();
     row.cell(mode_name(r.point.mode));
     row.cell(r.point.jobs);
     row.cell(r.point.gpus);
     row.cell(r.tasks);
-    row.cell(r.naive_ms, 2);
+    if (r.point.dense_ref) {
+      row.cell(r.naive_ms, 2);
+    } else {
+      row.cell("-");
+    }
     row.cell(r.warm_serial_ms, 2);
     row.cell(r.pooled_ms, 2);
-    row.cell(r.speedup_serial, 2);
-    row.cell(std::to_string(r.lp_solves_naive) + "/" +
-             std::to_string(r.lp_solves_warm));
-    row.cell(std::to_string(r.pivots_naive) + "/" +
-             std::to_string(r.pivots_warm));
-    row.cell((r.naive_matches_cold_indexed && r.warm_matches_pooled) ? "yes"
-                                                                     : "NO");
+    if (r.point.dense_ref) {
+      row.cell(r.speedup_serial, 2);
+      row.cell(std::to_string(r.pivots_naive) + "/" +
+               std::to_string(r.pivots_warm));
+    } else {
+      row.cell("-");
+      row.cell("-/" + std::to_string(r.pivots_warm));
+    }
+    row.cell(std::to_string(r.lp_rows) + "x" + std::to_string(r.lp_cols) +
+             " (" + std::to_string(r.lp_nonzeros) + ")");
+    const bool identical =
+        r.warm_matches_pooled &&
+        (!r.point.dense_ref ||
+         (r.naive_matches_cold_indexed && r.dense_matches_sparse));
+    row.cell(identical ? "yes" : "NO");
   }
   table.print(std::cout);
-  std::cout << "(speedup = naive ms / warm+indexed serial ms; schedules are "
-               "asserted bit-identical across engines)\n";
+  std::cout << "(speedup = naive dense-tableau ms / warm sparse-simplex ms; "
+               "schedules are asserted bit-identical across engines and "
+               "backends)\n";
 
   bool wrote = write_json(json_path, rows, quick);
   if (trace) wrote = export_traced_run(trace_path, quick) && wrote;

@@ -7,10 +7,14 @@ field:
 
 bench_planner_scale (BENCH_planner.json):
   * any engine configuration produced a schedule that differs from its
-    reference (naive vs cold-indexed, warm-serial vs pooled) — determinism
-    is a correctness contract, never waived;
-  * the warm-started LP needed more simplex pivots than the cold baseline
-    on any LpCuts grid point;
+    reference (naive vs cold-indexed, warm-serial vs pooled, dense backend
+    vs sparse backend) — determinism is a correctness contract, never
+    waived, including in quick mode;
+  * the warm sparse LP needed more simplex pivots than the cold dense
+    reference on any LpCuts grid point where the reference ran;
+  * an LpCuts point with >= 10 jobs and a dense reference fell below the
+    sparse-backend speedup floor (enforced in quick mode too — the quick
+    grid keeps the 16-job dense reference exactly for this);
   * the measured speedups fall below the thresholds. Thresholds are ratios
     (optimized vs the in-process naive baseline measured in the same run),
     so they hold across machines; absolute milliseconds are never compared.
@@ -24,8 +28,9 @@ bench_sweep_scale (BENCH_sweep.json):
     so it holds across grid machines).
 
 Quick mode (--quick, or a JSON produced with --quick) runs tiny grids
-where fixed costs dominate, so only the determinism contracts are
-enforced there.
+where fixed costs dominate, so only the determinism contracts and the
+LpCuts sparse-vs-dense floor (a 50x-headroom ratio, safe on any machine)
+are enforced there.
 
 Usage: scripts/check_bench_regression.py [JSON...] [--quick]
        (default: BENCH_planner.json)
@@ -38,7 +43,11 @@ import sys
 # optimization work is gated on; smaller grids only need to not regress
 # past the naive engine by more than measurement noise.
 LARGE_FLUID_MIN_SPEEDUP = 3.0
-LP_CUTS_MIN_SPEEDUP = 2.0
+# Sparse revised simplex vs the dense-tableau reference, end to end through
+# the whole planner. Enforced at every LpCuts point with >= 10 jobs where
+# the dense reference ran — in quick mode too.
+LP_CUTS_MIN_SPEEDUP = 5.0
+LP_CUTS_MIN_JOBS = 10
 ANY_POINT_MIN_SPEEDUP = 0.7  # noise floor for tiny grids
 
 # Sweep-engine thresholds: the parallel fan-out must beat the serial
@@ -60,26 +69,45 @@ def check_planner(data, quick, path):
     errors = 0
     for p in points:
         tag = f"{p['mode']} {p['jobs']}x{p['gpus']}"
-        if not p.get("naive_matches_cold_indexed", False):
-            errors += fail(f"{tag}: cold-indexed schedule differs from naive")
+        dense_ref = p.get("dense_ref", True)
         if not p.get("warm_matches_pooled", False):
             errors += fail(f"{tag}: pooled schedule differs from warm-serial")
-        if p["mode"] == "lp_cuts" and p["pivots_warm"] > p["pivots_naive"]:
+        if not dense_ref:
+            continue
+        if not p.get("naive_matches_cold_indexed", False):
+            errors += fail(f"{tag}: cold-indexed schedule differs from naive")
+        if not p.get("dense_matches_sparse", False):
             errors += fail(
-                f"{tag}: warm start used more simplex pivots than cold "
-                f"({p['pivots_warm']} > {p['pivots_naive']})"
+                f"{tag}: sparse-backend schedule differs from the dense "
+                "reference"
             )
+        if p["mode"] == "lp_cuts":
+            if p["pivots_sparse"] > p["pivots_dense"]:
+                errors += fail(
+                    f"{tag}: warm sparse simplex used more pivots than the "
+                    f"cold dense reference "
+                    f"({p['pivots_sparse']} > {p['pivots_dense']})"
+                )
+            if p["jobs"] >= LP_CUTS_MIN_JOBS and (
+                p["speedup_serial"] < LP_CUTS_MIN_SPEEDUP
+            ):
+                errors += fail(
+                    f"{tag}: sparse backend speedup "
+                    f"{p['speedup_serial']:.2f} < {LP_CUTS_MIN_SPEEDUP:.1f}x "
+                    "over the dense reference"
+                )
 
     if not quick:
         for p in points:
             tag = f"{p['mode']} {p['jobs']}x{p['gpus']}"
-            if p["speedup_serial"] < ANY_POINT_MIN_SPEEDUP:
+            if p.get("dense_ref", True) and (
+                p["speedup_serial"] < ANY_POINT_MIN_SPEEDUP
+            ):
                 errors += fail(
                     f"{tag}: optimized engine slower than naive "
                     f"(speedup {p['speedup_serial']:.2f})"
                 )
         fluid = [p for p in points if p["mode"] == "fluid"]
-        lp = [p for p in points if p["mode"] == "lp_cuts"]
         if fluid:
             largest = max(fluid, key=lambda p: p["jobs"] * p["gpus"])
             if largest["speedup_serial"] < LARGE_FLUID_MIN_SPEEDUP:
@@ -88,17 +116,10 @@ def check_planner(data, quick, path):
                     f"speedup {largest['speedup_serial']:.2f} < "
                     f"{LARGE_FLUID_MIN_SPEEDUP:.1f}"
                 )
-        if lp:
-            best = max(p["speedup_serial"] for p in lp)
-            if best < LP_CUTS_MIN_SPEEDUP:
-                errors += fail(
-                    f"no LpCuts grid reached {LP_CUTS_MIN_SPEEDUP:.1f}x "
-                    f"(best {best:.2f})"
-                )
 
     if errors:
         return errors
-    mode = "quick (determinism/pivots only)" if quick else "full"
+    mode = "quick (determinism/pivots/LP-backend floor)" if quick else "full"
     print(f"OK: {len(points)} grid points pass the {mode} planner gate in {path}")
     return 0
 

@@ -1,6 +1,7 @@
 #include "core/relaxation.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <optional>
 #include <queue>
@@ -243,6 +244,16 @@ RelaxationResult HareRelaxation::solve_lp_cuts(
   static obs::Counter& lp_solve_counter = obs::counter("planner.lp_solves");
   static obs::Counter& pivot_counter = obs::counter("planner.lp_pivots");
   static obs::Counter& cut_counter = obs::counter("planner.cuts_added");
+  static obs::Counter& dense_pivot_counter =
+      obs::counter("planner.lp_pivots_dense");
+  static obs::Counter& sparse_pivot_counter =
+      obs::counter("planner.lp_pivots_sparse");
+  static obs::Counter& canonical_counter =
+      obs::counter("planner.lp_canonical_solves");
+  static obs::Gauge& rows_gauge = obs::gauge("planner.lp_rows");
+  static obs::Gauge& cols_gauge = obs::gauge("planner.lp_cols");
+  static obs::Gauge& nonzeros_gauge = obs::gauge("planner.lp_nonzeros");
+  static obs::Gauge& density_gauge = obs::gauge("planner.lp_density");
   HARE_CHECK_MSG(sub.job_mask.empty() && sub.initial_phi.empty(),
                  "LpCuts mode does not support incremental sub-problems; "
                  "use Fluid for online planning");
@@ -283,9 +294,10 @@ RelaxationResult HareRelaxation::solve_lp_cuts(
       for (TaskId id : jobs.round_tasks(job.id, static_cast<RoundIndex>(r))) {
         const std::size_t x = x_var[static_cast<std::size_t>(id.value())];
         // (4): release — round 0 at arrival, later rounds behind E_{r-1}.
+        // The round-0 release is a single-variable constraint: stated as a
+        // bound it never enters the row space of either LP backend.
         if (r == 0) {
-          lp.add_constraint({{x, 1.0}}, opt::Relation::GreaterEqual,
-                            job.spec.arrival);
+          lp.set_bounds(x, job.spec.arrival, opt::LinearProgram::kInfinity);
         } else {
           lp.add_constraint({{x, 1.0}, {e_var[j][r - 1], -1.0}},
                             opt::Relation::GreaterEqual, 0.0);
@@ -312,9 +324,66 @@ RelaxationResult HareRelaxation::solve_lp_cuts(
   RelaxationResult result;
   result.y_hat = pass.y_hat;
 
+  const opt::LpBackend backend = config_.engine.resolved_lp_backend();
+  result.lp_backend = backend;
+  const std::size_t base_rows = lp.constraint_count();
+  const std::size_t base_nonzeros = lp.nonzero_count();
+  std::size_t cut_nonzeros = 0;
+
   const bool warm = config_.engine.warm_start_lp && !config_.engine.naive;
-  opt::IncrementalLpSolver solver(lp, warm);
+  opt::IncrementalLpSolver solver(lp, warm, backend);
+
+  // Canonical ε-objective program: same rows and bounds, objective Σ ε_i x_i
+  // with pairwise-distinct ε_i ∈ (1, 2). Among all optima of the primary LP
+  // (enforced by a cap row on Σ w_n C_n) the ε objective picks a unique x,
+  // so the point the planner reports — and every schedule built from it —
+  // is independent of backend, warm starts, and engine knobs. The primary
+  // optimum is typically degenerate (many optimal vertices), which is why
+  // different solvers legitimately land on different x̂ without this step.
+  opt::LinearProgram canon_base = lp;
+  for (std::size_t i = 0; i < task_count; ++i) {
+    canon_base.set_objective(
+        x_var[i], 1.0 + static_cast<double>(i + 1) /
+                            static_cast<double>(task_count + 2));
+  }
+  for (const auto& job : jobs.jobs()) {
+    canon_base.set_objective(
+        c_var[static_cast<std::size_t>(job.id.value())], 0.0);
+  }
+  std::vector<std::pair<std::size_t, double>> cap_terms;
+  for (const auto& job : jobs.jobs()) {
+    cap_terms.emplace_back(c_var[static_cast<std::size_t>(job.id.value())],
+                           job.spec.weight);
+  }
   lp_build_span.end();
+
+  using CutTerms = std::vector<std::pair<std::size_t, double>>;
+  std::vector<std::pair<CutTerms, double>> cuts;
+  std::vector<double> canonical_x(task_count, 0.0);
+
+  const auto canonicalize = [&](double z_star) {
+    HARE_SPAN("planner", "planner.lp_canonical");
+    opt::LinearProgram canon = canon_base;
+    for (const auto& [terms, rhs] : cuts) {
+      canon.add_constraint(terms, opt::Relation::GreaterEqual, rhs);
+    }
+    canon.add_constraint(cap_terms, opt::Relation::LessEqual,
+                         z_star + std::max(1e-6, 1e-6 * std::abs(z_star)));
+    opt::LpIterationStats canon_stats;
+    const opt::LpSolution canon_solution =
+        canon.solve(100000, &canon_stats, backend);
+    HARE_CHECK_MSG(canon_solution.optimal(),
+                   "canonical relaxation LP is infeasible/unbounded");
+    ++result.canonical_solves;
+    result.canonical_pivots += canon_stats.total();
+    canonical_counter.add();
+    // Snap to a 1e-6 grid: solver noise well below the grid collapses to
+    // bit-identical coordinates across backends.
+    for (std::size_t i = 0; i < task_count; ++i) {
+      canonical_x[i] =
+          std::round(canon_solution.values[x_var[i]] * 1e6) / 1e6;
+    }
+  };
 
   opt::LpSolution solution;
   {
@@ -328,6 +397,7 @@ RelaxationResult HareRelaxation::solve_lp_cuts(
   pivot_counter.add(solver.last_stats().total());
   result.lp_rounds.push_back(LpRoundStats{0, solver.last_stats().total(),
                                           solver.last_solve_was_warm()});
+  canonicalize(solution.objective);
 
   // One separation over all machines per round. The per-machine separations
   // read the same LP point and are independent, so they fan out across the
@@ -343,8 +413,9 @@ RelaxationResult HareRelaxation::solve_lp_cuts(
     for (std::size_t k = 0; k < members.size(); ++k) {
       const workload::Task& task = jobs.task(members[k]);
       t[k] = times.tc(task.job, GpuId(static_cast<int>(g)));
-      point[k] =
-          solution.values[x_var[static_cast<std::size_t>(members[k].value())]];
+      // Separate on the canonical point: the cut trajectory is then the
+      // same for every backend/engine combination.
+      point[k] = canonical_x[static_cast<std::size_t>(members[k].value())];
     }
     machine_cuts[g] =
         opt::separate_queyranne_cut(t, point, config_.cut_tolerance);
@@ -378,7 +449,10 @@ RelaxationResult HareRelaxation::solve_lp_cuts(
         t_sum += tk;
         t_sq += tk * tk;
       }
-      solver.add_ge_constraint(terms, 0.5 * (t_sum * t_sum - t_sq));
+      const double cut_rhs = 0.5 * (t_sum * t_sum - t_sq);
+      solver.add_ge_constraint(terms, cut_rhs);
+      cut_nonzeros += terms.size();
+      cuts.emplace_back(std::move(terms), cut_rhs);
       ++result.cut_count;
       ++added;
     }
@@ -395,17 +469,35 @@ RelaxationResult HareRelaxation::solve_lp_cuts(
     pivot_counter.add(solver.last_stats().total());
     result.lp_rounds.push_back(LpRoundStats{added, solver.last_stats().total(),
                                             solver.last_solve_was_warm()});
+    canonicalize(solution.objective);
   }
 
-  result.x_hat.resize(task_count);
-  for (std::size_t i = 0; i < task_count; ++i) {
-    result.x_hat[i] = solution.values[x_var[i]];
-  }
+  result.x_hat = canonical_x;
   result.objective = solution.objective;
   result.h = middle_completion_times(jobs, times, result.x_hat, config_.engine);
+
+  result.lp_rows = base_rows + result.cut_count;
+  result.lp_cols = lp.variable_count();
+  result.lp_nonzeros = base_nonzeros + cut_nonzeros;
+  rows_gauge.set(static_cast<double>(result.lp_rows));
+  cols_gauge.set(static_cast<double>(result.lp_cols));
+  nonzeros_gauge.set(static_cast<double>(result.lp_nonzeros));
+  density_gauge.set(
+      result.lp_rows * result.lp_cols == 0
+          ? 0.0
+          : static_cast<double>(result.lp_nonzeros) /
+                (static_cast<double>(result.lp_rows) *
+                 static_cast<double>(result.lp_cols)));
+  obs::Counter& backend_pivots = backend == opt::LpBackend::Dense
+                                     ? dense_pivot_counter
+                                     : sparse_pivot_counter;
+  backend_pivots.add(result.simplex_pivots + result.canonical_pivots);
+
   common::log_debug("planner: lp_cuts converged, ", result.lp_solves,
                     " solves, ", result.cut_count, " cuts, ",
-                    result.simplex_pivots, " pivots");
+                    result.simplex_pivots, " pivots, ",
+                    result.canonical_solves, " canonical solves (",
+                    opt::lp_backend_name(backend), " backend)");
   return result;
 }
 

@@ -26,6 +26,7 @@
 
 #include "cluster/cluster.hpp"
 #include "common/types.hpp"
+#include "opt/simplex.hpp"
 #include "profiler/time_table.hpp"
 #include "workload/job.hpp"
 
@@ -59,6 +60,16 @@ struct PlannerEngine {
   /// when the cluster has at least this many GPUs (below it, the indexed
   /// lane scan wins and per-task fan-out overhead dominates).
   std::size_t parallel_scan_min_gpus = 1024;
+  /// LP backend for the LpCuts relaxation. Auto resolves via
+  /// HARE_LP_BACKEND (default sparse revised simplex); the naive engine
+  /// always runs the dense reference tableau regardless of this knob.
+  opt::LpBackend lp_backend = opt::LpBackend::Auto;
+
+  /// The LP backend the LpCuts solves actually run on under these knobs.
+  [[nodiscard]] opt::LpBackend resolved_lp_backend() const {
+    return naive ? opt::LpBackend::Dense
+                 : opt::resolve_lp_backend(lp_backend);
+  }
 
   /// The pool to use under the current knobs, or nullptr for serial.
   [[nodiscard]] common::ThreadPool* pool() const;
@@ -82,8 +93,20 @@ struct RelaxationResult {
   double objective = 0.0;       ///< relaxed Σ w_n C_n (lower bound given ŷ)
   std::size_t cut_count = 0;    ///< Queyranne cuts added (LpCuts mode)
   std::size_t lp_solves = 0;    ///< LP solve→separate rounds (LpCuts mode)
-  std::size_t simplex_pivots = 0;  ///< total pivots across rounds
+  std::size_t simplex_pivots = 0;  ///< total pivots across primary rounds
   std::vector<LpRoundStats> lp_rounds;  ///< per-round accounting
+
+  // LP shape + backend attribution (LpCuts mode). Shape is the final
+  // program: base rows plus appended cuts; bound-style constraints live in
+  // the bound arrays and are absent from all three numbers.
+  std::size_t lp_rows = 0;
+  std::size_t lp_cols = 0;
+  std::size_t lp_nonzeros = 0;
+  opt::LpBackend lp_backend = opt::LpBackend::Auto;  ///< resolved backend
+  /// Canonicalization accounting: one cold solve per cut round pins the
+  /// reported vertex to a backend-independent point (see solve_lp_cuts).
+  std::size_t canonical_solves = 0;
+  std::size_t canonical_pivots = 0;
 };
 
 struct RelaxationConfig {

@@ -1,63 +1,84 @@
 #include "opt/simplex.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+#include <string>
 
 #include "common/error.hpp"
+#include "opt/revised_simplex.hpp"
 
 namespace hare::opt {
 
 namespace {
 
 constexpr double kEps = 1e-9;
-constexpr double kBigM = 1e12;
+/// Consecutive non-improving iterations before Bland's rule engages.
+constexpr std::size_t kStallThreshold = 64;
+/// Initial spare tableau columns reserved for cut logicals.
+constexpr std::size_t kColumnHeadroom = 32;
 
-/// Dense simplex tableau. Columns: structural + slack/surplus + artificial,
-/// plus the rhs column. One basis variable per row.
+/// Dense simplex tableau. Columns: structural + slack/surplus + artificial.
+/// One basis variable per row. The rhs lives in its own vector and the data
+/// block is laid out with spare column capacity, so appending a cut row /
+/// logical column is amortized O(touched cells) rather than a full-matrix
+/// copy per cut.
 class Tableau {
  public:
   Tableau(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * (cols + 1), 0.0) {}
+      : rows_(rows),
+        cols_(cols),
+        cap_cols_(cols + kColumnHeadroom),
+        data_(rows * cap_cols_, 0.0),
+        rhs_(rows, 0.0) {}
 
-  double& at(std::size_t r, std::size_t c) { return data_[r * (cols_ + 1) + c]; }
+  double& at(std::size_t r, std::size_t c) { return data_[r * cap_cols_ + c]; }
   [[nodiscard]] double at(std::size_t r, std::size_t c) const {
-    return data_[r * (cols_ + 1) + c];
+    return data_[r * cap_cols_ + c];
   }
-  double& rhs(std::size_t r) { return at(r, cols_); }
-  [[nodiscard]] double rhs(std::size_t r) const { return at(r, cols_); }
+  double& rhs(std::size_t r) { return rhs_[r]; }
+  [[nodiscard]] double rhs(std::size_t r) const { return rhs_[r]; }
 
   [[nodiscard]] std::size_t rows() const { return rows_; }
   [[nodiscard]] std::size_t cols() const { return cols_; }
 
-  /// Grow by `extra_rows` zero rows and `extra_cols` zero columns (the rhs
-  /// column stays last). Used when cut rows are appended to a solved LP.
+  /// Grow by `extra_rows` zero rows and `extra_cols` zero columns. Row
+  /// growth is a resize; column growth consumes reserved capacity and only
+  /// repacks (geometrically) when the headroom is exhausted.
   void expand(std::size_t extra_rows, std::size_t extra_cols) {
-    const std::size_t new_rows = rows_ + extra_rows;
-    const std::size_t new_cols = cols_ + extra_cols;
-    std::vector<double> grown(new_rows * (new_cols + 1), 0.0);
-    for (std::size_t r = 0; r < rows_; ++r) {
-      for (std::size_t c = 0; c < cols_; ++c) {
-        grown[r * (new_cols + 1) + c] = at(r, c);
+    if (cols_ + extra_cols > cap_cols_) {
+      const std::size_t new_cap =
+          std::max(cols_ + extra_cols, cap_cols_ * 2);
+      std::vector<double> grown(rows_ * new_cap, 0.0);
+      for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+          grown[r * new_cap + c] = data_[r * cap_cols_ + c];
+        }
       }
-      grown[r * (new_cols + 1) + new_cols] = rhs(r);
+      cap_cols_ = new_cap;
+      data_ = std::move(grown);
     }
-    rows_ = new_rows;
-    cols_ = new_cols;
-    data_ = std::move(grown);
+    cols_ += extra_cols;
+    rows_ += extra_rows;
+    data_.resize(rows_ * cap_cols_, 0.0);
+    rhs_.resize(rows_, 0.0);
   }
 
   void pivot(std::size_t pr, std::size_t pc) {
     const double pivot_value = at(pr, pc);
     const double inv = 1.0 / pivot_value;
-    for (std::size_t c = 0; c <= cols_; ++c) at(pr, c) *= inv;
+    for (std::size_t c = 0; c < cols_; ++c) at(pr, c) *= inv;
+    rhs_[pr] *= inv;
     for (std::size_t r = 0; r < rows_; ++r) {
       if (r == pr) continue;
       const double factor = at(r, pc);
       if (std::abs(factor) < kEps) continue;
-      for (std::size_t c = 0; c <= cols_; ++c) {
+      for (std::size_t c = 0; c < cols_; ++c) {
         at(r, c) -= factor * at(pr, c);
       }
+      rhs_[r] -= factor * rhs_[pr];
       at(r, pc) = 0.0;
     }
   }
@@ -65,7 +86,9 @@ class Tableau {
  private:
   std::size_t rows_;
   std::size_t cols_;
+  std::size_t cap_cols_;
   std::vector<double> data_;
+  std::vector<double> rhs_;
 };
 
 struct SimplexState {
@@ -96,21 +119,33 @@ void compute_reduced_costs(SimplexState& s, const std::vector<double>& c) {
 
 /// Run primal simplex iterations minimizing objective c. Returns status;
 /// updates state in place. `pivots`, when given, accumulates pivot counts.
+/// Columns flagged in `banned` (phase-2 artificials) never enter the basis.
+/// Bland's anti-cycling rule engages after the objective stalls for
+/// kStallThreshold consecutive iterations and disengages on improvement.
 LpStatus iterate(SimplexState& s, const std::vector<double>& c,
-                 std::size_t max_iterations, std::size_t* pivots = nullptr) {
+                 std::size_t max_iterations, std::size_t* pivots = nullptr,
+                 const std::vector<char>* banned = nullptr) {
   const std::size_t cols = s.tableau.cols();
   const std::size_t rows = s.tableau.rows();
-  const std::size_t bland_threshold = max_iterations / 2;
+  double prev_objective = std::numeric_limits<double>::infinity();
+  std::size_t stall = 0;
 
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
     compute_reduced_costs(s, c);
-    const bool bland = iter >= bland_threshold;
+    if (s.objective < prev_objective - kEps) {
+      prev_objective = s.objective;
+      stall = 0;
+    } else {
+      ++stall;
+    }
+    const bool bland = stall >= kStallThreshold;
 
     // Entering column: most positive reduced cost (min problem), or the
     // lowest-index positive one under Bland's anti-cycling rule.
     std::size_t enter = cols;
     double best = kEps;
     for (std::size_t j = 0; j < cols; ++j) {
+      if (banned && (*banned)[j]) continue;
       if (s.reduced[j] > (bland ? kEps : best)) {
         enter = j;
         if (bland) break;
@@ -148,18 +183,34 @@ LpStatus iterate(SimplexState& s, const std::vector<double>& c,
 /// primal is feasible again. Returns Optimal when feasible, Infeasible when
 /// a fully non-negative row has a negative rhs (the cut system is empty).
 LpStatus dual_iterate(SimplexState& s, const std::vector<double>& c,
-                      std::size_t max_iterations, std::size_t* pivots) {
+                      std::size_t max_iterations, std::size_t* pivots,
+                      const std::vector<char>* banned = nullptr) {
   const std::size_t cols = s.tableau.cols();
   const std::size_t rows = s.tableau.rows();
+  double prev_infeasibility = std::numeric_limits<double>::infinity();
+  std::size_t stall = 0;
 
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
-    // Leaving row: most negative rhs.
+    double infeasibility = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (s.tableau.rhs(r) < 0.0) infeasibility -= s.tableau.rhs(r);
+    }
+    if (infeasibility < prev_infeasibility - kEps) {
+      prev_infeasibility = infeasibility;
+      stall = 0;
+    } else {
+      ++stall;
+    }
+    const bool bland = stall >= kStallThreshold;
+
+    // Leaving row: most negative rhs (lowest-index negative under Bland).
     std::size_t leave = rows;
     double most_negative = -kEps;
     for (std::size_t r = 0; r < rows; ++r) {
       if (s.tableau.rhs(r) < most_negative) {
         most_negative = s.tableau.rhs(r);
         leave = r;
+        if (bland) break;
       }
     }
     if (leave == rows) return LpStatus::Optimal;  // primal feasible
@@ -172,6 +223,7 @@ LpStatus dual_iterate(SimplexState& s, const std::vector<double>& c,
     std::size_t enter = cols;
     double best_ratio = std::numeric_limits<double>::infinity();
     for (std::size_t j = 0; j < cols; ++j) {
+      if (banned && (*banned)[j]) continue;
       const double a = s.tableau.at(leave, j);
       if (a < -kEps) {
         const double ratio = s.reduced[j] / a;
@@ -192,9 +244,48 @@ LpStatus dual_iterate(SimplexState& s, const std::vector<double>& c,
 
 }  // namespace
 
+LpBackend resolve_lp_backend(LpBackend requested) {
+  if (requested != LpBackend::Auto) return requested;
+  if (const char* env = std::getenv("HARE_LP_BACKEND")) {
+    std::string value(env);
+    std::transform(value.begin(), value.end(), value.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+    if (value == "dense") return LpBackend::Dense;
+    if (value == "sparse") return LpBackend::Sparse;
+  }
+  return LpBackend::Sparse;
+}
+
+const char* lp_backend_name(LpBackend backend) {
+  switch (backend) {
+    case LpBackend::Auto: return "auto";
+    case LpBackend::Dense: return "dense";
+    case LpBackend::Sparse: return "sparse";
+  }
+  return "unknown";
+}
+
 std::size_t LinearProgram::add_variable(double objective_coefficient) {
   objective_.push_back(objective_coefficient);
+  lower_.push_back(0.0);
+  upper_.push_back(kInfinity);
   return objective_.size() - 1;
+}
+
+void LinearProgram::set_objective(std::size_t var, double coefficient) {
+  HARE_CHECK_MSG(var < objective_.size(),
+                 "objective references unknown variable " << var);
+  objective_[var] = coefficient;
+}
+
+void LinearProgram::set_bounds(std::size_t var, double lower, double upper) {
+  HARE_CHECK_MSG(var < objective_.size(),
+                 "bounds reference unknown variable " << var);
+  HARE_CHECK_MSG(std::isfinite(lower),
+                 "lower bound must be finite for variable " << var);
+  HARE_CHECK_MSG(lower <= upper, "empty bound interval for variable " << var);
+  lower_[var] = lower;
+  upper_[var] = upper;
 }
 
 void LinearProgram::add_constraint(
@@ -205,17 +296,22 @@ void LinearProgram::add_constraint(
                    "constraint references unknown variable " << var);
     (void)coeff;
   }
+  nonzeros_ += terms.size();
   rows_.push_back(Row{terms, rel, rhs});
 }
 
 struct IncrementalLpSolver::Impl {
   LinearProgram lp;  ///< full program including appended cuts
   bool warm_start = true;
+  LpBackend backend = LpBackend::Sparse;
 
-  // Retained standard-form state (warm path).
+  // --- Sparse backend state -----------------------------------------------
+  std::unique_ptr<RevisedSimplex> sparse;
+
+  // --- Dense backend state (retained standard form, warm path) ------------
   SimplexState state{Tableau(0, 0), {}, {}, 0.0};
   std::vector<char> artificial;  ///< per-column artificial flag
-  std::vector<double> phase2;    ///< phase-2 costs (kBigM fences artificials)
+  std::vector<double> phase2;    ///< phase-2 costs (artificials at 0, banned)
   std::size_t structural = 0;    ///< count of original variables
   bool has_basis = false;        ///< a previous solve retained its basis
   bool basis_optimal = false;
@@ -224,12 +320,26 @@ struct IncrementalLpSolver::Impl {
   LpIterationStats stats;
   bool last_warm = false;
 
+  LpSolution solve(std::size_t max_iterations);
+  LpSolution sparse_solve(std::size_t max_iterations);
   LpSolution cold_solve(std::size_t max_iterations);
   LpSolution warm_resolve(std::size_t max_iterations);
   LpSolution extract() const;
   void append_cut_row(const std::vector<std::pair<std::size_t, double>>& terms,
                       double rhs);
+  [[nodiscard]] double shifted_rhs(
+      const std::vector<std::pair<std::size_t, double>>& terms,
+      double rhs) const;
 };
+
+/// Lower bounds are handled by shifting (x = l + x'): every rhs drops the
+/// bound contribution of its terms.
+double IncrementalLpSolver::Impl::shifted_rhs(
+    const std::vector<std::pair<std::size_t, double>>& terms,
+    double rhs) const {
+  for (const auto& [var, coeff] : terms) rhs -= coeff * lp.lower_[var];
+  return rhs;
+}
 
 LpSolution IncrementalLpSolver::Impl::extract() const {
   LpSolution solution;
@@ -242,6 +352,7 @@ LpSolution IncrementalLpSolver::Impl::extract() const {
   }
   solution.objective = 0.0;
   for (std::size_t j = 0; j < structural; ++j) {
+    solution.values[j] += lp.lower_[j];  // undo the bound shift
     solution.objective += lp.objective_[j] * solution.values[j];
   }
   return solution;
@@ -249,17 +360,27 @@ LpSolution IncrementalLpSolver::Impl::extract() const {
 
 LpSolution IncrementalLpSolver::Impl::cold_solve(std::size_t max_iterations) {
   const std::size_t n = lp.objective_.size();
-  const std::size_t m = lp.rows_.size();
   structural = n;
   has_basis = false;
   basis_optimal = false;
   dirty = false;
 
+  // Standard-form rows: the stated rows with lower bounds shifted out, plus
+  // one internal row x' <= u - l per finite upper bound.
+  std::vector<LinearProgram::Row> rows = lp.rows_;
+  for (auto& row : rows) row.rhs = shifted_rhs(row.terms, row.rhs);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (std::isfinite(lp.upper_[j])) {
+      rows.push_back(LinearProgram::Row{
+          {{j, 1.0}}, Relation::LessEqual, lp.upper_[j] - lp.lower_[j]});
+    }
+  }
+  const std::size_t m = rows.size();
+
   // Count auxiliary columns: slack for <=, surplus for >=, artificial for
   // >= and =. After sign normalization (rhs >= 0).
   std::size_t slack_count = 0;
   std::size_t artificial_count = 0;
-  std::vector<LinearProgram::Row> rows = lp.rows_;
   for (auto& row : rows) {
     if (row.rhs < 0.0) {
       row.rhs = -row.rhs;
@@ -316,7 +437,7 @@ LpSolution IncrementalLpSolver::Impl::cold_solve(std::size_t max_iterations) {
 
   LpSolution solution;
 
-  // Phase 1: drive artificials to zero.
+  // Phase 1: pure infeasibility objective — drive artificials to zero.
   if (artificial_count > 0) {
     std::vector<double> phase1(total, 0.0);
     for (std::size_t j = 0; j < total; ++j) {
@@ -348,18 +469,16 @@ LpSolution IncrementalLpSolver::Impl::cold_solve(std::size_t max_iterations) {
         state.basis[r] = enter;
       }
       // Otherwise the row is all-zero (redundant); the artificial stays at
-      // value 0 and never re-enters because phase 2 ignores it.
+      // value 0 and never re-enters because phase 2 bans it.
     }
   }
 
-  // Phase 2: original objective; artificials are fenced out with +inf-like
-  // cost so they never re-enter.
+  // Phase 2: original objective. Artificials keep cost 0 but are banned
+  // from entering — no Big-M fencing needed.
   phase2.assign(total, 0.0);
   for (std::size_t j = 0; j < n; ++j) phase2[j] = lp.objective_[j];
-  for (std::size_t j = 0; j < total; ++j) {
-    if (artificial[j]) phase2[j] = kBigM;
-  }
-  const LpStatus status = iterate(state, phase2, max_iterations, &stats.phase2);
+  const LpStatus status =
+      iterate(state, phase2, max_iterations, &stats.phase2, &artificial);
   if (status != LpStatus::Optimal) {
     solution.status = status;
     return solution;
@@ -391,16 +510,17 @@ void IncrementalLpSolver::Impl::append_cut_row(
     state.tableau.at(row, var) -= coeff;
   }
   state.tableau.at(row, surplus) = 1.0;
-  state.tableau.rhs(row) = -rhs;
+  state.tableau.rhs(row) = -shifted_rhs(terms, rhs);
 
   // Gaussian elimination of basic columns from the new row.
   for (std::size_t r = 0; r < old_rows; ++r) {
     const double factor = state.tableau.at(row, state.basis[r]);
     if (std::abs(factor) < kEps) continue;
-    for (std::size_t c = 0; c <= state.tableau.cols(); ++c) {
+    for (std::size_t c = 0; c < state.tableau.cols(); ++c) {
       const double a = state.tableau.at(r, c);
       if (a != 0.0) state.tableau.at(row, c) -= factor * a;
     }
+    state.tableau.rhs(row) -= factor * state.tableau.rhs(r);
     state.tableau.at(row, state.basis[r]) = 0.0;
   }
   state.basis.push_back(surplus);
@@ -410,11 +530,12 @@ void IncrementalLpSolver::Impl::append_cut_row(
 LpSolution IncrementalLpSolver::Impl::warm_resolve(
     std::size_t max_iterations) {
   LpStatus status =
-      dual_iterate(state, phase2, max_iterations, &stats.dual);
+      dual_iterate(state, phase2, max_iterations, &stats.dual, &artificial);
   if (status == LpStatus::Optimal) {
     // Dual feasibility is maintained by the ratio test, so this usually
     // terminates immediately; it cleans up numerical drift when not.
-    status = iterate(state, phase2, max_iterations, &stats.phase2);
+    status =
+        iterate(state, phase2, max_iterations, &stats.phase2, &artificial);
   }
   if (status != LpStatus::Optimal) {
     // Degenerate dual stall or drift: fall back to a cold factorization of
@@ -428,11 +549,38 @@ LpSolution IncrementalLpSolver::Impl::warm_resolve(
   return extract();
 }
 
+LpSolution IncrementalLpSolver::Impl::sparse_solve(
+    std::size_t max_iterations) {
+  if (warm_start && sparse && sparse->has_optimal_basis()) {
+    last_warm = true;
+    LpSolution solution = sparse->resolve(max_iterations, &stats);
+    if (solution.status != LpStatus::IterationLimit) return solution;
+    // Numerical stall on the warm path: rebuild and solve cold.
+    stats = {};
+  }
+  last_warm = false;
+  sparse = std::make_unique<RevisedSimplex>(lp);
+  return sparse->solve(max_iterations, &stats);
+}
+
+LpSolution IncrementalLpSolver::Impl::solve(std::size_t max_iterations) {
+  stats = {};
+  if (backend == LpBackend::Sparse) return sparse_solve(max_iterations);
+  if (warm_start && has_basis) {
+    last_warm = true;
+    basis_optimal = false;
+    return warm_resolve(max_iterations);
+  }
+  last_warm = false;
+  return cold_solve(max_iterations);
+}
+
 IncrementalLpSolver::IncrementalLpSolver(const LinearProgram& lp,
-                                         bool warm_start)
+                                         bool warm_start, LpBackend backend)
     : impl_(std::make_unique<Impl>()) {
   impl_->lp = lp;
   impl_->warm_start = warm_start;
+  impl_->backend = resolve_lp_backend(backend);
 }
 
 IncrementalLpSolver::~IncrementalLpSolver() = default;
@@ -444,7 +592,14 @@ IncrementalLpSolver& IncrementalLpSolver::operator=(
 void IncrementalLpSolver::add_ge_constraint(
     const std::vector<std::pair<std::size_t, double>>& terms, double rhs) {
   impl_->lp.add_constraint(terms, Relation::GreaterEqual, rhs);
-  if (impl_->warm_start && impl_->has_basis) {
+  if (!impl_->warm_start) return;
+  if (impl_->backend == LpBackend::Sparse) {
+    if (impl_->sparse && impl_->sparse->has_optimal_basis()) {
+      impl_->sparse->add_ge_row(terms, rhs);
+    }
+    return;
+  }
+  if (impl_->has_basis) {
     HARE_CHECK_MSG(impl_->basis_optimal || impl_->dirty,
                    "cannot warm-append a cut to a non-optimal basis");
     impl_->append_cut_row(terms, rhs);
@@ -452,14 +607,7 @@ void IncrementalLpSolver::add_ge_constraint(
 }
 
 LpSolution IncrementalLpSolver::solve(std::size_t max_iterations) {
-  impl_->stats = {};
-  if (impl_->warm_start && impl_->has_basis) {
-    impl_->last_warm = true;
-    impl_->basis_optimal = false;
-    return impl_->warm_resolve(max_iterations);
-  }
-  impl_->last_warm = false;
-  return impl_->cold_solve(max_iterations);
+  return impl_->solve(max_iterations);
 }
 
 const LpIterationStats& IncrementalLpSolver::last_stats() const {
@@ -470,9 +618,20 @@ bool IncrementalLpSolver::last_solve_was_warm() const {
   return impl_->last_warm;
 }
 
+LpBackend IncrementalLpSolver::backend() const { return impl_->backend; }
+
 LpSolution LinearProgram::solve(std::size_t max_iterations,
-                                LpIterationStats* stats) const {
-  IncrementalLpSolver solver(*this, /*warm_start=*/false);
+                                LpIterationStats* stats,
+                                LpBackend backend) const {
+  const LpBackend resolved = resolve_lp_backend(backend);
+  if (resolved == LpBackend::Sparse) {
+    RevisedSimplex solver(*this);
+    LpIterationStats local;
+    LpSolution solution = solver.solve(max_iterations, &local);
+    if (stats) *stats = local;
+    return solution;
+  }
+  IncrementalLpSolver solver(*this, /*warm_start=*/false, LpBackend::Dense);
   LpSolution solution = solver.solve(max_iterations);
   if (stats) *stats = solver.last_stats();
   return solution;

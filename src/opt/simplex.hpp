@@ -1,11 +1,28 @@
-// Dense two-phase primal simplex LP solver with warm-started re-solves.
+// LP front end with two interchangeable simplex backends.
 //
 // Stands in for the commercial solver (CPLEX/Gurobi) the paper uses for the
 // Hare_Sched_RL relaxation. Problems are stated in the natural form
-//   minimize cᵀx   s.t.  aᵀx {<=,>=,=} b,  x >= 0
-// and converted internally to standard form with slack/surplus/artificial
-// variables. Sized for the LP-mode relaxation on small/medium instances
-// (hundreds of variables); the fluid relaxation covers cluster scale.
+//   minimize cᵀx   s.t.  aᵀx {<=,>=,=} b,  l <= x <= u
+// (bounds default to x >= 0; single-variable release/bound constraints
+// should be stated as bounds, not rows — they then never enter the row
+// space of either backend).
+//
+// Backends:
+//  * LpBackend::Sparse (default) — sparse revised simplex: column-sparse
+//    matrix, LU-factorized basis with eta updates and periodic
+//    refactorization, Devex pricing, native bounded variables. See
+//    revised_simplex.hpp.
+//  * LpBackend::Dense — the original dense two-phase tableau, kept as a
+//    slow reference path for cross-checking. Bounded variables are handled
+//    by shifting (x = l + x') plus internal upper-bound rows.
+//  * LpBackend::Auto resolves to Sparse unless the HARE_LP_BACKEND
+//    environment variable says "dense" (or "sparse").
+//
+// Both backends break every pricing/ratio/factorization tie to the lowest
+// variable index, so each is deterministic run-to-run; they agree on the
+// optimal objective to solver tolerance but may sit on different optimal
+// vertices — callers that need a backend-independent point canonicalize on
+// top (see core/relaxation.cpp).
 //
 // Two entry points:
 //  * LinearProgram::solve() — one-shot cold solve (phase 1 + phase 2).
@@ -18,6 +35,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -26,6 +44,14 @@ namespace hare::opt {
 enum class Relation { LessEqual, GreaterEqual, Equal };
 
 enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+enum class LpBackend { Auto, Dense, Sparse };
+
+/// Resolve Auto against the HARE_LP_BACKEND environment variable
+/// ("dense" / "sparse"); defaults to Sparse. Dense/Sparse pass through.
+[[nodiscard]] LpBackend resolve_lp_backend(LpBackend requested);
+
+[[nodiscard]] const char* lp_backend_name(LpBackend backend);
 
 struct LpSolution {
   LpStatus status = LpStatus::Infeasible;
@@ -47,9 +73,19 @@ struct LpIterationStats {
 
 class LinearProgram {
  public:
-  /// Add a variable with the given objective coefficient (x >= 0 implicit).
-  /// Returns the variable's index.
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  /// Add a variable with the given objective coefficient and bounds
+  /// [0, +inf). Returns the variable's index.
   std::size_t add_variable(double objective_coefficient);
+
+  /// Replace the variable's objective coefficient.
+  void set_objective(std::size_t var, double coefficient);
+
+  /// Set bounds lower <= x[var] <= upper. `lower` must be finite (both
+  /// backends anchor nonbasic variables at their lower bound); `upper` may
+  /// be kInfinity. lower == upper fixes the variable.
+  void set_bounds(std::size_t var, double lower, double upper);
 
   /// Add a constraint sum(coeff[i] * x[var[i]]) rel rhs. Terms may repeat a
   /// variable; coefficients accumulate.
@@ -59,14 +95,27 @@ class LinearProgram {
   [[nodiscard]] std::size_t variable_count() const { return objective_.size(); }
   [[nodiscard]] std::size_t constraint_count() const { return rows_.size(); }
 
+  /// Total constraint-matrix nonzeros across rows (bound entries excluded —
+  /// that is the point of stating bounds as bounds).
+  [[nodiscard]] std::size_t nonzero_count() const { return nonzeros_; }
+
+  [[nodiscard]] double lower_bound(std::size_t var) const {
+    return lower_[var];
+  }
+  [[nodiscard]] double upper_bound(std::size_t var) const {
+    return upper_[var];
+  }
+
   /// Minimize. `max_iterations` guards against cycling (Bland's rule is
   /// engaged automatically after a stall). `stats`, when given, receives
   /// the pivot counts of this solve.
   [[nodiscard]] LpSolution solve(std::size_t max_iterations = 100000,
-                                 LpIterationStats* stats = nullptr) const;
+                                 LpIterationStats* stats = nullptr,
+                                 LpBackend backend = LpBackend::Auto) const;
 
  private:
   friend class IncrementalLpSolver;
+  friend class RevisedSimplex;
 
   struct Row {
     std::vector<std::pair<std::size_t, double>> terms;
@@ -75,7 +124,10 @@ class LinearProgram {
   };
 
   std::vector<double> objective_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
   std::vector<Row> rows_;
+  std::size_t nonzeros_ = 0;
 };
 
 /// Stateful solver for cutting-plane loops. Construct from a fully built
@@ -87,7 +139,8 @@ class LinearProgram {
 /// against.
 class IncrementalLpSolver {
  public:
-  explicit IncrementalLpSolver(const LinearProgram& lp, bool warm_start = true);
+  explicit IncrementalLpSolver(const LinearProgram& lp, bool warm_start = true,
+                               LpBackend backend = LpBackend::Auto);
   ~IncrementalLpSolver();
   IncrementalLpSolver(IncrementalLpSolver&&) noexcept;
   IncrementalLpSolver& operator=(IncrementalLpSolver&&) noexcept;
@@ -105,6 +158,9 @@ class IncrementalLpSolver {
 
   /// True when the most recent solve() reused the previous basis.
   [[nodiscard]] bool last_solve_was_warm() const;
+
+  /// The backend this solver resolved to at construction.
+  [[nodiscard]] LpBackend backend() const;
 
  private:
   struct Impl;

@@ -64,14 +64,14 @@ void expect_warm_matches_cold(const testing::Instance& instance) {
   const core::RelaxationResult cold = solve_lp(instance, false);
   const core::RelaxationResult warm = solve_lp(instance, true);
 
-  // The relaxation value is unique even when the optimal vertex is not: a
-  // warm continuation may separate a shorter cut trajectory than a cold
-  // restart (degenerate optima admit several vertices), but both must land
-  // on the same objective, and neither may cut beyond the budget without
-  // converging.
+  // Every cut round reports the canonicalized optimal vertex, so warm and
+  // cold continuations separate the *same* cut trajectory even when the
+  // optimum is degenerate: identical cut counts, identical x̂, same
+  // objective.
   EXPECT_NEAR(warm.objective, cold.objective,
               1e-6 * std::max(1.0, std::abs(cold.objective)));
-  EXPECT_LE(warm.cut_count, cold.cut_count);
+  EXPECT_EQ(warm.cut_count, cold.cut_count);
+  EXPECT_EQ(warm.x_hat, cold.x_hat);
   EXPECT_GE(warm.cut_count, 1u) << "toy/random instances always need cuts";
 
   // Every re-solve after the first must actually have reused the basis.
@@ -138,11 +138,11 @@ TEST(PlannerEquivalence, EnginesAgreeAcrossSeedsAndModes) {
         const sched::SchedulerInput input{instance.cluster, instance.jobs,
                                           instance.times};
 
-        // With warm start held fixed (off), every engine must reproduce the
-        // naive reference bit-for-bit: indexed placement, pooling, and
-        // sharded scans change wall-clock only. (Warm starting itself may
-        // legally land on a different optimal LP vertex; it is compared
-        // against its own serial path below.)
+        // Every engine must reproduce the naive reference bit-for-bit:
+        // indexed placement, pooling, sharded scans, warm starting, and the
+        // LP backend change wall-clock only (LpCuts rounds report the
+        // canonicalized vertex, so even warm starting cannot drift to a
+        // different optimum).
         core::HareScheduler naive(
             engine_config(mode, place, /*naive=*/true, 1, 192));
         const sim::Schedule reference = naive.schedule(input);
@@ -156,6 +156,7 @@ TEST(PlannerEquivalence, EnginesAgreeAcrossSeedsAndModes) {
         core::HareScheduler warm_serial(
             engine_config(mode, place, /*naive=*/false, 1, 192));
         const sim::Schedule warm_reference = warm_serial.schedule(input);
+        expect_same_schedule(reference, warm_reference);
 
         // Pooled: parallel separation + parallel preprocessing, indexed
         // scans.
@@ -168,11 +169,6 @@ TEST(PlannerEquivalence, EnginesAgreeAcrossSeedsAndModes) {
         core::HareScheduler sharded(
             engine_config(mode, place, /*naive=*/false, 4, 2));
         expect_same_schedule(warm_reference, sharded.schedule(input));
-
-        if (mode == core::RelaxMode::Fluid) {
-          // No LP involved: the production engine must also match naive.
-          expect_same_schedule(reference, warm_reference);
-        }
       }
     }
   }
