@@ -9,19 +9,25 @@
 //   hare profile   --trace trace.txt [--gpus 16 | --testbed] [--db db.txt]
 //   hare sweep     [--trace trace.txt | --jobs 40,80] [--seeds 1,2,3]
 //                  [--gpus 16 | --testbed] [--serial] [--workers N] [--csv]
+//   hare plan      --trace trace.txt [--gpus 16 | --testbed] [--racks M]
+//                  [--shards N] [--workers N] [--serial] [--lp-max-jobs N]
 //
 // `generate` synthesizes a workload trace; `schedule` runs one scheduler
 // and reports metrics (optionally an ASCII Gantt chart); `compare` runs
 // Hare and every baseline; `profile` shows the profiled time table and can
 // persist the historical profile database; `sweep` fans a
 // (scenario × seed × scheme) grid across the hare::exp engine — results
-// are bit-identical to `--serial`, which runs the same cells one by one.
+// are bit-identical to `--serial`, which runs the same cells one by one;
+// `plan` runs the two-level hierarchical planner (shard the cluster by
+// network domain, plan shards in parallel, merge in canonical order) and
+// reports the per-shard breakdown next to the merged plan's objective.
 //
 // Every command accepts `--trace-out FILE` (Chrome trace_event JSON for
 // chrome://tracing), `--metrics-out FILE` (hare::obs counters/gauges/
 // histograms as JSON), and `--flame-out FILE` (plain-text span summary).
 // With `--trace-out`, `schedule` also replays the plan on the threaded
 // executor runtime so the trace covers all four instrumented layers.
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -34,6 +40,7 @@
 #include "exp/engine.hpp"
 #include "obs/obs.hpp"
 #include "runtime/runtime.hpp"
+#include "shard/hierarchical_planner.hpp"
 #include "sim/gantt.hpp"
 
 namespace {
@@ -55,6 +62,9 @@ using namespace hare;
   hare advise   --model NAME [--rounds N] [--gpus N | --testbed]
   hare sweep    [--trace FILE | --jobs N1,N2,...] [--seeds S1,S2,...]
                 [--gpus N | --testbed] [--serial] [--workers N] [--csv]
+  hare plan     --trace FILE [--gpus N | --testbed] [--racks M]
+                [--shards N] [--workers N] [--serial] [--lp-max-jobs N]
+                [--save-plan FILE] [--csv]
 
 telemetry (any command):
   --trace-out FILE    write Chrome trace_event JSON (chrome://tracing)
@@ -115,7 +125,10 @@ cluster::Cluster make_cluster(const Args& args) {
   const double bandwidth = args.get_double("bandwidth", 25.0);
   if (args.flag("testbed")) return cluster::make_testbed_cluster(bandwidth);
   const std::size_t gpus = args.get_size("gpus", 16);
-  return cluster::make_simulation_cluster(gpus, bandwidth);
+  // `--racks M` groups consecutive machines into network domains of M
+  // machines (the shard boundaries `hare plan` partitions along).
+  return cluster::make_simulation_cluster(gpus, bandwidth, 8,
+                                          args.get_size("racks", 0));
 }
 
 workload::JobSet load_jobs(const Args& args) {
@@ -424,6 +437,68 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+int cmd_plan(const Args& args) {
+  const cluster::Cluster cluster = make_cluster(args);
+  const workload::JobSet jobs = load_jobs(args);
+
+  core::HareSystem system(cluster);
+  system.submit_all(jobs);
+  const profiler::TimeTable& times = system.profiled_times();
+
+  shard::ShardPlannerConfig config;
+  config.shards = args.get_size("shards", 0);
+  config.workers = args.get_size("workers", 0);
+  config.serial = args.flag("serial");
+  config.lp_max_jobs = args.get_size("lp-max-jobs", 0);
+  shard::HierarchicalPlanner planner(config);
+
+  const auto start = std::chrono::steady_clock::now();
+  const sim::Schedule plan = planner.schedule({cluster, jobs, times});
+  const double plan_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  const shard::HierarchicalPlanInfo& info = planner.last_plan();
+
+  common::Table shards_table(
+      {"shard", "jobs", "GPUs", "est load (s)", "objective", "cuts"});
+  for (std::size_t s = 0; s < info.shards.size(); ++s) {
+    const shard::ShardStats& stats = info.shards[s];
+    shards_table.row()
+        .cell(s)
+        .cell(stats.jobs)
+        .cell(stats.gpus)
+        .cell(stats.est_load, 1)
+        .cell(stats.objective, 1)
+        .cell(stats.cut_count);
+  }
+  common::Table summary({"metric", "value"});
+  summary.row().cell("shards").cell(info.shard_count);
+  summary.row().cell("load imbalance (max/mean)").cell(info.imbalance, 3);
+  summary.row().cell("predicted objective (s)").cell(plan.predicted_objective,
+                                                     1);
+  summary.row().cell("planning (ms)").cell(plan_ms, 2);
+  if (info.sep_tasks_total > 0) {
+    summary.row().cell("separation resort savings").cell(
+        1.0 - static_cast<double>(info.sep_tasks_resorted) /
+                  static_cast<double>(info.sep_tasks_total),
+        3);
+  }
+  if (args.flag("csv")) {
+    shards_table.print_csv(std::cout);
+    summary.print_csv(std::cout);
+  } else {
+    shards_table.print(std::cout);
+    summary.print(std::cout);
+  }
+
+  const std::string plan_path = args.get("save-plan");
+  if (!plan_path.empty()) {
+    sim::save_schedule_file(plan, plan_path);
+    std::cout << "saved plan to " << plan_path << '\n';
+  }
+  return 0;
+}
+
 }  // namespace
 
 int run_command(const Args& args) {
@@ -433,6 +508,7 @@ int run_command(const Args& args) {
   if (args.command == "profile") return cmd_profile(args);
   if (args.command == "advise") return cmd_advise(args);
   if (args.command == "sweep") return cmd_sweep(args);
+  if (args.command == "plan") return cmd_plan(args);
   usage("unknown command: " + args.command);
 }
 

@@ -6,14 +6,19 @@
 // **bit-identical** cell by cell — every task record, job record, and
 // aggregate must match exactly — then reports the wall-clock speedup.
 //
-// Emits machine-readable BENCH_sweep.json (cells, workers, serial/parallel
-// wall ms, speedup, determinism flags) which
+// A third sweep runs with exactly one worker: the engine must detect the
+// single-worker shape and run the cells inline on the calling thread
+// instead of paying pool dispatch per cell.
+//
+// Emits machine-readable BENCH_sweep.json (cells, workers, serial/parallel/
+// 1-worker wall ms, speedups, determinism flags) which
 // scripts/check_bench_regression.py gates in CI: determinism always; the
 // >=3x speedup floor only when the recorded run had >= 4 workers (a
 // single-core container cannot demonstrate scaling — the committed
-// baseline records whatever grid machine regenerated it). `--quick`
-// shrinks the grid for smoke runs; `--json <path>` overrides the output
-// location.
+// baseline records whatever grid machine regenerated it); the 1-worker
+// sweep must stay within 5% of the serial reference (>= 0.95x) on any
+// machine. `--quick` shrinks the grid for smoke runs; `--json <path>`
+// overrides the output location.
 //
 // The timed sweeps run with hare::obs tracing disabled. Afterwards a small
 // parallel sweep is re-run with the tracer on and exported as Chrome-trace
@@ -99,6 +104,7 @@ bool sweeps_identical(const exp::SweepResult& a, const exp::SweepResult& b) {
 [[nodiscard]] bool write_json(const std::string& path, std::size_t cells,
                               std::size_t workers, double serial_ms,
                               double parallel_ms, double speedup,
+                              double one_worker_ms, double speedup_1worker,
                               bool deterministic, bool quick) {
   std::ostringstream out;
   out << "{\n";
@@ -109,6 +115,8 @@ bool sweeps_identical(const exp::SweepResult& a, const exp::SweepResult& b) {
   out << "  \"serial_ms\": " << serial_ms << ",\n";
   out << "  \"parallel_ms\": " << parallel_ms << ",\n";
   out << "  \"speedup\": " << speedup << ",\n";
+  out << "  \"one_worker_ms\": " << one_worker_ms << ",\n";
+  out << "  \"speedup_1worker\": " << speedup_1worker << ",\n";
   out << "  \"deterministic\": " << (deterministic ? "true" : "false") << "\n";
   out << "}\n";
 
@@ -177,17 +185,43 @@ int main(int argc, char** argv) {
   std::cout << "=== sweep engine scaling: serial vs parallel fan-out ===\n";
   const exp::SweepSpec spec = make_grid(quick);
 
+  // Every sweep is deterministic, so each path reruns nine times and
+  // keeps its best wall clock — the standard noise-robust estimator; a
+  // single ~20ms sample jitters past the 1-worker gate on a busy box. The
+  // repetitions are *interleaved* (serial, parallel, 1-worker, serial, …)
+  // so an OS noise burst degrades every path's pool equally instead of
+  // landing on whichever path happened to be running.
   exp::Engine::Options serial_options;
   serial_options.serial = true;
   exp::Engine serial_engine(serial_options);
-  const exp::SweepResult serial = serial_engine.run(spec);
-
   exp::Engine parallel_engine;
-  const exp::SweepResult parallel = parallel_engine.run(spec);
+  // One-worker engine: map() must run the cells inline on the calling
+  // thread — before that fix, dispatching through a 1-thread pool cost
+  // ~1.3x the serial loop (task allocation + queue wake-up per cell).
+  // Gated machine-independently at >= 0.95x of the serial reference.
+  exp::Engine one_worker_engine(exp::Engine::Options{1, false});
 
-  const bool deterministic = sweeps_identical(serial, parallel);
+  const auto keep_best = [](exp::SweepResult& best, exp::SweepResult next) {
+    if (best.cells.empty() || next.wall_ms < best.wall_ms) {
+      best = std::move(next);
+    }
+  };
+  exp::SweepResult serial;
+  exp::SweepResult parallel;
+  exp::SweepResult one_worker;
+  static_cast<void>(serial_engine.run(spec));  // warm caches untimed
+  for (int rep = 0; rep < 9; ++rep) {
+    keep_best(serial, serial_engine.run(spec));
+    keep_best(parallel, parallel_engine.run(spec));
+    keep_best(one_worker, one_worker_engine.run(spec));
+  }
+
+  const bool deterministic = sweeps_identical(serial, parallel) &&
+                             sweeps_identical(serial, one_worker);
   const double speedup =
       serial.wall_ms / std::max(1e-6, parallel.wall_ms);
+  const double speedup_1worker =
+      serial.wall_ms / std::max(1e-6, one_worker.wall_ms);
 
   common::Table table({"path", "cells", "workers", "wall ms", "speedup",
                        "identical"});
@@ -205,13 +239,21 @@ int main(int argc, char** argv) {
       .cell(parallel.wall_ms, 1)
       .cell(speedup, 2)
       .cell(deterministic ? "yes" : "NO");
+  table.row()
+      .cell("1 worker")
+      .cell(one_worker.cells.size())
+      .cell(one_worker.workers)
+      .cell(one_worker.wall_ms, 1)
+      .cell(speedup_1worker, 2)
+      .cell(deterministic ? "yes" : "NO");
   table.print(std::cout);
   std::cout << "(identical = every task/job record and aggregate matches the "
                "serial sweep bit for bit)\n";
 
   bool wrote = write_json(json_path, spec.cell_count(), parallel.workers,
                           serial.wall_ms, parallel.wall_ms, speedup,
-                          deterministic, quick);
+                          one_worker.wall_ms, speedup_1worker, deterministic,
+                          quick);
   if (trace) wrote = export_traced_run(trace_path) && wrote;
 
   if (!deterministic) {

@@ -25,7 +25,22 @@ bench_sweep_scale (BENCH_sweep.json):
   * the parallel-over-serial speedup fell below the floor — enforced only
     when the recorded run had >= 4 workers, since a 1-2 core container
     cannot demonstrate fan-out scaling (the ratio is measured in-process,
-    so it holds across grid machines).
+    so it holds across grid machines);
+  * the 1-worker sweep fell below 0.95x of the serial reference — a
+    1-worker engine must run inline on the calling thread, so this gate is
+    machine-independent and enforced in full mode on any core count.
+
+bench_shard_scale (BENCH_shard.json):
+  * the parallel sharded plan is not bit-identical to the serial sharded
+    plan, or a plan failed structural validation — correctness contracts,
+    never waived, including in quick mode;
+  * the incremental Queyranne separation produced a different cut
+    trajectory than the full per-round re-sort — never waived;
+  * full mode: the incremental separator saved < 50% of the separation
+    sort work across the lp_cuts grid;
+  * full mode: the largest point's sharded-over-flat speedup fell below
+    the floor — enforced only when the recorded run had >= 4 workers
+    (same rationale as the sweep gate).
 
 Quick mode (--quick, or a JSON produced with --quick) runs tiny grids
 where fixed costs dominate, so only the determinism contracts and the
@@ -54,6 +69,16 @@ ANY_POINT_MIN_SPEEDUP = 0.7  # noise floor for tiny grids
 # reference by this much on a machine with enough cores to show it.
 SWEEP_MIN_SPEEDUP = 3.0
 SWEEP_MIN_WORKERS = 4  # below this, fan-out speedup is not demonstrable
+# A 1-worker engine runs the cells inline on the calling thread, so it must
+# track the serial loop within noise on any machine.
+SWEEP_MIN_1WORKER_SPEEDUP = 0.95
+
+# Sharded-planner thresholds: the two-level plan over the largest grid
+# point must beat the flat fluid plan by this much (>= 4 workers), and the
+# incremental separator must save at least half the separation sort work.
+SHARD_MIN_SPEEDUP = 3.0
+SHARD_MIN_WORKERS = 4
+SHARD_MIN_RESORT_SAVINGS = 0.5
 
 
 def fail(msg):
@@ -133,6 +158,15 @@ def check_sweep(data, quick, path):
     if data.get("cells", 0) <= 0:
         errors += fail(f"{path}: sweep ran no cells")
 
+    if not quick and "speedup_1worker" in data:
+        one_worker = data["speedup_1worker"]
+        if one_worker < SWEEP_MIN_1WORKER_SPEEDUP:
+            errors += fail(
+                f"{path}: 1-worker sweep at {one_worker:.2f}x of the serial "
+                f"reference (< {SWEEP_MIN_1WORKER_SPEEDUP:.2f}x — the inline "
+                "single-worker path regressed)"
+            )
+
     workers = data.get("workers", 1)
     if not quick and workers >= SWEEP_MIN_WORKERS:
         speedup = data.get("speedup", 0.0)
@@ -158,6 +192,62 @@ def check_sweep(data, quick, path):
     return 0
 
 
+def check_shard(data, quick, path):
+    points = data.get("points", [])
+    if not points:
+        return fail(f"{path} contains no shard grid points")
+
+    errors = 0
+    for p in points:
+        tag = f"{p['jobs']}x{p['gpus']} ({p['shards']} shards)"
+        if not p.get("merge_identical", False):
+            errors += fail(
+                f"{tag}: parallel sharded plan differs from the serial "
+                "sharded plan (canonical-order merge broke)"
+            )
+        if not p.get("valid", False):
+            errors += fail(f"{tag}: a plan failed structural validation")
+
+    sep = data.get("separation", {})
+    if not sep.get("trajectory_identical", False):
+        errors += fail(
+            f"{path}: incremental separation produced a different cut "
+            "trajectory than the full per-round re-sort"
+        )
+    if not quick:
+        savings = sep.get("resort_savings", 0.0)
+        if savings < SHARD_MIN_RESORT_SAVINGS:
+            errors += fail(
+                f"{path}: incremental separation saved only "
+                f"{savings:.0%} of the separation sort work "
+                f"(< {SHARD_MIN_RESORT_SAVINGS:.0%})"
+            )
+        largest = max(points, key=lambda p: p["jobs"] * p["gpus"])
+        tag = f"{largest['jobs']}x{largest['gpus']}"
+        if largest.get("workers", 1) >= SHARD_MIN_WORKERS:
+            if largest["speedup_parallel"] < SHARD_MIN_SPEEDUP:
+                errors += fail(
+                    f"{tag}: sharded-over-flat speedup "
+                    f"{largest['speedup_parallel']:.2f} < "
+                    f"{SHARD_MIN_SPEEDUP:.1f} on {largest['workers']} workers"
+                )
+        else:
+            print(
+                f"note: {path} recorded {largest.get('workers', 1)} "
+                f"worker(s); the {SHARD_MIN_SPEEDUP:.0f}x floor needs >= "
+                f"{SHARD_MIN_WORKERS} (bit-identity and separation gates "
+                "still enforced)"
+            )
+
+    if errors:
+        return errors
+    mode = "quick (determinism/validity/trajectory)" if quick else "full"
+    print(
+        f"OK: {len(points)} shard points pass the {mode} shard gate in {path}"
+    )
+    return 0
+
+
 def check_file(path, quick):
     try:
         with open(path) as fh:
@@ -168,6 +258,8 @@ def check_file(path, quick):
     bench = data.get("bench", "bench_planner_scale")
     if bench == "bench_sweep_scale":
         return check_sweep(data, quick, path)
+    if bench == "bench_shard_scale":
+        return check_shard(data, quick, path)
     return check_planner(data, quick, path)
 
 

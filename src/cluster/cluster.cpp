@@ -45,6 +45,13 @@ bool Cluster::homogeneous() const {
   });
 }
 
+std::size_t Cluster::domain_count() const {
+  if (machines_.empty()) return 0;
+  std::size_t max_domain = 0;
+  for (const auto& m : machines_) max_domain = std::max(max_domain, m.domain);
+  return max_domain + 1;
+}
+
 void Cluster::set_network_gbps(double gbps) {
   HARE_CHECK_MSG(gbps > 0.0, "bandwidth must be positive");
   for (auto& m : machines_) m.network_gbps = gbps;
@@ -52,12 +59,14 @@ void Cluster::set_network_gbps(double gbps) {
 
 ClusterBuilder& ClusterBuilder::add_machine(GpuType type, std::size_t count,
                                             double network_gbps,
-                                            std::string name) {
+                                            std::string name,
+                                            std::size_t domain) {
   HARE_CHECK_MSG(count > 0, "a machine must host at least one GPU");
   Machine machine;
   machine.id = MachineId(static_cast<MachineId::underlying_type>(
       cluster_.machines_.size()));
   machine.network_gbps = network_gbps;
+  machine.domain = domain;
   machine.name = name.empty()
                      ? std::string(gpu_type_name(type)) + "-node-" +
                            std::to_string(machine.id.value())
@@ -89,7 +98,8 @@ namespace {
 
 Cluster build_by_proportion(std::span<const std::pair<GpuType, double>> mix,
                             std::size_t total_gpus, double network_gbps,
-                            std::size_t gpus_per_machine) {
+                            std::size_t gpus_per_machine,
+                            std::size_t machines_per_domain = 0) {
   HARE_CHECK_MSG(total_gpus > 0, "cluster needs at least one GPU");
   HARE_CHECK_MSG(gpus_per_machine > 0, "machines need at least one GPU");
   // Largest-remainder apportionment of GPU counts to types.
@@ -111,12 +121,16 @@ Cluster build_by_proportion(std::span<const std::pair<GpuType, double>> mix,
   }
 
   ClusterBuilder builder;
+  std::size_t machine_index = 0;
   for (std::size_t i = 0; i < mix.size(); ++i) {
     std::size_t remaining = counts[i];
     while (remaining > 0) {
       const std::size_t host = std::min(remaining, gpus_per_machine);
-      builder.add_machine(mix[i].first, host, network_gbps);
+      const std::size_t domain =
+          machines_per_domain > 0 ? machine_index / machines_per_domain : 0;
+      builder.add_machine(mix[i].first, host, network_gbps, {}, domain);
       remaining -= host;
+      ++machine_index;
     }
   }
   return builder.build();
@@ -152,11 +166,13 @@ Cluster make_heterogeneity_cluster(HeterogeneityLevel level,
 }
 
 Cluster make_simulation_cluster(std::size_t total_gpus, double network_gbps,
-                                std::size_t gpus_per_machine) {
+                                std::size_t gpus_per_machine,
+                                std::size_t machines_per_domain) {
   using P = std::pair<GpuType, double>;
   const std::array<P, 4> mix = {P{GpuType::V100, 8.0}, P{GpuType::T4, 4.0},
                                 P{GpuType::K80, 1.0}, P{GpuType::M60, 2.0}};
-  return build_by_proportion(mix, total_gpus, network_gbps, gpus_per_machine);
+  return build_by_proportion(mix, total_gpus, network_gbps, gpus_per_machine,
+                             machines_per_domain);
 }
 
 std::string_view heterogeneity_level_name(HeterogeneityLevel level) {

@@ -32,6 +32,10 @@ struct Machine {
   /// Uplink/downlink bandwidth in Gbit/s (network, shared by the machine's
   /// GPUs for PS traffic).
   double network_gbps = 25.0;
+  /// Network domain (rack / pod / spine block) the machine's uplink hangs
+  /// off. PS traffic between a job's tasks stays cheap within a domain;
+  /// the hierarchical planner shards the cluster along these boundaries.
+  std::size_t domain = 0;
   std::vector<GpuId> gpus;
 };
 
@@ -58,6 +62,10 @@ class Cluster {
   /// True when every GPU is of the same type.
   [[nodiscard]] bool homogeneous() const;
 
+  /// Number of distinct network domains (max machine domain + 1; 1 for a
+  /// flat single-domain cluster, 0 when empty).
+  [[nodiscard]] std::size_t domain_count() const;
+
   /// Scale every machine's uplink to `gbps` (Fig 18 bandwidth sweep).
   void set_network_gbps(double gbps);
 
@@ -69,10 +77,11 @@ class Cluster {
 
 class ClusterBuilder {
  public:
-  /// Add a machine hosting `count` GPUs of `type`. Returns the machine id.
+  /// Add a machine hosting `count` GPUs of `type` in network `domain`.
+  /// Returns the machine id.
   ClusterBuilder& add_machine(GpuType type, std::size_t count,
                               double network_gbps = 25.0,
-                              std::string name = {});
+                              std::string name = {}, std::size_t domain = 0);
 
   [[nodiscard]] Cluster build() const { return cluster_; }
 
@@ -95,9 +104,11 @@ enum class HeterogeneityLevel { Low, Mid, High };
 
 /// Large-scale simulator cluster with the testbed's type proportions
 /// (8:4:1:2 V100:T4:K80:M60), `gpus_per_machine` GPUs per machine.
-[[nodiscard]] Cluster make_simulation_cluster(std::size_t total_gpus,
-                                              double network_gbps = 25.0,
-                                              std::size_t gpus_per_machine = 8);
+/// `machines_per_domain > 0` groups consecutive machines into network
+/// domains of that size (racks); 0 keeps the whole cluster in domain 0.
+[[nodiscard]] Cluster make_simulation_cluster(
+    std::size_t total_gpus, double network_gbps = 25.0,
+    std::size_t gpus_per_machine = 8, std::size_t machines_per_domain = 0);
 
 [[nodiscard]] std::string_view heterogeneity_level_name(HeterogeneityLevel level);
 

@@ -82,6 +82,18 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// The pool whose worker is executing the calling thread, or nullptr when
+  /// called from a non-worker thread. Lets nested fan-out (e.g. shard
+  /// planning inside an experiment sweep cell) detect that it is already
+  /// running on a pool worker and degrade to serial execution instead of
+  /// oversubscribing the machine with a second pool.
+  [[nodiscard]] static ThreadPool* current() { return current_worker_pool(); }
+
+  /// True when the calling thread is one of *this* pool's workers.
+  [[nodiscard]] bool on_worker_thread() const {
+    return current_worker_pool() == this;
+  }
+
   /// Enqueue a task. Tasks must not enqueue further tasks and wait on them
   /// (no nesting); the bench harness only uses flat fan-out. A task that
   /// throws has its (first) exception stored — collect it at a join point
@@ -133,6 +145,15 @@ class ThreadPool {
   template <typename Fn>
   void parallel_for_each(std::size_t n, Fn&& fn) {
     if (n == 0) return;
+    // Re-entrant call from one of this pool's own workers: the caller would
+    // block a worker slot waiting for shards that may only ever run on that
+    // same slot — a deadlock with one worker, oversubscription otherwise.
+    // Run the loop inline on the calling worker instead; index order and
+    // exception behavior match the pooled path (first throw wins).
+    if (on_worker_thread()) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
     struct Sync {
       std::atomic<std::size_t> next{0};
       std::atomic<std::size_t> done{0};
@@ -172,13 +193,25 @@ class ThreadPool {
   }
 
  private:
+  // One slot per thread naming the pool it serves; set for the lifetime of
+  // worker_loop. A function-local static sidesteps per-TU thread_local
+  // duplication in this header-only class.
+  [[nodiscard]] static ThreadPool*& current_worker_pool() {
+    thread_local ThreadPool* current = nullptr;
+    return current;
+  }
+
   void worker_loop() {
+    current_worker_pool() = this;
     for (;;) {
       std::function<void()> task;
       {
         std::unique_lock lock(mutex_);
         cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-        if (stopping_ && tasks_.empty()) return;
+        if (stopping_ && tasks_.empty()) {
+          current_worker_pool() = nullptr;
+          return;
+        }
         task = std::move(tasks_.front());
         tasks_.pop();
         ++active_;
@@ -210,9 +243,10 @@ class ThreadPool {
 
 /// Process-wide pool for planner-internal fan-out (cut separation, per-job
 /// preprocessing, sharded candidate scans). Lazily constructed on first use
-/// with one worker per hardware thread. Flat fan-out only: never call
-/// parallel_for_each on this pool from inside one of its own workers — a
-/// distinct ThreadPool instance (as the bench sweeps use) is fine.
+/// with one worker per hardware thread. parallel_for_each called from one of
+/// this pool's own workers degrades to an inline serial loop (no deadlock,
+/// no oversubscription); a distinct ThreadPool instance (as the bench
+/// sweeps use) fans out normally.
 [[nodiscard]] inline ThreadPool& shared_pool() {
   static ThreadPool pool;
   return pool;

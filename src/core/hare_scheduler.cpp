@@ -79,11 +79,14 @@ struct BuildState {
       if (scratch->index) {
         scratch->index->reset_phi(phi);
       } else {
-        scratch->index.emplace(input.times, phi.size(), fits(), phi, pool);
+        scratch->index.emplace(input.times, phi.size(), fits(), phi, pool,
+                               &input.cluster,
+                               engine.bucketed_index_min_gpus);
       }
       index = &*scratch->index;
     } else {
-      own_index.emplace(input.times, phi.size(), fits(), phi, pool);
+      own_index.emplace(input.times, phi.size(), fits(), phi, pool,
+                        &input.cluster, engine.bucketed_index_min_gpus);
       index = &*own_index;
     }
   }

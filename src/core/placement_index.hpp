@@ -49,6 +49,7 @@
 
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
+#include "core/gpu_bucket_index.hpp"
 #include "profiler/time_table.hpp"
 
 namespace hare::core {
@@ -162,21 +163,38 @@ class PlacementIndex {
   /// `initial_phi` may be empty (all GPUs free at 0). With a pool, the
   /// per-job row builds fan out across workers (each job fills its own
   /// pre-sized slot — deterministic).
+  ///
+  /// With a `cluster` and `gpu_count >= bucket_min_gpus`, queries go through
+  /// a per-(domain, type) GpuBucketIndex — O(buckets · log B) instead of
+  /// O(G) — provided every job's masked row is bucket-uniform (checked here
+  /// per job; a single mixed bucket falls the whole index back to the flat
+  /// scan, keeping bit-identity unconditional).
   PlacementIndex(const profiler::TimeTable& times, std::size_t gpu_count,
                  const std::vector<std::vector<char>>& fits,
                  const std::vector<Time>& initial_phi = {},
-                 common::ThreadPool* pool = nullptr)
+                 common::ThreadPool* pool = nullptr,
+                 const cluster::Cluster* cluster = nullptr,
+                 std::size_t bucket_min_gpus = 0)
       : times_(&times), gpu_count_(gpu_count), phi_(gpu_count, 0.0) {
     if (!initial_phi.empty()) phi_ = initial_phi;
 
+    const bool try_buckets = cluster != nullptr && bucket_min_gpus > 0 &&
+                             gpu_count >= bucket_min_gpus;
+    if (try_buckets) buckets_.emplace(*cluster, phi_);
+
     const std::size_t jobs = times.job_count();
     masked_tc_.resize(jobs * gpu_count);  // every slot written below
+    std::atomic<bool> uniform{try_buckets};
     auto build_job = [&](std::size_t j) {
       const Time* tc = times_->tc_row(JobId(static_cast<int>(j)));
       const auto& job_fits = fits[j];
       Time* row = masked_tc_.data() + j * gpu_count_;
       for (std::size_t g = 0; g < gpu_count_; ++g) {
         row[g] = job_fits[g] ? tc[g] : kTimeInfinity;
+      }
+      if (try_buckets && uniform.load(std::memory_order_relaxed) &&
+          !buckets_->row_uniform(row)) {
+        uniform.store(false, std::memory_order_relaxed);
       }
     };
     if (pool && jobs > 1) {
@@ -185,7 +203,15 @@ class PlacementIndex {
     } else {
       for (std::size_t j = 0; j < jobs; ++j) build_job(j);
     }
+    // Per-GPU noise (the no-ProfileDb profiler path) breaks bucket
+    // uniformity; the flat SIMD scan stays exact for it.
+    if (try_buckets && !uniform.load(std::memory_order_relaxed)) {
+      buckets_.reset();
+    }
   }
+
+  /// True when queries run through the bucketed per-(domain, type) index.
+  [[nodiscard]] bool bucketed() const { return buckets_.has_value(); }
 
   [[nodiscard]] Time phi(std::size_t gpu) const { return phi_[gpu]; }
   [[nodiscard]] const std::vector<Time>& phi() const { return phi_; }
@@ -198,6 +224,7 @@ class PlacementIndex {
       node.value() = {value, gpu};
       by_phi_.insert(std::move(node));
     }
+    if (buckets_) buckets_->set_phi(gpu, value);
     phi_[gpu] = value;
   }
 
@@ -210,6 +237,7 @@ class PlacementIndex {
     } else {
       phi_ = initial_phi;
     }
+    if (buckets_) buckets_->reset_phi(phi_);
     by_phi_.clear();
     phi_set_built_ = false;
   }
@@ -217,6 +245,11 @@ class PlacementIndex {
   /// Lexicographic argmin of (φ, gpu) over fitting GPUs; start is
   /// max(release, φ).
   [[nodiscard]] Candidate earliest_available(JobId job, Time release) const {
+    if (buckets_) {
+      const GpuBucketIndex::Candidate c =
+          buckets_->earliest_available(masked_row(job), release);
+      return c.valid() ? Candidate{c.gpu, c.start, c.finish} : Candidate{};
+    }
     if (!phi_set_built_) {
       for (std::size_t g = 0; g < gpu_count_; ++g) by_phi_.insert({phi_[g], g});
       phi_set_built_ = true;
@@ -237,6 +270,11 @@ class PlacementIndex {
   /// minimum and the merge breaks finish ties toward the lower GPU id.
   [[nodiscard]] Candidate earliest_finish(JobId job, Time release) const {
     const Time* row = masked_row(job);
+    if (buckets_) {
+      const GpuBucketIndex::Candidate c =
+          buckets_->earliest_finish(row, release);
+      return c.valid() ? Candidate{c.gpu, c.start, c.finish} : Candidate{};
+    }
     const Time* phi = phi_.data();
     const std::size_t n = gpu_count_;
 
@@ -314,6 +352,8 @@ class PlacementIndex {
   std::vector<Time> masked_tc_;
   mutable std::set<std::pair<Time, std::size_t>> by_phi_;
   mutable bool phi_set_built_ = false;
+  /// Engaged only when bucket-uniformity verified for every job's row.
+  std::optional<GpuBucketIndex> buckets_;
 };
 
 /// Reusable φ-independent planning buffers: the memory-fitting matrix and

@@ -64,6 +64,16 @@ struct PlannerEngine {
   /// HARE_LP_BACKEND (default sparse revised simplex); the naive engine
   /// always runs the dense reference tableau regardless of this knob.
   opt::LpBackend lp_backend = opt::LpBackend::Auto;
+  /// LpCuts: keep per-machine separation sort state across cut rounds and
+  /// re-sort only the tasks whose canonical x̂ moved since the previous
+  /// round. Identical cut sequence (the merge uses the full sort's exact
+  /// comparator); wall-clock only. The naive engine always full-sorts.
+  bool incremental_separation = true;
+  /// Route placement queries through the per-(domain, type) bucketed index
+  /// when the cluster has at least this many GPUs (0 disables). Exactness
+  /// is verified per instance at index build; non-type-uniform time tables
+  /// fall back to the flat SIMD scan automatically.
+  std::size_t bucketed_index_min_gpus = 512;
 
   /// The LP backend the LpCuts solves actually run on under these knobs.
   [[nodiscard]] opt::LpBackend resolved_lp_backend() const {
@@ -107,6 +117,13 @@ struct RelaxationResult {
   /// reported vertex to a backend-independent point (see solve_lp_cuts).
   std::size_t canonical_solves = 0;
   std::size_t canonical_pivots = 0;
+
+  /// Separation-work accounting (LpCuts): task entries a full per-round
+  /// re-sort would touch vs. the entries actually re-sorted. With
+  /// incremental separation the ratio resorted/total is the measured
+  /// fraction of separation sort work remaining (≈1.0 for full sorts).
+  std::size_t sep_tasks_total = 0;
+  std::size_t sep_tasks_resorted = 0;
 };
 
 struct RelaxationConfig {

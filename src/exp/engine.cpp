@@ -60,6 +60,11 @@ SweepResult Engine::run(const SweepSpec& spec) {
   std::atomic<std::size_t> remaining{n};
   metrics.queue_depth.set(static_cast<double>(n));
 
+  // map() runs inline (no pool thread) below this cell/worker shape; the
+  // per-worker trace-track naming must match, or the calling thread's span
+  // ring would be mislabelled "exp-worker".
+  const bool pooled = !serial_ && n > 1 && workers() > 1;
+
   auto run_one = [&](std::size_t index) {
     const std::size_t scheme = index % schemes;
     const std::size_t seed_index = (index / schemes) % seeds_per;
@@ -68,7 +73,7 @@ SweepResult Engine::run(const SweepSpec& spec) {
     const std::uint64_t seed =
         spec.seeds.empty() ? spec_s.options.seed : spec.seeds[seed_index];
 
-    if (!serial_) {
+    if (pooled) {
       // Label this worker's span ring once, so exported traces show the
       // sweep fan-out on named per-worker tracks.
       thread_local const bool named = [] {

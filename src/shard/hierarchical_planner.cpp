@@ -1,0 +1,315 @@
+#include "shard/hierarchical_planner.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "exp/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "workload/feasibility.hpp"
+
+namespace hare::shard {
+
+namespace {
+
+/// One distinct GPU type inside a shard: a representative global GPU (for
+/// memory-fit and time lookups) plus how many GPUs of the type the shard
+/// holds. Assignment estimates are type-granular — exact for memory fit
+/// (footprint depends on the type alone) and a faithful estimate for times.
+struct ShardTypeSummary {
+  GpuId representative;
+  cluster::GpuType type{};
+  std::size_t count = 0;
+};
+
+std::vector<ShardTypeSummary> summarize_types(const cluster::Cluster& cluster,
+                                              const ShardSpec& shard) {
+  std::vector<ShardTypeSummary> types;
+  for (const GpuId g : shard.gpus) {
+    const cluster::GpuType type = cluster.gpu(g).type;
+    ShardTypeSummary* entry = nullptr;
+    for (auto& t : types) {
+      if (t.type == type) {
+        entry = &t;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      types.push_back(ShardTypeSummary{g, type, 0});
+      entry = &types.back();
+    }
+    ++entry->count;
+  }
+  return types;
+}
+
+/// Everything one shard's plan hands back to the merge, already translated
+/// to global task ids (the local JobSet dies with the planning call).
+struct ShardOutcome {
+  /// [local gpu] → ordered global TaskIds.
+  std::vector<std::vector<TaskId>> sequences;
+  /// (global task id value, predicted start) for every planned task.
+  std::vector<std::pair<std::size_t, Time>> starts;
+  double objective = 0.0;
+  ShardStats stats;
+};
+
+}  // namespace
+
+sim::Schedule HierarchicalPlanner::schedule(
+    const sched::SchedulerInput& input) {
+  return plan(input, nullptr);
+}
+
+sim::Schedule HierarchicalPlanner::schedule_with_order(
+    const sched::SchedulerInput& input,
+    const std::vector<std::size_t>& plan_order) {
+  return plan(input, &plan_order);
+}
+
+sim::Schedule HierarchicalPlanner::plan(
+    const sched::SchedulerInput& input,
+    const std::vector<std::size_t>* order) {
+  HARE_SPAN("shard", "shard.plan");
+  static obs::Gauge& count_gauge = obs::gauge("shard.count");
+  static obs::Gauge& imbalance_gauge = obs::gauge("shard.imbalance");
+  static obs::Gauge& savings_gauge = obs::gauge("shard.sep_resort_savings");
+  static obs::Counter& plans_counter = obs::counter("shard.plans");
+
+  const cluster::Cluster& cluster = input.cluster;
+  const workload::JobSet& jobs = input.jobs;
+  const profiler::TimeTable& times = input.times;
+  HARE_CHECK_MSG(cluster.gpu_count() > 0, "cluster has no GPUs");
+  HARE_CHECK_MSG(times.job_count() == jobs.job_count() &&
+                     times.gpu_count() == cluster.gpu_count(),
+                 "time table does not match instance");
+  times.precompute();
+
+  ShardPartition partition;
+  {
+    HARE_SPAN("shard", "shard.partition");
+    partition = partition_cluster(cluster, config_.shards);
+  }
+  const std::size_t shard_count = partition.size();
+
+  last_plan_ = HierarchicalPlanInfo{};
+  last_plan_.shard_count = shard_count;
+  last_plan_.shards.resize(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    last_plan_.shards[s].gpus = partition.shards[s].gpus.size();
+  }
+
+  // ---- Level 1: fluid inter-shard assignment -----------------------------
+  std::vector<std::vector<JobId>> shard_jobs(shard_count);
+  {
+    HARE_SPAN("shard", "shard.assign");
+    std::vector<std::vector<ShardTypeSummary>> shard_types(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      shard_types[s] = summarize_types(cluster, partition.shards[s]);
+    }
+
+    // Same arrival-adjusted WSPT order as the fluid relaxation pass: the
+    // level-1 assignment sees jobs in the sequence level 2 will favour.
+    std::vector<JobId> wspt;
+    wspt.reserve(jobs.job_count());
+    std::vector<double> key(jobs.job_count(), 0.0);
+    for (const auto& job : jobs.jobs()) {
+      key[static_cast<std::size_t>(job.id.value())] =
+          job.spec.arrival + static_cast<double>(job.rounds()) *
+                                 static_cast<double>(job.tasks_per_round()) *
+                                 times.min_total(job.id) / job.spec.weight;
+      wspt.push_back(job.id);
+    }
+    std::sort(wspt.begin(), wspt.end(), [&](JobId a, JobId b) {
+      const double ka = key[static_cast<std::size_t>(a.value())];
+      const double kb = key[static_cast<std::size_t>(b.value())];
+      if (ka != kb) return ka < kb;
+      return a < b;
+    });
+
+    std::vector<double> load(shard_count, 0.0);
+    for (const JobId job_id : wspt) {
+      const workload::Job& job = jobs.job(job_id);
+      std::size_t best = shard_count;
+      double best_est = kTimeInfinity;
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        // Feasibility: enough memory-fitting GPUs for one full round, and
+        // the cheapest fitting type estimates the round time.
+        std::size_t fitting = 0;
+        Time best_round = kTimeInfinity;
+        for (const ShardTypeSummary& t : shard_types[s]) {
+          if (!workload::task_fits(job, cluster.gpu(t.representative))) {
+            continue;
+          }
+          fitting += t.count;
+          best_round =
+              std::min(best_round, times.total(job_id, t.representative));
+        }
+        if (fitting < job.tasks_per_round()) continue;
+        const double work = static_cast<double>(job.rounds()) *
+                            static_cast<double>(job.tasks_per_round()) *
+                            best_round;
+        const double est = std::max(job.spec.arrival, load[s]) +
+                           work / static_cast<double>(fitting);
+        if (est < best_est) {  // strict <: ties stay with the lower shard
+          best_est = est;
+          best = s;
+        }
+      }
+      HARE_CHECK_MSG(best < shard_count,
+                     "job " << job_id << " fits no shard (sync scale "
+                            << job.tasks_per_round()
+                            << " too large — use fewer shards)");
+      load[best] = best_est;
+      shard_jobs[best].push_back(job_id);
+    }
+
+    double max_load = 0.0;
+    double load_sum = 0.0;
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      // Canonical ascending-id order for the shard's sub-jobset.
+      std::sort(shard_jobs[s].begin(), shard_jobs[s].end());
+      last_plan_.shards[s].jobs = shard_jobs[s].size();
+      last_plan_.shards[s].est_load = load[s];
+      max_load = std::max(max_load, load[s]);
+      load_sum += load[s];
+    }
+    const double mean_load = load_sum / static_cast<double>(shard_count);
+    last_plan_.imbalance = mean_load > 0.0 ? max_load / mean_load : 1.0;
+  }
+
+  // ---- Level 2: plan every shard independently ---------------------------
+  auto plan_shard = [&](std::size_t s) -> ShardOutcome {
+    HARE_SPAN_ARG("shard", "shard.plan_one", "shard", static_cast<double>(s));
+    const ShardSpec& spec = partition.shards[s];
+    ShardOutcome outcome;
+    outcome.stats.jobs = shard_jobs[s].size();
+    outcome.stats.gpus = spec.gpus.size();
+    outcome.sequences.resize(spec.gpus.size());
+    if (shard_jobs[s].empty()) return outcome;
+
+    // Re-index the shard's jobs and times: local JobId = position in the
+    // ascending global-id list, local tasks map positionally through
+    // Job::tasks (both are round-major).
+    workload::JobSet local_jobs;
+    for (const JobId global : shard_jobs[s]) {
+      local_jobs.add_job(jobs.job(global).spec);
+    }
+    const std::size_t local_gpus = spec.gpus.size();
+    profiler::TimeTable local_times(local_jobs.job_count(), local_gpus);
+    for (std::size_t lj = 0; lj < shard_jobs[s].size(); ++lj) {
+      const JobId global = shard_jobs[s][lj];
+      const JobId local(static_cast<int>(lj));
+      for (std::size_t lg = 0; lg < local_gpus; ++lg) {
+        const GpuId gg = spec.gpus[lg];
+        const GpuId lgpu(static_cast<int>(lg));
+        local_times.set(local, lgpu, times.tc(global, gg),
+                        times.ts(global, gg));
+      }
+    }
+
+    core::HareConfig hare = config_.hare;
+    if (config_.lp_max_jobs > 0) {
+      hare.relaxation.mode = local_jobs.job_count() <= config_.lp_max_jobs
+                                 ? core::RelaxMode::LpCuts
+                                 : core::RelaxMode::Fluid;
+    }
+    core::HareScheduler planner(hare);
+    const sched::SchedulerInput local_input{spec.sub, local_jobs, local_times};
+    const sim::Schedule local = planner.schedule(local_input);
+
+    outcome.objective = local.predicted_objective;
+    outcome.stats.objective = local.predicted_objective;
+    outcome.stats.cut_count = planner.last_relaxation().cut_count;
+    outcome.stats.sep_tasks_total = planner.last_relaxation().sep_tasks_total;
+    outcome.stats.sep_tasks_resorted =
+        planner.last_relaxation().sep_tasks_resorted;
+
+    // Translate to global ids while the local JobSet is still alive.
+    auto global_task = [&](TaskId local_task) {
+      const workload::Task& t = local_jobs.task(local_task);
+      const workload::Job& g =
+          jobs.job(shard_jobs[s][static_cast<std::size_t>(t.job.value())]);
+      return g.tasks[static_cast<std::size_t>(t.round) * g.tasks_per_round() +
+                     t.slot];
+    };
+    for (std::size_t lg = 0; lg < local_gpus; ++lg) {
+      outcome.sequences[lg].reserve(local.sequences[lg].size());
+      for (const TaskId lt : local.sequences[lg]) {
+        outcome.sequences[lg].push_back(global_task(lt));
+      }
+    }
+    outcome.starts.reserve(local_jobs.task_count());
+    for (const auto& task : local_jobs.tasks()) {
+      outcome.starts.emplace_back(
+          static_cast<std::size_t>(global_task(task.id).value()),
+          local.predicted_start[static_cast<std::size_t>(task.id.value())]);
+    }
+    return outcome;
+  };
+
+  std::vector<ShardOutcome> outcomes(shard_count);
+  {
+    HARE_SPAN("shard", "shard.plan_shards");
+    if (order != nullptr) {
+      // Test hook: serial planning in an arbitrary completion order; slots
+      // are indexed by shard, so the merge below cannot see the order.
+      HARE_CHECK_MSG(order->size() == shard_count,
+                     "plan order must permute the shards");
+      for (const std::size_t s : *order) outcomes[s] = plan_shard(s);
+    } else {
+      // Nested fan-out guard: already on a pool worker (e.g. inside an exp
+      // sweep cell) → plan inline rather than oversubscribing with a
+      // second pool.
+      const bool nested = common::ThreadPool::current() != nullptr;
+      exp::Engine engine(exp::Engine::Options{
+          config_.workers, config_.serial || nested});
+      outcomes = engine.map(shard_count, plan_shard);
+    }
+  }
+
+  // ---- Merge in canonical ascending-shard order --------------------------
+  sim::Schedule merged;
+  {
+    HARE_SPAN("shard", "shard.merge");
+    merged.sequences.resize(cluster.gpu_count());
+    merged.predicted_start.assign(jobs.task_count(), 0.0);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      ShardOutcome& outcome = outcomes[s];
+      const ShardSpec& spec = partition.shards[s];
+      for (std::size_t lg = 0; lg < spec.gpus.size(); ++lg) {
+        // Each global GPU lives in exactly one shard: plain scatter.
+        merged.sequences[static_cast<std::size_t>(spec.gpus[lg].value())] =
+            std::move(outcome.sequences[lg]);
+      }
+      for (const auto& [task_value, start] : outcome.starts) {
+        merged.predicted_start[task_value] = start;
+      }
+      merged.predicted_objective += outcome.objective;
+      last_plan_.shards[s].objective = outcome.stats.objective;
+      last_plan_.shards[s].cut_count = outcome.stats.cut_count;
+      last_plan_.shards[s].sep_tasks_total = outcome.stats.sep_tasks_total;
+      last_plan_.shards[s].sep_tasks_resorted =
+          outcome.stats.sep_tasks_resorted;
+      last_plan_.sep_tasks_total += outcome.stats.sep_tasks_total;
+      last_plan_.sep_tasks_resorted += outcome.stats.sep_tasks_resorted;
+    }
+  }
+
+  plans_counter.add();
+  count_gauge.set(static_cast<double>(shard_count));
+  imbalance_gauge.set(last_plan_.imbalance);
+  if (last_plan_.sep_tasks_total > 0) {
+    savings_gauge.set(1.0 -
+                      static_cast<double>(last_plan_.sep_tasks_resorted) /
+                          static_cast<double>(last_plan_.sep_tasks_total));
+  }
+  common::log_debug("shard: planned ", jobs.job_count(), " jobs over ",
+                    shard_count, " shards, imbalance ", last_plan_.imbalance);
+  return merged;
+}
+
+}  // namespace hare::shard

@@ -1,0 +1,107 @@
+// Two-level hierarchical planner: fluid inter-shard assignment, parallel
+// intra-shard planning, deterministic merge.
+//
+// Level 1 (assignment) walks the jobs in the same arrival-adjusted WSPT
+// order the fluid relaxation uses and assigns each job to the feasible
+// shard with the earliest estimated completion horizon — a fluid estimate
+// (work / feasible-GPU-count on top of the shard's current load), not a
+// schedule. Level 2 plans every shard independently with the flat
+// core::HareScheduler over the shard's re-indexed sub-cluster / sub-jobset
+// / sub-timetable: LP-with-cuts when the shard's job count is small enough
+// to afford it (`lp_max_jobs`), the fluid relaxation otherwise. Shard plans
+// fan out over the hare::exp engine machinery and land in slots indexed by
+// shard; the merge then walks shards in ascending index regardless of
+// completion order, so the global schedule is **bit-identical** to planning
+// the shards serially — parallelism changes wall-clock only, never a
+// number.
+//
+// Planning cost: a flat plan is Ω(J·G) in the fitting matrix and masked
+// T^c rows alone; with S shards each sub-instance is ~(J/S)·(G/S), so even
+// the *serial* sharded plan does ~1/S of the flat work, and workers stack
+// on top. The price is fidelity — jobs cannot span shards, so the planned
+// objective is an approximation of the flat planner's (tests bound the
+// gap; with one shard the planner reproduces the flat plan bit for bit).
+//
+// Nested fan-out: when shard planning is itself invoked from inside a
+// thread-pool worker (e.g. one cell of an exp sweep), the planner detects
+// it via common::ThreadPool::current() and plans shards inline on that
+// worker instead of spinning up a second pool (oversubscription guard).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/hare_scheduler.hpp"
+#include "sched/scheduler.hpp"
+#include "shard/shard_partition.hpp"
+
+namespace hare::shard {
+
+struct ShardPlannerConfig {
+  /// Shard count handed to partition_cluster; 0 = one per network domain.
+  std::size_t shards = 0;
+  /// Worker threads for the shard fan-out; 0 = HARE_JOBS-aware default.
+  std::size_t workers = 0;
+  /// Plan shards serially on the calling thread (also forced when already
+  /// running on a thread-pool worker, or by HARE_EXP_SERIAL).
+  bool serial = false;
+  /// Shards with at most this many jobs plan with the LpCuts relaxation;
+  /// larger shards use Fluid. 0 = always use `hare.relaxation.mode` as-is.
+  std::size_t lp_max_jobs = 0;
+  /// Per-shard planner configuration (placement rule, engine knobs, ...).
+  core::HareConfig hare{};
+};
+
+struct ShardStats {
+  std::size_t jobs = 0;
+  std::size_t gpus = 0;
+  double objective = 0.0;       ///< planned Σ w C of the shard's jobs
+  double est_load = 0.0;        ///< assignment-time completion horizon
+  std::size_t cut_count = 0;    ///< Queyranne cuts (LpCuts shards)
+  std::size_t sep_tasks_total = 0;
+  std::size_t sep_tasks_resorted = 0;
+};
+
+/// Diagnostics of the last HierarchicalPlanner::schedule call.
+struct HierarchicalPlanInfo {
+  std::size_t shard_count = 0;
+  /// max / mean of the shards' estimated load horizons (1.0 = perfectly
+  /// balanced assignment).
+  double imbalance = 1.0;
+  std::vector<ShardStats> shards;
+  std::size_t sep_tasks_total = 0;
+  std::size_t sep_tasks_resorted = 0;
+};
+
+class HierarchicalPlanner final : public sched::Scheduler {
+ public:
+  explicit HierarchicalPlanner(ShardPlannerConfig config = {})
+      : config_(config) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "Hare_Sharded";
+  }
+  [[nodiscard]] sim::Schedule schedule(
+      const sched::SchedulerInput& input) override;
+
+  /// Test/diagnostic hook: plan the shards serially in `plan_order` (any
+  /// permutation of [0, shard_count)). The merge is canonical-order, so
+  /// the result must be bit-identical to schedule() for every permutation —
+  /// the determinism tests shuffle completion order through this.
+  [[nodiscard]] sim::Schedule schedule_with_order(
+      const sched::SchedulerInput& input,
+      const std::vector<std::size_t>& plan_order);
+
+  [[nodiscard]] const HierarchicalPlanInfo& last_plan() const {
+    return last_plan_;
+  }
+
+ private:
+  [[nodiscard]] sim::Schedule plan(const sched::SchedulerInput& input,
+                                   const std::vector<std::size_t>* order);
+
+  ShardPlannerConfig config_;
+  HierarchicalPlanInfo last_plan_;
+};
+
+}  // namespace hare::shard

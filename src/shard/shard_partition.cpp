@@ -1,0 +1,156 @@
+#include "shard/shard_partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hare::shard {
+
+namespace {
+
+/// Machines of one network domain, in ascending machine-id order.
+struct DomainGroup {
+  std::size_t domain = 0;
+  std::vector<MachineId> machines;
+  std::size_t gpu_count = 0;
+};
+
+std::vector<DomainGroup> group_by_domain(const cluster::Cluster& cluster) {
+  std::vector<DomainGroup> groups;
+  for (const auto& machine : cluster.machines()) {
+    DomainGroup* group = nullptr;
+    for (auto& g : groups) {
+      if (g.domain == machine.domain) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back(DomainGroup{machine.domain, {}, 0});
+      group = &groups.back();
+    }
+    group->machines.push_back(machine.id);
+    group->gpu_count += machine.gpus.size();
+  }
+  return groups;
+}
+
+/// Split `items` (with per-item weights) into exactly `parts` contiguous
+/// non-empty runs with balanced weight: close a run once its cumulative
+/// weight crosses the next total/parts quantile, unless the remaining items
+/// are needed one-per-remaining-run. Deterministic.
+template <typename T, typename WeightFn>
+std::vector<std::vector<T>> split_contiguous(const std::vector<T>& items,
+                                             std::size_t parts,
+                                             WeightFn&& weight_of) {
+  std::size_t total = 0;
+  for (const auto& item : items) total += weight_of(item);
+
+  std::vector<std::vector<T>> runs(parts);
+  std::size_t s = 0;
+  std::size_t cum = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    runs[s].push_back(items[i]);
+    cum += weight_of(items[i]);
+    const std::size_t remaining_items = items.size() - i - 1;
+    const std::size_t remaining_runs = parts - s - 1;
+    if (s + 1 < parts &&
+        (cum * parts >= (s + 1) * total || remaining_items == remaining_runs)) {
+      ++s;
+    }
+  }
+  return runs;
+}
+
+ShardSpec build_shard(const cluster::Cluster& cluster, std::size_t index,
+                      std::vector<MachineId> machines) {
+  ShardSpec shard;
+  shard.index = index;
+  shard.machines = std::move(machines);
+  cluster::ClusterBuilder builder;
+  for (const MachineId m : shard.machines) {
+    const cluster::Machine& machine = cluster.machine(m);
+    // Machines are single-type by ClusterBuilder construction; GPU ids
+    // within a machine are contiguous ascending, so appending machines in
+    // order makes the local GPU numbering exactly `shard.gpus` positional.
+    builder.add_machine(cluster.gpu(machine.gpus.front()).type,
+                        machine.gpus.size(), machine.network_gbps,
+                        machine.name, machine.domain);
+    shard.gpus.insert(shard.gpus.end(), machine.gpus.begin(),
+                      machine.gpus.end());
+  }
+  shard.sub = builder.build();
+  return shard;
+}
+
+}  // namespace
+
+ShardPartition partition_cluster(const cluster::Cluster& cluster,
+                                 std::size_t target_shards) {
+  HARE_CHECK_MSG(cluster.machine_count() > 0, "cannot shard an empty cluster");
+  const std::vector<DomainGroup> groups = group_by_domain(cluster);
+
+  std::size_t target = target_shards == 0 ? groups.size() : target_shards;
+  target = std::clamp<std::size_t>(target, 1, cluster.machine_count());
+
+  ShardPartition partition;
+  if (target <= groups.size()) {
+    // Pack whole domains into `target` contiguous, GPU-balanced groups.
+    std::vector<std::size_t> group_index(groups.size());
+    std::iota(group_index.begin(), group_index.end(), 0);
+    const auto runs =
+        split_contiguous(group_index, target,
+                         [&](std::size_t g) { return groups[g].gpu_count; });
+    for (const auto& run : runs) {
+      std::vector<MachineId> machines;
+      for (const std::size_t g : run) {
+        machines.insert(machines.end(), groups[g].machines.begin(),
+                        groups[g].machines.end());
+      }
+      partition.shards.push_back(
+          build_shard(cluster, partition.shards.size(), std::move(machines)));
+    }
+    return partition;
+  }
+
+  // More shards than domains: give each domain a sub-shard quota
+  // proportional to its GPU share (at least 1, at most its machine count),
+  // then split its machines contiguously into that many GPU-balanced runs.
+  std::vector<std::size_t> quota(groups.size(), 1);
+  std::size_t extra = target - groups.size();
+  while (extra > 0) {
+    // Most GPUs per already-planned sub-shard wins the next slot; ties to
+    // the lower domain index. Saturated domains (quota == machines) skip.
+    std::size_t best = groups.size();
+    double best_key = -1.0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (quota[g] >= groups[g].machines.size()) continue;
+      const double key = static_cast<double>(groups[g].gpu_count) /
+                         static_cast<double>(quota[g]);
+      if (key > best_key) {
+        best_key = key;
+        best = g;
+      }
+    }
+    HARE_CHECK_MSG(best < groups.size(),
+                   "shard quota exhausted every machine");  // unreachable:
+    // target ≤ machine_count guarantees an unsaturated domain exists.
+    ++quota[best];
+    --extra;
+  }
+
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const auto runs = split_contiguous(
+        groups[g].machines, quota[g], [&](MachineId m) {
+          return cluster.machine(m).gpus.size();
+        });
+    for (const auto& run : runs) {
+      partition.shards.push_back(
+          build_shard(cluster, partition.shards.size(), run));
+    }
+  }
+  return partition;
+}
+
+}  // namespace hare::shard

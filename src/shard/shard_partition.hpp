@@ -1,0 +1,56 @@
+// Network-domain cluster partitioning for two-level hierarchical planning.
+//
+// A 10k-GPU cluster cannot be planned as one flat instance: every per-task
+// placement argmin, fitting-matrix row, and masked T^c row scales with the
+// global GPU count, and the LP relaxation is dense in the task count. The
+// hierarchical planner instead slices the cluster into *shards* along its
+// network-domain boundaries (machines in one rack/pod share a domain and a
+// cheap fabric; PS sync traffic stays local when a job's tasks stay inside
+// one shard) and plans each shard as an independent sub-instance.
+//
+// partition_cluster produces the shard list deterministically from the
+// cluster alone:
+//  * target 0 → one shard per network domain (the natural topology cut);
+//  * target ≤ #domains → whole domains are packed into `target` contiguous
+//    groups, balancing GPU counts (a domain never splits before it has to);
+//  * target > #domains → domains split internally on machine boundaries,
+//    each domain receiving a sub-shard quota proportional to its GPU count.
+//
+// Every shard re-indexes its machines into a standalone cluster::Cluster
+// whose local GPU g is exactly `gpus[g]` globally — local↔global id
+// translation is positional, so the merged global schedule is a pure
+// scatter.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/types.hpp"
+
+namespace hare::shard {
+
+struct ShardSpec {
+  std::size_t index = 0;
+  /// Global machine ids, in sub-cluster machine order.
+  std::vector<MachineId> machines;
+  /// Global GPU ids, machine-major: local GpuId g ↔ gpus[g].
+  std::vector<GpuId> gpus;
+  /// Re-indexed standalone cluster over exactly these machines.
+  cluster::Cluster sub;
+};
+
+struct ShardPartition {
+  std::vector<ShardSpec> shards;
+
+  [[nodiscard]] std::size_t size() const { return shards.size(); }
+};
+
+/// Deterministically partition `cluster` into ~`target_shards` shards along
+/// network-domain boundaries (see file comment). `target_shards` is clamped
+/// to [1, machine_count]; 0 means one shard per domain. Every shard is
+/// non-empty.
+[[nodiscard]] ShardPartition partition_cluster(const cluster::Cluster& cluster,
+                                               std::size_t target_shards);
+
+}  // namespace hare::shard

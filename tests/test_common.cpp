@@ -307,6 +307,62 @@ TEST(ThreadPool, SizeDefaultsToHardware) {
   EXPECT_GE(pool.size(), 1u);
 }
 
+TEST(ThreadPool, NestedParallelForEachRunsInline) {
+  // Re-entrant parallel_for_each from a worker of the same pool must not
+  // deadlock (one worker waiting on shards only it could run) and must
+  // still execute every nested index exactly once.
+  ThreadPool pool(2);
+  EXPECT_EQ(ThreadPool::current(), nullptr);
+  EXPECT_FALSE(pool.on_worker_thread());
+
+  std::vector<std::atomic<int>> inner(64);
+  std::atomic<int> outer{0};
+  pool.parallel_for_each(8, [&](std::size_t) {
+    EXPECT_EQ(ThreadPool::current(), &pool);
+    EXPECT_TRUE(pool.on_worker_thread());
+    pool.parallel_for_each(64, [&](std::size_t i) { inner[i]++; });
+    outer++;
+  });
+  EXPECT_EQ(outer.load(), 8);
+  for (const auto& h : inner) EXPECT_EQ(h.load(), 8);
+  EXPECT_EQ(ThreadPool::current(), nullptr);
+}
+
+TEST(ThreadPool, NestedCallPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for_each(
+          4,
+          [&](std::size_t) {
+            pool.parallel_for_each(4, [](std::size_t i) {
+              if (i == 2) throw std::runtime_error("nested boom");
+            });
+          }),
+      std::runtime_error);
+
+  // The pool stays usable after the failed nested fan-out.
+  std::atomic<int> hits{0};
+  pool.parallel_for_each(16, [&](std::size_t) { hits++; });
+  EXPECT_EQ(hits.load(), 16);
+}
+
+TEST(ThreadPool, DistinctPoolsDoNotLookNested) {
+  // A worker of pool A submitting to pool B is a genuine fan-out, not a
+  // re-entrant call: B must use its own workers.
+  ThreadPool outer_pool(2);
+  ThreadPool inner_pool(2);
+  std::atomic<int> hits{0};
+  outer_pool.parallel_for_each(4, [&](std::size_t) {
+    EXPECT_EQ(ThreadPool::current(), &outer_pool);
+    EXPECT_FALSE(inner_pool.on_worker_thread());
+    inner_pool.parallel_for_each(8, [&](std::size_t) {
+      EXPECT_EQ(ThreadPool::current(), &inner_pool);
+      hits++;
+    });
+  });
+  EXPECT_EQ(hits.load(), 32);
+}
+
 // ---------------------------------------------------------------- error --
 
 TEST(Error, CheckThrowsWithContext) {

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -137,6 +138,37 @@ TEST(ExpEngine, ThrowingCellFailsLoudly) {
   const auto ok = engine.map(8, [](std::size_t i) { return i * i; });
   ASSERT_EQ(ok.size(), 8u);
   EXPECT_EQ(ok[7], 49u);
+}
+
+TEST(ExpEngine, OneWorkerRunsInlineOnCallingThread) {
+  // With one effective worker, dispatching through the pool only adds task
+  // allocation and queue wake-ups (measured ~0.78x of the serial loop), so
+  // map() must run inline on the calling thread — and still match the
+  // multi-worker engine bit for bit.
+  exp::Engine one(exp::Engine::Options{1, false});
+  EXPECT_EQ(one.workers(), 1u);
+  const auto caller = std::this_thread::get_id();
+  const auto inline_out = one.map(16, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    return 7 * i;
+  });
+
+  exp::Engine pooled(exp::Engine::Options{4, false});
+  const auto pooled_out = pooled.map(16, [](std::size_t i) { return 7 * i; });
+  EXPECT_EQ(inline_out, pooled_out);
+
+  // Whole sweeps agree too, and the 1-worker run reports workers == 1 so
+  // regression gates can recognize the inline path.
+  const exp::SweepSpec spec = small_grid();
+  const exp::SweepResult serial_result =
+      exp::Engine(exp::Engine::Options{1, true}).run(spec);
+  const exp::SweepResult one_result =
+      exp::Engine(exp::Engine::Options{1, false}).run(spec);
+  EXPECT_EQ(one_result.workers, 1u);
+  ASSERT_EQ(one_result.cells.size(), serial_result.cells.size());
+  for (std::size_t i = 0; i < one_result.cells.size(); ++i) {
+    expect_cells_identical(serial_result.cells[i], one_result.cells[i]);
+  }
 }
 
 TEST(ExpEngine, MapMergesInIndexOrder) {

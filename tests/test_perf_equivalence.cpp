@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "core/hare.hpp"
+#include "core/placement_index.hpp"
 #include "test_util.hpp"
+#include "workload/feasibility.hpp"
 
 namespace hare {
 namespace {
@@ -172,6 +174,115 @@ TEST(PlannerEquivalence, EnginesAgreeAcrossSeedsAndModes) {
       }
     }
   }
+}
+
+TEST(PlacementIndexBuckets, EngageOnExactTablesAndProbeIdentically) {
+  // Direct index-level check: with a type-uniform table the bucketed index
+  // engages, and every query answers exactly like the flat-scan index
+  // through a long interleaved probe/set_phi workload.
+  const testing::Instance instance = testing::make_random_instance(13, 12, 16);
+  const auto fits =
+      workload::fitting_matrix(instance.cluster, instance.jobs);
+
+  core::PlacementIndex flat(instance.times, instance.cluster.gpu_count(),
+                            fits);
+  core::PlacementIndex bucketed(instance.times, instance.cluster.gpu_count(),
+                                fits, {}, nullptr, &instance.cluster,
+                                /*bucket_min_gpus=*/1);
+  ASSERT_TRUE(bucketed.bucketed());
+  EXPECT_FALSE(flat.bucketed());
+
+  common::Rng rng(99);
+  for (int probe = 0; probe < 500; ++probe) {
+    const JobId job(static_cast<int>(rng.uniform_int(
+        static_cast<std::uint64_t>(instance.jobs.job_count()))));
+    const Time release = rng.uniform() * 10.0;
+    const auto ff = flat.earliest_finish(job, release);
+    const auto bf = bucketed.earliest_finish(job, release);
+    ASSERT_EQ(ff.gpu, bf.gpu) << "probe " << probe;
+    EXPECT_EQ(ff.start, bf.start);
+    EXPECT_EQ(ff.finish, bf.finish);
+
+    const auto fa = flat.earliest_available(job, release);
+    const auto ba = bucketed.earliest_available(job, release);
+    ASSERT_EQ(fa.gpu, ba.gpu) << "probe " << probe;
+    EXPECT_EQ(fa.start, ba.start);
+
+    // Busy the winner, as the list scheduler does.
+    if (ff.valid()) {
+      flat.set_phi(ff.gpu, ff.finish);
+      bucketed.set_phi(ff.gpu, ff.finish);
+    }
+    if (probe % 97 == 96) {
+      flat.reset_phi({});
+      bucketed.reset_phi({});
+    }
+  }
+
+  // Per-GPU noise breaks within-type row uniformity → the build detects it
+  // and the index falls back to the flat scan.
+  workload::PerfModel perf;
+  profiler::Profiler noisy_profiler(perf, profiler::ProfilerConfig{}, 13);
+  const profiler::TimeTable noisy =
+      noisy_profiler.profile(instance.jobs, instance.cluster);
+  core::PlacementIndex from_noisy(noisy, instance.cluster.gpu_count(), fits,
+                                  {}, nullptr, &instance.cluster,
+                                  /*bucket_min_gpus=*/1);
+  EXPECT_FALSE(from_noisy.bucketed());
+}
+
+TEST(PlannerEquivalence, BucketedIndexMatchesFlatScan) {
+  // The per-(domain, type) bucketed placement index is exactness-checked at
+  // build and must answer every earliest-finish / earliest-available query
+  // with the same GPU and the same times as the flat SIMD scan.
+  for (const std::uint64_t seed : {5ull, 23ull, 61ull}) {
+    for (const auto place : {core::Placement::EarliestFinish,
+                             core::Placement::EarliestAvailable}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "seed=" << seed << " place=" << static_cast<int>(place));
+      const testing::Instance instance =
+          testing::make_random_instance(seed, 12, 8);
+      const sched::SchedulerInput input{instance.cluster, instance.jobs,
+                                        instance.times};
+
+      core::HareConfig flat = engine_config(core::RelaxMode::Fluid, place,
+                                            /*naive=*/false, 1, 192);
+      flat.relaxation.engine.bucketed_index_min_gpus = 0;  // disabled
+      core::HareScheduler flat_planner(flat);
+      const sim::Schedule reference = flat_planner.schedule(input);
+
+      core::HareConfig bucketed = flat;
+      bucketed.relaxation.engine.bucketed_index_min_gpus = 1;  // forced on
+      core::HareScheduler bucketed_planner(bucketed);
+      expect_same_schedule(reference, bucketed_planner.schedule(input));
+    }
+  }
+}
+
+TEST(PlannerEquivalence, BucketedIndexFallsBackOnNoisyTables) {
+  // Per-GPU profiling noise breaks within-type row uniformity; the index
+  // must detect it at build time and fall back to the flat scan without
+  // changing a single placement.
+  const testing::Instance exact = testing::make_random_instance(31, 10, 8);
+  workload::PerfModel perf;
+  profiler::ProfilerConfig noisy;
+  noisy.measurement_noise_cv = 0.05;
+  profiler::Profiler profiler(perf, noisy, 31);
+  const profiler::TimeTable noisy_times =
+      profiler.profile(exact.jobs, exact.cluster);
+  const sched::SchedulerInput input{exact.cluster, exact.jobs, noisy_times};
+
+  core::HareConfig flat =
+      engine_config(core::RelaxMode::Fluid, core::Placement::EarliestFinish,
+                    /*naive=*/false, 1, 192);
+  flat.relaxation.engine.bucketed_index_min_gpus = 0;
+  core::HareScheduler flat_planner(flat);
+  const sim::Schedule reference = flat_planner.schedule(input);
+
+  core::HareConfig bucketed = flat;
+  bucketed.relaxation.engine.bucketed_index_min_gpus = 1;
+  core::HareScheduler bucketed_planner(bucketed);
+  expect_same_schedule(reference, bucketed_planner.schedule(input));
 }
 
 TEST(PlannerEquivalence, IncrementalPlanningAgrees) {
