@@ -11,6 +11,8 @@
 //                  [--gpus 16 | --testbed] [--serial] [--workers N] [--csv]
 //   hare plan      --trace trace.txt [--gpus 16 | --testbed] [--racks M]
 //                  [--shards N] [--workers N] [--serial] [--lp-max-jobs N]
+//   hare faults    --trace trace.txt [--gpus 16 | --testbed] [--racks M]
+//                  [--fault-spec SPEC] [--sharded] [--shards N] [--seed S]
 //
 // `generate` synthesizes a workload trace; `schedule` runs one scheduler
 // and reports metrics (optionally an ASCII Gantt chart); `compare` runs
@@ -20,7 +22,11 @@
 // are bit-identical to `--serial`, which runs the same cells one by one;
 // `plan` runs the two-level hierarchical planner (shard the cluster by
 // network domain, plan shards in parallel, merge in canonical order) and
-// reports the per-shard breakdown next to the merged plan's objective.
+// reports the per-shard breakdown next to the merged plan's objective;
+// `faults` replays a seeded fault-injection scenario (machine/GPU
+// failures, recoveries, cancellations, stragglers) against the planned
+// schedule with checkpoint-restart and replan-on-failure, reporting the
+// degradation against the fault-free run.
 //
 // Every command accepts `--trace-out FILE` (Chrome trace_event JSON for
 // chrome://tracing), `--metrics-out FILE` (hare::obs counters/gauges/
@@ -38,6 +44,7 @@
 
 #include "core/hare.hpp"
 #include "exp/engine.hpp"
+#include "fault/runner.hpp"
 #include "obs/obs.hpp"
 #include "runtime/runtime.hpp"
 #include "shard/hierarchical_planner.hpp"
@@ -65,6 +72,15 @@ using namespace hare;
   hare plan     --trace FILE [--gpus N | --testbed] [--racks M]
                 [--shards N] [--workers N] [--serial] [--lp-max-jobs N]
                 [--save-plan FILE] [--csv]
+  hare faults   --trace FILE [--gpus N | --testbed] [--racks M]
+                [--fault-spec SPEC] [--sharded] [--shards N]
+                [--seed S] [--csv]
+
+fault specs are comma-separated key=value strings (see docs/ROBUSTNESS.md):
+  seed, machine_failures, gpu_failures, mttf, mttr, cancellations,
+  stragglers, straggler_factor, straggler_duration, max_retries,
+  backoff_base, backoff_factor, backoff_cap, restart_overhead,
+  replan_budget, horizon, events=(fail_machine:0@30;recover_machine:0@90;...)
 
 telemetry (any command):
   --trace-out FILE    write Chrome trace_event JSON (chrome://tracing)
@@ -110,7 +126,8 @@ Args parse(int argc, char** argv) {
     if (token.rfind("--", 0) != 0) usage("unexpected argument: " + token);
     token = token.substr(2);
     const bool boolean_flag = token == "gantt" || token == "csv" ||
-                              token == "testbed" || token == "serial";
+                              token == "testbed" || token == "serial" ||
+                              token == "sharded";
     if (boolean_flag) {
       args.flags[token] = true;
     } else {
@@ -499,6 +516,86 @@ int cmd_plan(const Args& args) {
   return 0;
 }
 
+int cmd_faults(const Args& args) {
+  const cluster::Cluster cluster = make_cluster(args);
+  const workload::JobSet jobs = load_jobs(args);
+
+  core::HareSystem system(cluster);
+  system.submit_all(jobs);
+
+  fault::FaultRunnerConfig config;
+  const std::string spec_text =
+      args.get("fault-spec", "machine_failures=1,cancellations=1,mttr=120");
+  config.spec = fault::parse_fault_spec(spec_text);
+  if (args.options.count("seed")) {
+    config.spec.seed = static_cast<std::uint64_t>(args.get_size("seed", 1));
+  }
+  config.sharded = args.flag("sharded");
+  config.shard.shards = args.get_size("shards", 0);
+
+  fault::FaultRunner runner(cluster, jobs, system.profiled_times(),
+                            system.actual_times(), config);
+  const fault::FaultRunReport report = runner.run();
+
+  common::Table events({"t (s)", "event"});
+  for (const auto& event : report.plan.events) {
+    events.row().cell(event.time, 1).cell(fault::describe(event));
+  }
+
+  const sim::FaultStats& stats = report.faulted.faults;
+  std::size_t completed = 0, cancelled = 0, dead = 0;
+  for (const auto& job : report.faulted.jobs) {
+    switch (job.outcome) {
+      case sim::JobOutcome::Completed: ++completed; break;
+      case sim::JobOutcome::Cancelled: ++cancelled; break;
+      case sim::JobOutcome::DeadLettered: ++dead; break;
+    }
+  }
+  double recovery_mean = 0.0;
+  for (const Time latency : stats.recovery_latencies) recovery_mean += latency;
+  if (!stats.recovery_latencies.empty()) {
+    recovery_mean /= static_cast<double>(stats.recovery_latencies.size());
+  }
+
+  common::Table summary({"metric", "value"});
+  summary.row().cell("jobs (completed/cancelled/dead)").cell(
+      std::to_string(completed) + "/" + std::to_string(cancelled) + "/" +
+      std::to_string(dead));
+  summary.row().cell("machine failures").cell(stats.machine_failures);
+  summary.row().cell("GPU failures").cell(stats.gpu_failures);
+  summary.row().cell("recoveries").cell(stats.recoveries);
+  summary.row().cell("cancellations").cell(stats.cancellations);
+  summary.row().cell("restarts").cell(stats.restarts);
+  summary.row().cell("dead-letters").cell(stats.dead_letters);
+  summary.row().cell("tasks killed").cell(stats.tasks_killed);
+  summary.row().cell("lost compute (s)").cell(stats.lost_compute, 1);
+  summary.row().cell("replans (planner/greedy)").cell(
+      std::to_string(report.replans_full) + "/" +
+      std::to_string(report.replans_greedy));
+  if (config.sharded && report.replan_shards_total > 0) {
+    summary.row().cell("replan shards planned/offered").cell(
+        std::to_string(report.replan_shards_planned) + "/" +
+        std::to_string(report.replan_shards_total));
+  }
+  summary.row().cell("mean recovery latency (s)").cell(recovery_mean, 1);
+  summary.row().cell("fault-free weighted JCT (s)").cell(
+      report.fault_free.weighted_jct, 1);
+  summary.row().cell("faulted weighted JCT (s)").cell(
+      report.faulted.weighted_jct, 1);
+  summary.row().cell("degradation ratio").cell(report.degradation_ratio, 3);
+  summary.row().cell("fragmentation").cell(report.fragmentation, 3);
+  summary.row().cell("starvation (worst inflation)").cell(report.starvation,
+                                                          3);
+  if (args.flag("csv")) {
+    events.print_csv(std::cout);
+    summary.print_csv(std::cout);
+  } else {
+    events.print(std::cout);
+    summary.print(std::cout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int run_command(const Args& args) {
@@ -509,6 +606,7 @@ int run_command(const Args& args) {
   if (args.command == "advise") return cmd_advise(args);
   if (args.command == "sweep") return cmd_sweep(args);
   if (args.command == "plan") return cmd_plan(args);
+  if (args.command == "faults") return cmd_faults(args);
   usage("unknown command: " + args.command);
 }
 

@@ -42,6 +42,18 @@ bench_shard_scale (BENCH_shard.json):
     the floor — enforced only when the recorded run had >= 4 workers
     (same rationale as the sweep gate).
 
+bench_fault (BENCH_fault.json):
+  * the scripted fault scenario is bit-identical across repeated and
+    pooled executions — a correctness contract, never waived;
+  * scenario coverage: at least one machine failure, one recovery, one
+    cancellation, and one exhausted-retry dead-letter actually happened;
+  * every job is accounted for by exactly one outcome, the degradation
+    ratio is positive and finite, and fragmentation lies in [0, 1].
+
+A baseline JSON missing an expected key fails with a clear message naming
+the key(s) and the gate(s) that had to be skipped — never a bare KeyError
+traceback.
+
 Quick mode (--quick, or a JSON produced with --quick) runs tiny grids
 where fixed costs dominate, so only the determinism contracts and the
 LpCuts sparse-vs-dense floor (a 50x-headroom ratio, safe on any machine)
@@ -86,13 +98,34 @@ def fail(msg):
     return 1
 
 
+def missing_keys(mapping, keys):
+    """Expected keys absent from a baseline JSON object."""
+    return [k for k in keys if k not in mapping]
+
+
+def skip_missing(tag, absent, gates):
+    """A truncated or hand-edited baseline must fail loudly with the exact
+    keys at fault and the gates that could not run — never a bare
+    KeyError traceback, and never a silent pass."""
+    return fail(
+        f"{tag}: baseline JSON missing expected key(s) "
+        f"{', '.join(repr(k) for k in absent)} — skipped: {gates}"
+    )
+
+
 def check_planner(data, quick, path):
     points = data.get("points", [])
     if not points:
         return fail(f"{path} contains no grid points")
 
     errors = 0
-    for p in points:
+    for i, p in enumerate(points):
+        absent = missing_keys(p, ("mode", "jobs", "gpus"))
+        if absent:
+            errors += skip_missing(
+                f"{path} point {i}", absent, "all gates for this point"
+            )
+            continue
         tag = f"{p['mode']} {p['jobs']}x{p['gpus']}"
         dense_ref = p.get("dense_ref", True)
         if not p.get("warm_matches_pooled", False):
@@ -107,6 +140,14 @@ def check_planner(data, quick, path):
                 "reference"
             )
         if p["mode"] == "lp_cuts":
+            absent = missing_keys(
+                p, ("pivots_sparse", "pivots_dense", "speedup_serial")
+            )
+            if absent:
+                errors += skip_missing(
+                    tag, absent, "pivot and LP-speedup gates"
+                )
+                continue
             if p["pivots_sparse"] > p["pivots_dense"]:
                 errors += fail(
                     f"{tag}: warm sparse simplex used more pivots than the "
@@ -123,19 +164,37 @@ def check_planner(data, quick, path):
                 )
 
     if not quick:
-        for p in points:
+        for i, p in enumerate(points):
+            absent = missing_keys(p, ("mode", "jobs", "gpus"))
+            if absent:
+                continue  # already reported above
             tag = f"{p['mode']} {p['jobs']}x{p['gpus']}"
-            if p.get("dense_ref", True) and (
-                p["speedup_serial"] < ANY_POINT_MIN_SPEEDUP
-            ):
+            if not p.get("dense_ref", True):
+                continue
+            if "speedup_serial" not in p:
+                errors += skip_missing(
+                    tag, ["speedup_serial"], "naive-floor speedup gate"
+                )
+                continue
+            if p["speedup_serial"] < ANY_POINT_MIN_SPEEDUP:
                 errors += fail(
                     f"{tag}: optimized engine slower than naive "
                     f"(speedup {p['speedup_serial']:.2f})"
                 )
-        fluid = [p for p in points if p["mode"] == "fluid"]
+        fluid = [
+            p
+            for p in points
+            if p.get("mode") == "fluid" and "jobs" in p and "gpus" in p
+        ]
         if fluid:
             largest = max(fluid, key=lambda p: p["jobs"] * p["gpus"])
-            if largest["speedup_serial"] < LARGE_FLUID_MIN_SPEEDUP:
+            if "speedup_serial" not in largest:
+                errors += skip_missing(
+                    f"large fluid grid {largest['jobs']}x{largest['gpus']}",
+                    ["speedup_serial"],
+                    "large-fluid speedup gate",
+                )
+            elif largest["speedup_serial"] < LARGE_FLUID_MIN_SPEEDUP:
                 errors += fail(
                     f"large fluid grid {largest['jobs']}x{largest['gpus']}: "
                     f"speedup {largest['speedup_serial']:.2f} < "
@@ -198,7 +257,13 @@ def check_shard(data, quick, path):
         return fail(f"{path} contains no shard grid points")
 
     errors = 0
-    for p in points:
+    for i, p in enumerate(points):
+        absent = missing_keys(p, ("jobs", "gpus", "shards"))
+        if absent:
+            errors += skip_missing(
+                f"{path} shard point {i}", absent, "all gates for this point"
+            )
+            continue
         tag = f"{p['jobs']}x{p['gpus']} ({p['shards']} shards)"
         if not p.get("merge_identical", False):
             errors += fail(
@@ -222,10 +287,15 @@ def check_shard(data, quick, path):
                 f"{savings:.0%} of the separation sort work "
                 f"(< {SHARD_MIN_RESORT_SAVINGS:.0%})"
             )
-        largest = max(points, key=lambda p: p["jobs"] * p["gpus"])
-        tag = f"{largest['jobs']}x{largest['gpus']}"
+        sized = [p for p in points if "jobs" in p and "gpus" in p]
+        largest = max(sized, key=lambda p: p["jobs"] * p["gpus"]) if sized else {}
+        tag = f"{largest.get('jobs', '?')}x{largest.get('gpus', '?')}"
         if largest.get("workers", 1) >= SHARD_MIN_WORKERS:
-            if largest["speedup_parallel"] < SHARD_MIN_SPEEDUP:
+            if "speedup_parallel" not in largest:
+                errors += skip_missing(
+                    tag, ["speedup_parallel"], "sharded-over-flat speedup gate"
+                )
+            elif largest["speedup_parallel"] < SHARD_MIN_SPEEDUP:
                 errors += fail(
                     f"{tag}: sharded-over-flat speedup "
                     f"{largest['speedup_parallel']:.2f} < "
@@ -248,6 +318,67 @@ def check_shard(data, quick, path):
     return 0
 
 
+def check_fault(data, quick, path):
+    absent = missing_keys(
+        data,
+        (
+            "deterministic",
+            "machine_failures",
+            "recoveries",
+            "cancellations",
+            "dead_letters",
+            "jobs",
+            "jobs_completed",
+            "jobs_cancelled",
+            "jobs_dead",
+            "degradation_ratio",
+            "fragmentation",
+        ),
+    )
+    if absent:
+        return skip_missing(path, absent, "all fault-scenario gates")
+
+    errors = 0
+    if not data["deterministic"]:
+        errors += fail(
+            f"{path}: fault run diverged across repeated/pooled executions "
+            "(bit-identity is a correctness contract, never waived)"
+        )
+    # Scenario coverage: the bench scripts one failure+recovery, one
+    # cancellation, and one exhausted-retry dead-letter; a run that lost
+    # any of them is testing nothing.
+    for key in ("machine_failures", "recoveries", "cancellations",
+                "dead_letters"):
+        if data[key] < 1:
+            errors += fail(f"{path}: scenario recorded no {key}")
+    accounted = (
+        data["jobs_completed"] + data["jobs_cancelled"] + data["jobs_dead"]
+    )
+    if accounted != data["jobs"]:
+        errors += fail(
+            f"{path}: job outcomes do not account for every job "
+            f"({accounted} of {data['jobs']})"
+        )
+    ratio = data["degradation_ratio"]
+    if not (ratio > 0.0 and ratio == ratio and ratio != float("inf")):
+        errors += fail(f"{path}: degradation ratio {ratio} is not a "
+                       "positive finite number")
+    if not 0.0 <= data["fragmentation"] <= 1.0:
+        errors += fail(
+            f"{path}: fragmentation {data['fragmentation']} outside [0, 1]"
+        )
+
+    if errors:
+        return errors
+    mode = "quick" if quick else "full"
+    print(
+        f"OK: fault scenario ({data['jobs_completed']} completed / "
+        f"{data['jobs_cancelled']} cancelled / {data['jobs_dead']} dead, "
+        f"degradation {ratio:.3f}) passes the {mode} fault gate in {path}"
+    )
+    return 0
+
+
 def check_file(path, quick):
     try:
         with open(path) as fh:
@@ -260,6 +391,8 @@ def check_file(path, quick):
         return check_sweep(data, quick, path)
     if bench == "bench_shard_scale":
         return check_shard(data, quick, path)
+    if bench == "bench_fault":
+        return check_fault(data, quick, path)
     return check_planner(data, quick, path)
 
 

@@ -13,9 +13,16 @@ are well formed:
 
 With --require-cats, the union of event categories must cover every
 requested category — CI uses this to prove the trace contains spans from
-all instrumented layers (planner, sim, switching, runtime).
+all instrumented layers (planner, sim, switching, runtime; fault runs add
+the "fault" category for replan spans and failure/recovery/cancellation
+instant events).
+
+With --require-names, the union of event names must cover every requested
+name — CI's fault smoke uses this to prove the "fault.event" instants and
+"fault.replan" spans actually landed in the trace, not just the category.
 
 Usage: scripts/validate_trace.py TRACE.json [--require-cats a,b,c]
+                                            [--require-names n1,n2]
 Exit status: 0 when valid, 1 otherwise.
 """
 
@@ -31,10 +38,11 @@ def fail(message):
     return 1
 
 
-def validate(events, require_cats):
+def validate(events, require_cats, require_names):
     errors = 0
     phase_counts = {}
     categories = set()
+    names = set()
     open_stacks = {}  # (pid, tid) -> [names of open B events]
 
     for index, event in enumerate(events):
@@ -50,6 +58,8 @@ def validate(events, require_cats):
         if "cat" in event:
             for cat in str(event["cat"]).split(","):
                 categories.add(cat)
+        if "name" in event:
+            names.add(str(event["name"]))
 
         if "pid" not in event or "tid" not in event:
             errors += fail(f"{where} ({phase}) is missing pid/tid")
@@ -88,6 +98,12 @@ def validate(events, require_cats):
             f"required categories missing from trace: {sorted(missing)} "
             f"(present: {sorted(categories)})"
         )
+    missing_names = set(require_names) - names
+    if missing_names:
+        errors += fail(
+            f"required event names missing from trace: "
+            f"{sorted(missing_names)}"
+        )
 
     summary = ", ".join(f"{k}={v}" for k, v in sorted(phase_counts.items()))
     print(
@@ -104,6 +120,11 @@ def main():
         "--require-cats",
         default="",
         help="comma-separated categories that must appear in the trace",
+    )
+    parser.add_argument(
+        "--require-names",
+        default="",
+        help="comma-separated event names that must appear in the trace",
     )
     args = parser.parse_args()
 
@@ -126,7 +147,8 @@ def main():
         return fail("trace contains no events")
 
     require_cats = [c for c in args.require_cats.split(",") if c]
-    errors = validate(events, require_cats)
+    require_names = [n for n in args.require_names.split(",") if n]
+    errors = validate(events, require_cats, require_names)
     if errors:
         print(f"validate_trace: {errors} error(s)", file=sys.stderr)
         return 1

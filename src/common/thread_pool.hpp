@@ -148,10 +148,20 @@ class ThreadPool {
     // Re-entrant call from one of this pool's own workers: the caller would
     // block a worker slot waiting for shards that may only ever run on that
     // same slot — a deadlock with one worker, oversubscription otherwise.
-    // Run the loop inline on the calling worker instead; index order and
-    // exception behavior match the pooled path (first throw wins).
+    // Run the loop inline on the calling worker instead; exception behavior
+    // matches the pooled path — every index is attempted and the first
+    // throw is rethrown at the join point, so callers that pre-size result
+    // slots see the same partial-completion state either way.
     if (on_worker_thread()) {
-      for (std::size_t i = 0; i < n; ++i) fn(i);
+      std::exception_ptr error;
+      for (std::size_t i = 0; i < n; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          if (!error) error = std::current_exception();
+        }
+      }
+      if (error) std::rethrow_exception(error);
       return;
     }
     struct Sync {

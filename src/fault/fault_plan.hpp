@@ -1,0 +1,105 @@
+// Fault-injection plan: the timeline of hardware/job events a simulation
+// replays, plus the retry/replan contracts the simulator exposes.
+//
+// A `FaultPlan` is a time-sorted list of `FaultEvent`s generated once
+// (deterministically, from a seeded `FaultSpec`) and handed to the
+// simulator by pointer. The simulator pushes every event into its event
+// queue at init, so fault events interleave with task events under the
+// same strict (time, sequence) order that makes serial and pooled sweep
+// runs bit-identical.
+//
+// Recovery crosses layers: the simulator knows *when* capacity died but
+// not how to plan around it, and the planner knows nothing about
+// simulated time. `ReplanFn` is the seam — on a failure the simulator
+// builds a `ReplanRequest` describing the surviving cluster and the
+// displaced jobs, and whoever owns the planner (fault::FaultRunner in
+// the default wiring) answers with per-GPU task sequences to append.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hare::fault {
+
+enum class FaultKind : std::uint8_t {
+  MachineFail,     ///< every GPU on the machine dies
+  MachineRecover,  ///< every GPU on the machine comes back (cold memory)
+  GpuFail,
+  GpuRecover,
+  JobCancel,        ///< user-initiated: job leaves the system, no retry
+  StragglerStart,   ///< GPU compute slows by `factor` until StragglerEnd
+  StragglerEnd,
+};
+
+struct FaultEvent {
+  Time time = 0.0;
+  FaultKind kind = FaultKind::GpuFail;
+  MachineId machine;  ///< Machine{Fail,Recover}
+  GpuId gpu;          ///< Gpu{Fail,Recover}, Straggler{Start,End}
+  JobId job;          ///< JobCancel
+  double factor = 1.0;  ///< StragglerStart slowdown multiplier (> 1)
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;  ///< stable-sorted by time
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+};
+
+/// Checkpoint-restart policy for jobs displaced by a failure. A job
+/// checkpoints at its last *completed* round; on its k-th restart it
+/// re-enters the queue after `backoff(k)` seconds and its first
+/// rescheduled round pays `restart_overhead_s` extra switching cost
+/// (checkpoint restore). After `max_retries` restarts the next failure
+/// dead-letters the job.
+struct RetryPolicy {
+  std::size_t max_retries = 3;
+  Time backoff_base_s = 5.0;
+  double backoff_factor = 2.0;
+  Time backoff_cap_s = 300.0;
+  Time restart_overhead_s = 0.0;
+
+  /// Delay before restart attempt `attempt` (1-based) may start.
+  [[nodiscard]] Time backoff(std::size_t attempt) const {
+    Time delay = backoff_base_s;
+    for (std::size_t i = 1; i < attempt; ++i) {
+      delay *= backoff_factor;
+      if (delay >= backoff_cap_s) break;
+    }
+    return delay < backoff_cap_s ? delay : backoff_cap_s;
+  }
+};
+
+/// Snapshot of the simulation the planner sees on a replan: which GPUs
+/// survive, when each frees up, and which jobs need new placements.
+struct ReplanRequest {
+  Time now = 0.0;
+  /// Per-GPU liveness, indexed by GpuId value (char: vector<bool> has no
+  /// data() and the planner indexes hot loops over it).
+  std::vector<char> gpu_alive;
+  /// Earliest time each surviving GPU can take appended work (its current
+  /// task's compute end, or `now` when idle).
+  std::vector<Time> gpu_busy_until;
+
+  struct JobRequest {
+    JobId job;
+    RoundIndex first_round = 0;  ///< checkpoint: first round to re-run
+    Time release = 0.0;          ///< arrival + backoff gate for the restart
+    std::size_t attempt = 0;     ///< restart count including this one
+  };
+  std::vector<JobRequest> jobs;
+};
+
+/// Per-GPU task sequences (original TaskIds) appended after each GPU's
+/// surviving entries. Tasks must belong to requested jobs, target alive
+/// GPUs, and cover rounds >= the job's `first_round`.
+struct ReplanResult {
+  std::vector<std::vector<TaskId>> appended;  ///< indexed by GpuId value
+};
+
+using ReplanFn = std::function<ReplanResult(const ReplanRequest&)>;
+
+}  // namespace hare::fault

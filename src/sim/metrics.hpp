@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -25,12 +26,26 @@ struct TaskRecord {
   Time compute_end = 0.0;
   Time sync_end = 0.0;
   bool model_resident = false;
+  /// How many times the task was started; > 1 means earlier attempts were
+  /// killed by a fault and the record holds the last attempt's times.
+  std::uint32_t attempts = 0;
+};
+
+/// How a job left the system. Only Completed jobs count toward the
+/// weighted-completion/JCT aggregates.
+enum class JobOutcome : std::uint8_t {
+  Completed,
+  Cancelled,     ///< user cancellation (JobCancel fault event)
+  DeadLettered,  ///< retries exhausted or no capacity to replan onto
 };
 
 struct JobRecord {
   Time arrival = 0.0;
-  Time completion = 0.0;  ///< last round's barrier (all tasks synced)
+  Time completion = 0.0;  ///< last round's barrier (all tasks synced); for
+                          ///< Cancelled/DeadLettered, when it left the system
   double weight = 1.0;
+  JobOutcome outcome = JobOutcome::Completed;
+  std::uint32_t restarts = 0;  ///< checkpoint-restarts consumed
 
   [[nodiscard]] Time jct() const { return completion - arrival; }
 };
@@ -65,11 +80,29 @@ struct SwitchStat {
   }
 };
 
+/// Aggregate fault-injection accounting; all zeros on a fault-free run.
+struct FaultStats {
+  std::size_t machine_failures = 0;
+  std::size_t gpu_failures = 0;  ///< individual GPU deaths (incl. machine)
+  std::size_t recoveries = 0;
+  std::size_t cancellations = 0;
+  std::size_t restarts = 0;      ///< checkpoint-restarts across all jobs
+  std::size_t dead_letters = 0;
+  std::size_t replans = 0;       ///< replan callback invocations
+  std::size_t tasks_killed = 0;  ///< in-flight attempts lost to faults
+  Time lost_compute = 0.0;       ///< busy time wasted on killed attempts
+  Time restart_overhead = 0.0;   ///< checkpoint-restore switching charged
+  /// Failure -> first-rescheduled-task-start latency, one entry per
+  /// restart that made progress.
+  std::vector<Time> recovery_latencies;
+};
+
 struct SimResult {
   std::vector<TaskRecord> tasks;  ///< by TaskId value
   std::vector<JobRecord> jobs;    ///< by JobId value
   std::vector<GpuRecord> gpus;    ///< by GpuId value
   std::array<SwitchStat, workload::kModelCount> switch_stats{};
+  FaultStats faults;
 
   Time makespan = 0.0;
   /// The Hare_Sched objective: sum over jobs of w_n * C_n.
@@ -83,7 +116,9 @@ struct SimResult {
 
   [[nodiscard]] common::Distribution jct_distribution() const {
     common::Distribution d;
-    for (const auto& job : jobs) d.add(job.jct());
+    for (const auto& job : jobs) {
+      if (job.outcome == JobOutcome::Completed) d.add(job.jct());
+    }
     return d;
   }
 

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "fault/fault_spec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/network.hpp"
@@ -18,18 +19,29 @@ namespace detail {
 
 constexpr double kTimeEps = 1e-9;
 
-enum class EventKind : std::uint8_t { TryStart, ComputeDone, SyncDone };
+enum class EventKind : std::uint8_t { TryStart, ComputeDone, SyncDone, Fault };
 
 struct EventPayload {
   EventKind kind = EventKind::TryStart;
   GpuId gpu;
   TaskId task;
+  /// Staleness guard / dispatch tag: ComputeDone carries the GPU's kill
+  /// epoch at push, SyncDone the job's plan epoch at push (mismatched
+  /// events are dropped — the hardware died or the job was replanned
+  /// while they were in flight); Fault carries the plan event index.
+  std::uint32_t epoch = 0;
 };
 
 struct GpuState {
   std::size_t next_index = 0;  ///< cursor into the GPU's sequence
   bool busy = false;
   bool waiting = false;  ///< registered on a round barrier
+  bool alive = true;
+  /// Bumped whenever the running attempt is killed (GPU death or job
+  /// displacement); in-flight ComputeDones from before the bump no-op.
+  std::uint32_t kill_epoch = 0;
+  double slow_factor = 1.0;  ///< > 1 inside a straggler window
+  TaskId current_task;
   std::optional<JobId> previous_job;
   std::optional<switching::SpeculativeMemoryManager> memory;
 };
@@ -42,8 +54,25 @@ struct RoundState {
 };
 
 struct JobState {
+  enum class Phase : std::uint8_t { Active, Finished, Cancelled, Dead };
+
   std::vector<RoundState> rounds;
-  bool finished = false;
+  Phase phase = Phase::Active;
+  /// Bumped whenever the job's placements are invalidated; queued sequence
+  /// entries and in-flight SyncDones from older epochs are skipped.
+  std::uint32_t plan_epoch = 0;
+  RoundIndex checkpoint = 0;  ///< first incomplete round (restart point)
+  Time release = 0.0;         ///< backoff gate after a restart
+  Time failed_at = -1.0;      ///< last displacement time; -1 = none pending
+  bool restart_started = false;  ///< a post-restart attempt began executing
+};
+
+/// One slot of a GPU's (mutable) task queue: the scheduled task plus the
+/// owning job's plan epoch at append time. Entries whose epoch no longer
+/// matches are dead — skipped by the cursor, never executed.
+struct SeqEntry {
+  TaskId task;
+  std::uint32_t epoch = 0;
 };
 
 /// Everything a run touches per event, owned by SimScratch so repeated
@@ -55,14 +84,19 @@ struct SimScratchImpl {
     Bytes footprint = 0;    ///< task_memory_footprint at the job's batch
     Bytes state_bytes = 0;  ///< model_state_bytes
   };
+  struct SyncRef {
+    TaskId task;
+    std::uint32_t epoch = 0;
+  };
 
   std::vector<double> tc_noise;
   std::vector<double> ts_noise;
   std::vector<GpuState> gpus;
   std::vector<JobState> job_states;
   std::vector<JobInfo> job_info;
+  std::vector<std::vector<SeqEntry>> seq;
   EventQueue<EventPayload> events;
-  std::unordered_map<NetworkModel::TransferId, TaskId> inflight_syncs;
+  std::unordered_map<NetworkModel::TransferId, SyncRef> inflight_syncs;
   switching::SwitchCostTable switch_table;
 };
 
@@ -110,7 +144,9 @@ SimResult Simulator::run(const Schedule& schedule, SimScratch& state) const {
   using detail::GpuState;
   using detail::JobState;
   using detail::RoundState;
+  using detail::SeqEntry;
   using detail::kTimeEps;
+  using Phase = detail::JobState::Phase;
 
   HARE_SPAN("sim", "sim.run");
   HARE_CHECK_MSG(schedule.gpu_count() == cluster_.gpu_count(),
@@ -122,6 +158,9 @@ SimResult Simulator::run(const Schedule& schedule, SimScratch& state) const {
   const std::size_t task_count = jobs_.task_count();
   const std::size_t gpu_count = cluster_.gpu_count();
   detail::SimScratchImpl& scratch = *state.impl_;
+  const bool faulty =
+      config_.fault_plan != nullptr && !config_.fault_plan->events.empty();
+  const bool can_replan = config_.replan != nullptr && *config_.replan;
 
   // Pre-drawn per-task noise keeps actual durations independent of event
   // order (deterministic replay regardless of schedule shape). With noise
@@ -168,11 +207,27 @@ SimResult Simulator::run(const Schedule& schedule, SimScratch& state) const {
     }
   }
 
+  // The schedule's sequences become the mutable per-GPU queues: faults
+  // stale-out entries via epochs and replans append new ones.
+  std::vector<std::vector<SeqEntry>>& seq = scratch.seq;
+  seq.resize(gpu_count);
+  for (std::size_t g = 0; g < gpu_count; ++g) {
+    const auto& source = schedule.sequences[g];
+    seq[g].clear();
+    seq[g].reserve(source.size());
+    for (const TaskId task : source) seq[g].push_back(SeqEntry{task, 0});
+  }
+
   std::vector<JobState>& job_states = scratch.job_states;
   job_states.resize(jobs_.job_count());
   for (const auto& job : jobs_.jobs()) {
     auto& js = job_states[static_cast<std::size_t>(job.id.value())];
-    js.finished = false;
+    js.phase = Phase::Active;
+    js.plan_epoch = 0;
+    js.checkpoint = 0;
+    js.release = 0.0;
+    js.failed_at = -1.0;
+    js.restart_started = false;
     js.rounds.resize(job.rounds());
     for (auto& round : js.rounds) {
       round.remaining = static_cast<int>(job.tasks_per_round());
@@ -187,6 +242,7 @@ SimResult Simulator::run(const Schedule& schedule, SimScratch& state) const {
   result.jobs.resize(jobs_.job_count());
   for (const auto& job : jobs_.jobs()) {
     auto& record = result.jobs[static_cast<std::size_t>(job.id.value())];
+    record = {};
     record.arrival = job.spec.arrival;
     record.weight = job.spec.weight;
   }
@@ -206,6 +262,11 @@ SimResult Simulator::run(const Schedule& schedule, SimScratch& state) const {
 
   // --- helpers -----------------------------------------------------------
 
+  const auto job_state_of = [&](TaskId task_id) -> JobState& {
+    return job_states[static_cast<std::size_t>(
+        jobs_.task(task_id).job.value())];
+  };
+
   auto start_task = [&](GpuId gpu_id, TaskId task_id, Time now, Time ready) {
     GpuState& gpu = gpus[static_cast<std::size_t>(gpu_id.value())];
     const workload::Task& task = jobs_.task(task_id);
@@ -222,11 +283,27 @@ SimResult Simulator::run(const Schedule& schedule, SimScratch& state) const {
     }
 
     const double tc =
-        with_noise
-            ? actual_.tc(task.job, gpu_id) *
-                  tc_noise[static_cast<std::size_t>(task_id.value())]
-            : actual_.tc(task.job, gpu_id);
-    const Time switch_time = breakdown.total();
+        (with_noise
+             ? actual_.tc(task.job, gpu_id) *
+                   tc_noise[static_cast<std::size_t>(task_id.value())]
+             : actual_.tc(task.job, gpu_id)) *
+        gpu.slow_factor;
+    Time switch_time = breakdown.total();
+
+    // First post-restart attempt of a displaced job: charge the checkpoint
+    // restore and close the failure -> progress recovery-latency window.
+    JobState& js = job_states[static_cast<std::size_t>(task.job.value())];
+    if (js.failed_at >= 0.0 && !js.restart_started) {
+      js.restart_started = true;
+      const Time latency = now - js.failed_at;
+      js.failed_at = -1.0;
+      result.faults.recovery_latencies.push_back(latency);
+      result.faults.restart_overhead += config_.retry.restart_overhead_s;
+      switch_time += config_.retry.restart_overhead_s;
+      static obs::Histogram& recovery_latency = obs::histogram(
+          "fault.recovery_latency_us", obs::latency_bounds_us());
+      recovery_latency.record(latency * 1e6);  // virtual seconds -> µs
+    }
 
     TaskRecord& record =
         result.tasks[static_cast<std::size_t>(task_id.value())];
@@ -237,6 +314,7 @@ SimResult Simulator::run(const Schedule& schedule, SimScratch& state) const {
     record.compute_start = now + switch_time;
     record.compute_end = record.compute_start + tc;
     record.model_resident = breakdown.model_resident;
+    ++record.attempts;
 
     GpuRecord& gpu_record =
         result.gpus[static_cast<std::size_t>(gpu_id.value())];
@@ -261,27 +339,36 @@ SimResult Simulator::run(const Schedule& schedule, SimScratch& state) const {
     }
 
     gpu.busy = true;
+    gpu.current_task = task_id;
     gpu.previous_job = task.job;
     ++gpu.next_index;
     events.push(record.compute_end,
-                EventPayload{EventKind::ComputeDone, gpu_id, task_id});
+                EventPayload{EventKind::ComputeDone, gpu_id, task_id,
+                             gpu.kill_epoch});
   };
 
   auto try_start = [&](GpuId gpu_id, Time now) {
     GpuState& gpu = gpus[static_cast<std::size_t>(gpu_id.value())];
-    if (gpu.busy || gpu.waiting) return;
-    const auto& sequence =
-        schedule.sequences[static_cast<std::size_t>(gpu_id.value())];
+    if (!gpu.alive || gpu.busy || gpu.waiting) return;
+    const auto& sequence = seq[static_cast<std::size_t>(gpu_id.value())];
+    // Skip entries staled by job termination or displacement.
+    while (gpu.next_index < sequence.size()) {
+      const SeqEntry entry = sequence[gpu.next_index];
+      const JobState& js = job_state_of(entry.task);
+      if (js.phase == Phase::Active && entry.epoch == js.plan_epoch) break;
+      ++gpu.next_index;
+    }
     if (gpu.next_index >= sequence.size()) return;
 
-    const TaskId task_id = sequence[gpu.next_index];
+    const TaskId task_id = sequence[gpu.next_index].task;
     const workload::Task& task = jobs_.task(task_id);
     const workload::Job& job = jobs_.job(task.job);
+    JobState& js = job_states[static_cast<std::size_t>(task.job.value())];
 
-    Time ready = job.spec.arrival;
+    Time ready = std::max(job.spec.arrival, js.release);
     if (task.round > 0) {
-      RoundState& prev = job_states[static_cast<std::size_t>(
-          task.job.value())].rounds[static_cast<std::size_t>(task.round - 1)];
+      RoundState& prev =
+          js.rounds[static_cast<std::size_t>(task.round - 1)];
       if (!prev.done) {
         prev.waiters.push_back(gpu_id);
         gpu.waiting = true;
@@ -297,12 +384,16 @@ SimResult Simulator::run(const Schedule& schedule, SimScratch& state) const {
     start_task(gpu_id, task_id, now, ready);
   };
 
-  auto handle_sync_done = [&](TaskId task_id, Time now) {
+  auto handle_sync_done = [&](TaskId task_id, std::uint32_t epoch, Time now) {
     const workload::Task& task = jobs_.task(task_id);
-    result.tasks[static_cast<std::size_t>(task_id.value())].sync_end = now;
-
     JobState& job_state =
         job_states[static_cast<std::size_t>(task.job.value())];
+    // A sync from before the job was cancelled/displaced: drop it.
+    if (job_state.phase != Phase::Active || epoch != job_state.plan_epoch) {
+      return;
+    }
+    result.tasks[static_cast<std::size_t>(task_id.value())].sync_end = now;
+
     RoundState& round =
         job_state.rounds[static_cast<std::size_t>(task.round)];
     round.barrier = std::max(round.barrier, now);
@@ -311,8 +402,10 @@ SimResult Simulator::run(const Schedule& schedule, SimScratch& state) const {
 
     round.done = true;
     const workload::Job& job = jobs_.job(task.job);
+    job_state.checkpoint =
+        std::max(job_state.checkpoint, static_cast<RoundIndex>(task.round) + 1);
     if (static_cast<std::uint32_t>(task.round) + 1 == job.rounds()) {
-      job_state.finished = true;
+      job_state.phase = Phase::Finished;
       auto& record = result.jobs[static_cast<std::size_t>(task.job.value())];
       record.completion = round.barrier;
       for (auto& gpu : gpus) {
@@ -330,12 +423,18 @@ SimResult Simulator::run(const Schedule& schedule, SimScratch& state) const {
     }
   };
 
-  auto handle_compute_done = [&](GpuId gpu_id, TaskId task_id, Time now) {
+  auto handle_compute_done = [&](GpuId gpu_id, TaskId task_id,
+                                 std::uint32_t epoch, Time now) {
     GpuState& gpu = gpus[static_cast<std::size_t>(gpu_id.value())];
+    // The attempt was killed (GPU death or job displacement) mid-compute.
+    if (epoch != gpu.kill_epoch) return;
     gpu.busy = false;
+    gpu.current_task = TaskId{};
     if (gpu.memory) gpu.memory->on_task_complete(now);
 
     const workload::Task& task = jobs_.task(task_id);
+    const std::uint32_t plan_epoch =
+        job_states[static_cast<std::size_t>(task.job.value())].plan_epoch;
     if (config_.model_network_contention) {
       const workload::ModelSpec& model = workload::model_spec(
           scratch.job_info[static_cast<std::size_t>(task.job.value())].model);
@@ -344,20 +443,387 @@ SimResult Simulator::run(const Schedule& schedule, SimScratch& state) const {
           config_.sync_volume_factor;
       const auto id = network.start_transfer(
           cluster_.gpu(gpu_id).machine, bytes, now);
-      inflight_syncs.emplace(id, task_id);
+      inflight_syncs.emplace(
+          id, detail::SimScratchImpl::SyncRef{task_id, plan_epoch});
     } else {
       const double ts =
           with_noise
               ? actual_.ts(task.job, gpu_id) *
                     ts_noise[static_cast<std::size_t>(task_id.value())]
               : actual_.ts(task.job, gpu_id);
-      events.push(now + ts,
-                  EventPayload{EventKind::SyncDone, gpu_id, task_id});
+      events.push(now + ts, EventPayload{EventKind::SyncDone, gpu_id, task_id,
+                                         plan_epoch});
     }
     try_start(gpu_id, now);
   };
 
+  // --- fault machinery ---------------------------------------------------
+
+  // Undo the un-executed part of the running attempt's accounting and drop
+  // its in-flight ComputeDone. The time actually burned (switch first,
+  // then compute) stays in the GPU's busy totals and is counted as lost.
+  auto kill_running_task = [&](GpuId gpu_id, Time now) {
+    GpuState& gpu = gpus[static_cast<std::size_t>(gpu_id.value())];
+    const TaskRecord& rec =
+        result.tasks[static_cast<std::size_t>(gpu.current_task.value())];
+    const Time executed = std::max(0.0, now - rec.start);
+    const Time tc = rec.compute_end - rec.compute_start;
+    const Time done_switch = std::min(executed, rec.switch_time);
+    const Time done_compute = std::max(0.0, executed - rec.switch_time);
+    GpuRecord& gpu_record =
+        result.gpus[static_cast<std::size_t>(gpu_id.value())];
+    gpu_record.busy_switch -= rec.switch_time - done_switch;
+    gpu_record.busy_compute -= tc - done_compute;
+    gpu_record.last_busy_end = now;
+    --gpu_record.task_count;
+    if (config_.record_timeline) {
+      auto& intervals =
+          result.busy_intervals[static_cast<std::size_t>(gpu_id.value())];
+      if (!intervals.empty()) intervals.back().second = now;
+    }
+    ++result.faults.tasks_killed;
+    result.faults.lost_compute += executed;
+    ++gpu.kill_epoch;
+    gpu.busy = false;
+    gpu.current_task = TaskId{};
+    if (gpu.memory) gpu.memory->on_task_complete(now);
+  };
+
+  // Invalidate every placement of a job: running attempts anywhere on the
+  // cluster, queued entries (via the epoch bump), round progress past the
+  // checkpoint, and barrier waiters (freed to re-examine their queues).
+  auto kill_placements = [&](JobId job_id, Time now) {
+    JobState& js = job_states[static_cast<std::size_t>(job_id.value())];
+    ++js.plan_epoch;
+    for (std::size_t g = 0; g < gpu_count; ++g) {
+      GpuState& gpu = gpus[g];
+      if (gpu.busy && gpu.current_task.valid() &&
+          jobs_.task(gpu.current_task).job == job_id) {
+        kill_running_task(GpuId(static_cast<int>(g)), now);
+      }
+    }
+    const workload::Job& job = jobs_.job(job_id);
+    for (std::size_t r = static_cast<std::size_t>(js.checkpoint);
+         r < job.rounds(); ++r) {
+      RoundState& round = js.rounds[r];
+      round.remaining = static_cast<int>(job.tasks_per_round());
+      round.barrier = 0.0;
+      round.done = false;
+      for (GpuId waiter : round.waiters) {
+        gpus[static_cast<std::size_t>(waiter.value())].waiting = false;
+      }
+      round.waiters.clear();
+    }
+  };
+
+  // A GPU dies: invalidate its queue and collect the jobs it displaces
+  // (the running attempt's owner plus every job with live queued entries).
+  auto fail_gpu = [&](GpuId gpu_id, Time now, std::vector<JobId>& affected) {
+    GpuState& gpu = gpus[static_cast<std::size_t>(gpu_id.value())];
+    if (!gpu.alive) return;
+    gpu.alive = false;
+    gpu.slow_factor = 1.0;
+    ++result.faults.gpu_failures;
+    if (gpu.busy) {
+      affected.push_back(jobs_.task(gpu.current_task).job);
+      kill_running_task(gpu_id, now);
+    }
+    ++gpu.kill_epoch;
+    auto& sequence = seq[static_cast<std::size_t>(gpu_id.value())];
+    for (std::size_t i = gpu.next_index; i < sequence.size(); ++i) {
+      const SeqEntry entry = sequence[i];
+      const JobState& js = job_state_of(entry.task);
+      if (js.phase == Phase::Active && entry.epoch == js.plan_epoch) {
+        affected.push_back(jobs_.task(entry.task).job);
+      }
+    }
+    gpu.next_index = sequence.size();
+    gpu.previous_job.reset();
+    gpu.memory.reset();
+  };
+
+  // Ask the replan hook to place the displaced jobs' remaining rounds on
+  // the surviving cluster, validate the answer, and append it to the
+  // queues. A job the hook cannot fully place is dead-lettered.
+  auto request_replan = [&](const std::vector<JobId>& retry_jobs, Time now) {
+    if (retry_jobs.empty()) return;
+    HARE_SPAN_ARG("fault", "fault.replan", "vt", now);
+    fault::ReplanRequest request;
+    request.now = now;
+    request.gpu_alive.resize(gpu_count);
+    request.gpu_busy_until.assign(gpu_count, now);
+    for (std::size_t g = 0; g < gpu_count; ++g) {
+      const GpuState& gpu = gpus[g];
+      request.gpu_alive[g] = gpu.alive ? 1 : 0;
+      if (!gpu.alive) {
+        request.gpu_busy_until[g] = kTimeInfinity;
+        continue;
+      }
+      Time until = now;
+      if (gpu.busy) {
+        until = result
+                    .tasks[static_cast<std::size_t>(gpu.current_task.value())]
+                    .compute_end;
+      }
+      // Rough tail estimate: compute time of the live queued entries.
+      const auto& sequence = seq[g];
+      for (std::size_t i = gpu.next_index; i < sequence.size(); ++i) {
+        const SeqEntry entry = sequence[i];
+        const JobState& js = job_state_of(entry.task);
+        if (js.phase == Phase::Active && entry.epoch == js.plan_epoch) {
+          until += actual_.tc(jobs_.task(entry.task).job,
+                              GpuId(static_cast<int>(g)));
+        }
+      }
+      request.gpu_busy_until[g] = until;
+    }
+    std::vector<char> requested(jobs_.job_count(), 0);
+    for (const JobId job_id : retry_jobs) {
+      const std::size_t j = static_cast<std::size_t>(job_id.value());
+      const JobState& js = job_states[j];
+      request.jobs.push_back(fault::ReplanRequest::JobRequest{
+          job_id, js.checkpoint, js.release, result.jobs[j].restarts});
+      requested[j] = 1;
+    }
+
+    ++result.faults.replans;
+    static obs::Counter& replans = obs::counter("fault.replans");
+    replans.add();
+    const fault::ReplanResult replanned = (*config_.replan)(request);
+    HARE_CHECK_MSG(replanned.appended.size() <= gpu_count,
+                   "replan covers more GPUs than the cluster has");
+
+    std::vector<char> seen(task_count, 0);
+    std::vector<std::size_t> appended_count(jobs_.job_count(), 0);
+    for (std::size_t g = 0; g < replanned.appended.size(); ++g) {
+      if (replanned.appended[g].empty()) continue;
+      HARE_CHECK_MSG(gpus[g].alive, "replan placed work on a dead GPU");
+      for (const TaskId task_id : replanned.appended[g]) {
+        const workload::Task& task = jobs_.task(task_id);
+        const std::size_t j = static_cast<std::size_t>(task.job.value());
+        HARE_CHECK_MSG(requested[j],
+                       "replan placed a task of an unrequested job");
+        JobState& js = job_states[j];
+        HARE_CHECK_MSG(task.round >= js.checkpoint,
+                       "replan re-placed an already-completed round");
+        HARE_CHECK_MSG(!seen[static_cast<std::size_t>(task_id.value())],
+                       "replan placed a task twice");
+        seen[static_cast<std::size_t>(task_id.value())] = 1;
+        seq[g].push_back(SeqEntry{task_id, js.plan_epoch});
+        ++appended_count[j];
+      }
+    }
+    for (const JobId job_id : retry_jobs) {
+      const std::size_t j = static_cast<std::size_t>(job_id.value());
+      JobState& js = job_states[j];
+      const workload::Job& job = jobs_.job(job_id);
+      const std::size_t expected =
+          (job.rounds() - static_cast<std::size_t>(js.checkpoint)) *
+          job.tasks_per_round();
+      if (appended_count[j] == expected) continue;
+      // Partial/absent placement — there is no capacity for this job on
+      // the survivors. Stale its appended entries and dead-letter it.
+      ++js.plan_epoch;
+      js.phase = Phase::Dead;
+      auto& record = result.jobs[j];
+      record.outcome = JobOutcome::DeadLettered;
+      record.completion = now;
+      ++result.faults.dead_letters;
+      static obs::Counter& dead_letters = obs::counter("fault.dead_letters");
+      dead_letters.add();
+    }
+  };
+
+  // Displaced jobs: checkpoint, decide retry vs. dead-letter, replan.
+  auto handle_failures = [&](std::vector<JobId>& affected, Time now) {
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+    std::vector<JobId> retry_jobs;
+    for (const JobId job_id : affected) {
+      const std::size_t j = static_cast<std::size_t>(job_id.value());
+      JobState& js = job_states[j];
+      if (js.phase != Phase::Active) continue;
+      kill_placements(job_id, now);
+      js.failed_at = now;
+      js.restart_started = false;
+      auto& record = result.jobs[j];
+      if (record.restarts + 1 > config_.retry.max_retries || !can_replan) {
+        js.phase = Phase::Dead;
+        record.outcome = JobOutcome::DeadLettered;
+        record.completion = now;
+        ++result.faults.dead_letters;
+        static obs::Counter& dead_letters = obs::counter("fault.dead_letters");
+        dead_letters.add();
+        continue;
+      }
+      ++record.restarts;
+      ++result.faults.restarts;
+      static obs::Counter& restarts = obs::counter("fault.job_restarts");
+      restarts.add();
+      js.release = now + config_.retry.backoff(record.restarts);
+      retry_jobs.push_back(job_id);
+    }
+    request_replan(retry_jobs, now);
+  };
+
+  auto recover_gpu = [&](GpuId gpu_id, Time now) -> bool {
+    GpuState& gpu = gpus[static_cast<std::size_t>(gpu_id.value())];
+    if (gpu.alive) return false;
+    gpu.alive = true;
+    gpu.busy = false;
+    gpu.waiting = false;
+    gpu.slow_factor = 1.0;
+    gpu.current_task = TaskId{};
+    gpu.previous_job.reset();
+    if (with_memory) {
+      gpu.memory.emplace(cluster_.gpu(gpu_id).spec().memory);  // cold
+    }
+    ++result.faults.recoveries;
+    static_cast<void>(now);
+    return true;
+  };
+
+  // Capacity came back: displaced jobs that have not yet made post-restart
+  // progress get a fresh replan onto the richer cluster. Jobs already
+  // executing their restarted placement keep it; dead jobs stay dead.
+  auto replan_after_recovery = [&](Time now) {
+    if (!can_replan) return;
+    std::vector<JobId> retry_jobs;
+    for (const auto& job : jobs_.jobs()) {
+      JobState& js = job_states[static_cast<std::size_t>(job.id.value())];
+      if (js.phase != Phase::Active || js.plan_epoch == 0 ||
+          js.restart_started || js.failed_at < 0.0) {
+        continue;
+      }
+      kill_placements(job.id, now);
+      js.release = std::max(js.release, now);
+      retry_jobs.push_back(job.id);
+    }
+    request_replan(retry_jobs, now);
+  };
+
+  auto handle_fault = [&](std::size_t index, Time now) {
+    const fault::FaultEvent& fault_event = config_.fault_plan->events[index];
+    if (obs::Tracer::instance().enabled()) {
+      obs::instant("fault", "fault.event", fault::describe(fault_event));
+    }
+    switch (fault_event.kind) {
+      case fault::FaultKind::MachineFail: {
+        const cluster::Machine& machine = cluster_.machine(fault_event.machine);
+        std::vector<JobId> affected;
+        bool any = false;
+        for (const GpuId gpu_id : machine.gpus) {
+          const bool was_alive =
+              gpus[static_cast<std::size_t>(gpu_id.value())].alive;
+          fail_gpu(gpu_id, now, affected);
+          any = any || was_alive;
+        }
+        if (any) {
+          ++result.faults.machine_failures;
+          static obs::Counter& machine_failures =
+              obs::counter("fault.machine_failures");
+          machine_failures.add();
+        }
+        handle_failures(affected, now);
+        break;
+      }
+      case fault::FaultKind::GpuFail: {
+        std::vector<JobId> affected;
+        fail_gpu(fault_event.gpu, now, affected);
+        static obs::Counter& gpu_failures = obs::counter("fault.gpu_failures");
+        gpu_failures.add();
+        handle_failures(affected, now);
+        break;
+      }
+      case fault::FaultKind::MachineRecover: {
+        const cluster::Machine& machine = cluster_.machine(fault_event.machine);
+        bool any = false;
+        for (const GpuId gpu_id : machine.gpus) {
+          any = recover_gpu(gpu_id, now) || any;
+        }
+        if (any) {
+          static obs::Counter& recoveries = obs::counter("fault.recoveries");
+          recoveries.add();
+          replan_after_recovery(now);
+        }
+        break;
+      }
+      case fault::FaultKind::GpuRecover: {
+        if (recover_gpu(fault_event.gpu, now)) {
+          static obs::Counter& recoveries = obs::counter("fault.recoveries");
+          recoveries.add();
+          replan_after_recovery(now);
+        }
+        break;
+      }
+      case fault::FaultKind::JobCancel: {
+        JobState& js =
+            job_states[static_cast<std::size_t>(fault_event.job.value())];
+        if (js.phase != Phase::Active) break;
+        kill_placements(fault_event.job, now);
+        js.phase = Phase::Cancelled;
+        auto& record =
+            result.jobs[static_cast<std::size_t>(fault_event.job.value())];
+        record.outcome = JobOutcome::Cancelled;
+        record.completion = now;
+        ++result.faults.cancellations;
+        static obs::Counter& cancellations =
+            obs::counter("fault.cancellations");
+        cancellations.add();
+        for (auto& gpu : gpus) {
+          if (gpu.memory) gpu.memory->on_job_finished(fault_event.job);
+        }
+        break;
+      }
+      case fault::FaultKind::StragglerStart: {
+        GpuState& gpu =
+            gpus[static_cast<std::size_t>(fault_event.gpu.value())];
+        if (gpu.alive) gpu.slow_factor = std::max(1.0, fault_event.factor);
+        break;
+      }
+      case fault::FaultKind::StragglerEnd: {
+        GpuState& gpu =
+            gpus[static_cast<std::size_t>(fault_event.gpu.value())];
+        gpu.slow_factor = 1.0;
+        break;
+      }
+    }
+    // Freed/recovered/replanned GPUs re-examine their queues. try_start is
+    // a cheap no-op for busy/waiting/dead GPUs, and the ascending sweep
+    // keeps the visit order deterministic.
+    for (std::size_t g = 0; g < gpu_count; ++g) {
+      try_start(GpuId(static_cast<int>(g)), now);
+    }
+  };
+
   // --- main loop ---------------------------------------------------------
+
+  // Fault events enter first so at equal timestamps a fault pops before
+  // the task event it races (lower sequence number), which keeps fault
+  // runs bit-identical across queue backends and sweep parallelism.
+  if (faulty) {
+    for (std::size_t i = 0; i < config_.fault_plan->events.size(); ++i) {
+      const fault::FaultEvent& fault_event = config_.fault_plan->events[i];
+      HARE_CHECK_MSG(
+          fault_event.kind == fault::FaultKind::MachineFail ||
+                  fault_event.kind == fault::FaultKind::MachineRecover
+              ? fault_event.machine.valid() &&
+                    static_cast<std::size_t>(fault_event.machine.value()) <
+                        cluster_.machine_count()
+          : fault_event.kind == fault::FaultKind::JobCancel
+              ? fault_event.job.valid() &&
+                    static_cast<std::size_t>(fault_event.job.value()) <
+                        jobs_.job_count()
+              : fault_event.gpu.valid() &&
+                    static_cast<std::size_t>(fault_event.gpu.value()) <
+                        gpu_count,
+          "fault plan event " << i << " targets an id out of range");
+      events.push(std::max(0.0, fault_event.time),
+                  EventPayload{EventKind::Fault, GpuId{}, TaskId{},
+                               static_cast<std::uint32_t>(i)});
+    }
+  }
 
   for (std::size_t g = 0; g < gpu_count; ++g) {
     events.push(0.0, EventPayload{EventKind::TryStart,
@@ -378,7 +844,8 @@ SimResult Simulator::run(const Schedule& schedule, SimScratch& state) const {
         HARE_CHECK_MSG(it != inflight_syncs.end(), "unknown transfer");
         // RPC/aggregation latency lands after the transfer completes.
         events.push(network_time + config_.sync_latency_s,
-                    EventPayload{EventKind::SyncDone, GpuId{}, it->second});
+                    EventPayload{EventKind::SyncDone, GpuId{},
+                                 it->second.task, it->second.epoch});
         inflight_syncs.erase(it);
         events_processed.add();
       }
@@ -395,12 +862,18 @@ SimResult Simulator::run(const Schedule& schedule, SimScratch& state) const {
       }
       case EventKind::ComputeDone: {
         HARE_SPAN_ARG("sim", "sim.event.compute_done", "vt", event.time);
-        handle_compute_done(event.payload.gpu, event.payload.task, event.time);
+        handle_compute_done(event.payload.gpu, event.payload.task,
+                            event.payload.epoch, event.time);
         break;
       }
       case EventKind::SyncDone: {
         HARE_SPAN_ARG("sim", "sim.event.sync_done", "vt", event.time);
-        handle_sync_done(event.payload.task, event.time);
+        handle_sync_done(event.payload.task, event.payload.epoch, event.time);
+        break;
+      }
+      case EventKind::Fault: {
+        HARE_SPAN_ARG("sim", "sim.event.fault", "vt", event.time);
+        handle_fault(event.payload.epoch, event.time);
         break;
       }
     }
@@ -410,13 +883,18 @@ SimResult Simulator::run(const Schedule& schedule, SimScratch& state) const {
 
   for (const auto& job : jobs_.jobs()) {
     const auto& js = job_states[static_cast<std::size_t>(job.id.value())];
-    HARE_CHECK_MSG(js.finished,
-                   "job " << job.id << " did not finish (scheduler bug)");
+    HARE_CHECK_MSG(js.phase != Phase::Active,
+                   "job " << job.id
+                          << " did not finish (scheduler or replan bug)");
   }
   for (const auto& record : result.jobs) {
+    if (record.outcome != JobOutcome::Completed) continue;
     result.makespan = std::max(result.makespan, record.completion);
     result.weighted_completion += record.weight * record.completion;
     result.weighted_jct += record.weight * record.jct();
+  }
+  for (const auto& gpu_record : result.gpus) {
+    result.makespan = std::max(result.makespan, gpu_record.last_busy_end);
   }
   common::log_debug("sim: run finished, makespan ", result.makespan,
                     " s, weighted JCT ", result.weighted_jct, " s");

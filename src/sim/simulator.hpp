@@ -20,6 +20,7 @@
 #include <memory>
 
 #include "cluster/cluster.hpp"
+#include "fault/fault_plan.hpp"
 #include "profiler/time_table.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
@@ -52,6 +53,19 @@ struct SimConfig {
   double sync_volume_factor = 1.0;
   /// Record per-GPU busy intervals (utilization timelines).
   bool record_timeline = false;
+
+  /// Fault injection: replay this plan's events inside the run (nullptr =
+  /// fault-free; every field below is inert without it). The plan's events
+  /// enter the event queue at init, so fault runs keep the strict
+  /// (time, sequence) order that makes serial/pooled sweeps bit-identical.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// Checkpoint-restart policy for jobs displaced by failures.
+  fault::RetryPolicy retry{};
+  /// Called on failure/recovery to plan displaced jobs onto the surviving
+  /// cluster (fault::FaultRunner wires the real planner in). Jobs that
+  /// cannot be replanned — no hook, or the hook returns no placement for
+  /// their remaining rounds — are dead-lettered.
+  const fault::ReplanFn* replan = nullptr;
 };
 
 namespace detail {

@@ -346,6 +346,48 @@ TEST(ThreadPool, NestedCallPropagatesException) {
   EXPECT_EQ(hits.load(), 16);
 }
 
+TEST(ThreadPool, InlineNestedPathAttemptsAllIndices) {
+  // The pooled path attempts every index even after one throws and
+  // rethrows the first exception at the join point. The inline nested
+  // path (re-entrant call on a worker) must behave identically: a throw
+  // at index 1 may not abort indices 2..7.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> inner(8);
+  std::atomic<int> caught{0};
+  pool.parallel_for_each(2, [&](std::size_t) {
+    try {
+      pool.parallel_for_each(8, [&](std::size_t i) {
+        inner[i]++;
+        if (i == 1) throw std::runtime_error("early boom");
+      });
+      FAIL() << "nested fan-out should have rethrown";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "early boom");
+      caught++;
+    }
+  });
+  EXPECT_EQ(caught.load(), 2);
+  // Every nested index ran in both outer invocations despite the throw.
+  for (const auto& h : inner) EXPECT_EQ(h.load(), 2);
+}
+
+TEST(ThreadPool, InlineNestedPathRethrowsFirstException) {
+  // Multiple throwing indices on the inline path: the first (lowest
+  // index, since the inline loop is sequential) wins, matching
+  // rethrow_pending's first-throw-wins contract for pooled tasks.
+  ThreadPool pool(1);
+  pool.parallel_for_each(1, [&](std::size_t) {
+    try {
+      pool.parallel_for_each(6, [](std::size_t i) {
+        if (i >= 2) throw std::runtime_error("boom " + std::to_string(i));
+      });
+      FAIL() << "nested fan-out should have rethrown";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom 2");
+    }
+  });
+}
+
 TEST(ThreadPool, DistinctPoolsDoNotLookNested) {
   // A worker of pool A submitting to pool B is a genuine fan-out, not a
   // re-entrant call: B must use its own workers.
