@@ -47,8 +47,10 @@
 #include "fault/runner.hpp"
 #include "obs/obs.hpp"
 #include "runtime/runtime.hpp"
+#include "serve/serve_service.hpp"
 #include "shard/hierarchical_planner.hpp"
 #include "sim/gantt.hpp"
+#include "workload/arrival_spec.hpp"
 
 namespace {
 
@@ -75,12 +77,20 @@ using namespace hare;
   hare faults   --trace FILE [--gpus N | --testbed] [--racks M]
                 [--fault-spec SPEC] [--sharded] [--shards N]
                 [--seed S] [--csv]
+  hare serve    --arrival-spec SPEC [--gpus N | --testbed] [--seed S]
+                [--tick T] [--lp-max-batch N] [--compact-rows N] [--cold]
+                [--replan-budget N] [--fault-spec SPEC]
+                [--sharded --shard-min N [--shards N]] [--csv]
 
 fault specs are comma-separated key=value strings (see docs/ROBUSTNESS.md):
   seed, machine_failures, gpu_failures, mttf, mttr, cancellations,
   stragglers, straggler_factor, straggler_duration, max_retries,
   backoff_base, backoff_factor, backoff_cap, restart_overhead,
   replan_budget, horizon, events=(fail_machine:0@30;recover_machine:0@90;...)
+
+arrival specs (hare serve) use the same key=value grammar:
+  jobs, rate, burst, burst_prob, burst_len, on_period, off_period,
+  rounds_min, rounds_max, batch_scale
 
 telemetry (any command):
   --trace-out FILE    write Chrome trace_event JSON (chrome://tracing)
@@ -127,7 +137,7 @@ Args parse(int argc, char** argv) {
     token = token.substr(2);
     const bool boolean_flag = token == "gantt" || token == "csv" ||
                               token == "testbed" || token == "serial" ||
-                              token == "sharded";
+                              token == "sharded" || token == "cold";
     if (boolean_flag) {
       args.flags[token] = true;
     } else {
@@ -596,6 +606,81 @@ int cmd_faults(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  const cluster::Cluster cluster = make_cluster(args);
+  const workload::TraceConfig trace =
+      workload::parse_arrival_spec(args.get("arrival-spec", "jobs=200,rate=2"));
+  const auto seed = static_cast<std::uint64_t>(args.get_size("seed", 42));
+  workload::TraceStream stream(seed, trace);
+
+  serve::ServeConfig config;
+  config.tick = args.get_double("tick", 0.0);
+  config.lp_max_batch_jobs = args.get_size("lp-max-batch", 32);
+  config.lp_compact_rows = args.get_size("compact-rows", 2048);
+  config.warm_lp = !args.flag("cold");
+  config.replan_budget = args.get_size("replan-budget", 0);
+  if (args.flag("sharded")) {
+    config.shard_min_batch_jobs = args.get_size("shard-min", 1);
+    config.shard.shards = args.get_size("shards", 0);
+  }
+
+  fault::FaultPlan faults;
+  const std::string fault_text = args.get("fault-spec");
+  if (!fault_text.empty()) {
+    // The stochastic knobs need an instance shape; materialize the same
+    // trace the stream will draw (bit-identical by construction).
+    const workload::JobSet shape = workload::TraceGenerator(seed).generate(trace);
+    fault::FaultSpec spec = fault::parse_fault_spec(fault_text);
+    const Time horizon =
+        2.0 * static_cast<double>(trace.job_count) / trace.base_arrival_rate;
+    faults = fault::generate_fault_plan(spec, cluster, shape, horizon);
+  }
+
+  serve::ServeService service(cluster, workload::PerfModel{}, config);
+  const auto start = std::chrono::steady_clock::now();
+  const serve::ServeReport report = service.run(stream, faults);
+  const double serve_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+
+  common::Table summary({"metric", "value"});
+  summary.row().cell("arrivals").cell(report.arrivals);
+  summary.row().cell("planned jobs").cell(report.planned_jobs);
+  summary.row().cell("batches (max jobs)").cell(
+      std::to_string(report.batches) + " (" +
+      std::to_string(report.max_batch_jobs) + ")");
+  summary.row().cell("batches lp/flat/sharded/greedy").cell(
+      std::to_string(report.lp_batches) + "/" +
+      std::to_string(report.flat_batches) + "/" +
+      std::to_string(report.sharded_batches) + "/" +
+      std::to_string(report.greedy_batches));
+  summary.row().cell("LP solves warm/cold").cell(
+      std::to_string(report.lp.warm_solves) + "/" +
+      std::to_string(report.lp.cold_solves));
+  summary.row().cell("LP pivots warm/cold").cell(
+      std::to_string(report.lp.warm_pivots) + "/" +
+      std::to_string(report.lp.cold_pivots));
+  summary.row().cell("LP compactions").cell(report.lp.compactions);
+  summary.row().cell("fault events").cell(report.fault_events);
+  summary.row().cell("displaced tasks").cell(report.displaced_tasks);
+  summary.row().cell("continuations").cell(report.continuations);
+  summary.row().cell("cancels early/late").cell(
+      std::to_string(report.canceled) + "/" +
+      std::to_string(report.late_cancels));
+  summary.row().cell("planned objective (s)").cell(report.objective, 1);
+  summary.row().cell("serving (ms)").cell(serve_ms, 2);
+  summary.row().cell("arrivals/s served").cell(
+      serve_ms > 0.0 ? 1e3 * static_cast<double>(report.arrivals) / serve_ms
+                     : 0.0,
+      0);
+  if (args.flag("csv")) {
+    summary.print_csv(std::cout);
+  } else {
+    summary.print(std::cout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int run_command(const Args& args) {
@@ -607,6 +692,7 @@ int run_command(const Args& args) {
   if (args.command == "sweep") return cmd_sweep(args);
   if (args.command == "plan") return cmd_plan(args);
   if (args.command == "faults") return cmd_faults(args);
+  if (args.command == "serve") return cmd_serve(args);
   usage("unknown command: " + args.command);
 }
 

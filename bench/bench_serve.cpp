@@ -1,0 +1,257 @@
+// Serving-loop bench + regression baseline generator.
+//
+// Exercises the hare::serve daemon loop the way a deployment would: a
+// pull-based TraceStream front-end pushes a bursty synthetic arrival
+// stream through the event loop, the admission batcher coalesces arrivals
+// per tick, and each flush replans incrementally. Three numbers are the
+// contract:
+//
+//   * sustained admission throughput (arrivals/second through the full
+//     admit -> profile -> batch -> replan path) — the 10k/s floor from the
+//     serving design note, enforced in full mode;
+//   * p99 replan latency, read back from the `serve.replan_latency`
+//     histogram the service records per flush;
+//   * warm-vs-cold LP pivot counts: the same stream served twice, once
+//     with the retained-basis dual-simplex replanner and once cold —
+//     warm must do strictly less pivot work (machine-independent, gated
+//     in quick mode too).
+//
+// Determinism is the fourth, never-waived contract: the served schedule
+// for a fixed event stream must be bit-identical across a serial re-run,
+// four replicas fanned across the hare::exp pool, warm vs cold LP, and
+// the sharded serve path serial vs pooled.
+//
+// Emits machine-readable BENCH_serve.json, gated by
+// scripts/check_bench_regression.py.
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/metrics.hpp"
+#include "serve/serve_service.hpp"
+#include "workload/arrival_spec.hpp"
+
+namespace {
+
+using namespace hare;
+
+bool schedules_identical(const sim::Schedule& a, const sim::Schedule& b) {
+  return a.sequences == b.sequences &&
+         a.predicted_start == b.predicted_start &&
+         a.predicted_objective == b.predicted_objective;
+}
+
+/// Serve one full stream from scratch (fresh stream, fresh service).
+serve::ServeReport serve_stream(const cluster::Cluster& cluster,
+                                const std::string& spec,
+                                const serve::ServeConfig& config) {
+  workload::TraceStream stream(4200, workload::parse_arrival_spec(spec));
+  serve::ServeService service(cluster, workload::PerfModel{}, config);
+  return service.run(stream);
+}
+
+/// p99 upper bound from a fixed-bucket histogram (the bound of the first
+/// bucket whose cumulative count covers 99% of the samples).
+double histogram_p99(const obs::Histogram& hist) {
+  const std::vector<std::uint64_t> counts = hist.counts();
+  const std::uint64_t total = hist.count();
+  if (total == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(0.99 * static_cast<double>(total)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= target) {
+      return i < hist.bounds().size() ? hist.bounds()[i]
+                                      : hist.bounds().back();
+    }
+  }
+  return hist.bounds().back();
+}
+
+struct ServeNumbers {
+  std::size_t arrivals = 0;
+  std::size_t batches = 0;
+  std::size_t max_batch_jobs = 0;
+  double throughput = 0.0;
+  double p99_us = 0.0;
+  serve::ReplannerStats warm;
+  serve::ReplannerStats cold;
+  bool warm_cold_identical = false;
+  bool deterministic = false;
+  bool sharded_identical = false;
+};
+
+[[nodiscard]] bool write_json(const std::string& path, const ServeNumbers& n,
+                              double wall_ms, bool quick) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"bench\": \"bench_serve\",\n";
+  out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  out << "  \"deterministic\": " << (n.deterministic ? "true" : "false")
+      << ",\n";
+  out << "  \"arrivals\": " << n.arrivals << ",\n";
+  out << "  \"batches\": " << n.batches << ",\n";
+  out << "  \"max_batch_jobs\": " << n.max_batch_jobs << ",\n";
+  out << "  \"throughput_arrivals_per_s\": " << n.throughput << ",\n";
+  out << "  \"replan_p99_us\": " << n.p99_us << ",\n";
+  out << "  \"warm_solves\": " << n.warm.warm_solves << ",\n";
+  out << "  \"cold_solves\": " << n.cold.cold_solves << ",\n";
+  out << "  \"warm_pivots\": " << n.warm.warm_pivots + n.warm.cold_pivots
+      << ",\n";
+  out << "  \"cold_pivots\": " << n.cold.warm_pivots + n.cold.cold_pivots
+      << ",\n";
+  out << "  \"compactions\": " << n.warm.compactions << ",\n";
+  out << "  \"wall_ms\": " << wall_ms << "\n";
+  out << "}\n";
+
+  std::ofstream file(path);
+  file << out.str();
+  if (!file) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return false;
+  }
+  std::cout << "\nwrote " << path << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_serve [--quick] [--json <path>]\n";
+      return 2;
+    }
+  }
+
+  std::cout << "=== serve: streaming admission, incremental warm replans ===\n";
+  obs::Registry::instance().reset();
+  const auto bench_start = std::chrono::steady_clock::now();
+  const cluster::Cluster cluster = cluster::make_testbed_cluster();
+  ServeNumbers n;
+
+  // --- Sustained throughput: a dense stream, batched per tick, through
+  // the flat replan path (batches larger than the LP cap). -------------
+  {
+    const std::string spec =
+        std::string("jobs=") + (quick ? "1200" : "4000") +
+        ",rate=50,burst=4,on_period=10,off_period=30,"
+        "rounds_min=0.05,rounds_max=0.15";
+    serve::ServeConfig config;
+    config.tick = 2.0;
+    const auto start = std::chrono::steady_clock::now();
+    const serve::ServeReport report = serve_stream(cluster, spec, config);
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    n.arrivals = report.arrivals;
+    n.batches = report.batches;
+    n.max_batch_jobs = report.max_batch_jobs;
+    n.throughput = static_cast<double>(report.arrivals) / seconds;
+  }
+
+  // --- Warm vs cold incremental LP: the same moderate stream served
+  // twice; the retained basis must do strictly less pivot work and land
+  // on the bit-identical schedule. --------------------------------------
+  const std::string lp_spec =
+      std::string("jobs=") + (quick ? "48" : "96") +
+      ",rate=2,rounds_min=0.08,rounds_max=0.2";
+  serve::ServeConfig lp_config;
+  lp_config.tick = 4.0;
+  {
+    serve::ServeConfig cold_config = lp_config;
+    cold_config.warm_lp = false;
+    const serve::ServeReport warm = serve_stream(cluster, lp_spec, lp_config);
+    const serve::ServeReport cold =
+        serve_stream(cluster, lp_spec, cold_config);
+    n.warm = warm.lp;
+    n.cold = cold.lp;
+    n.warm_cold_identical =
+        schedules_identical(warm.schedule, cold.schedule);
+
+    // Determinism: a serial re-run and four pool replicas of the warm
+    // config must all reproduce the first schedule bit for bit.
+    bool identical = n.warm_cold_identical &&
+                     schedules_identical(
+                         warm.schedule,
+                         serve_stream(cluster, lp_spec, lp_config).schedule);
+    exp::Engine engine;
+    const auto replicas = engine.map(4, [&](std::size_t) {
+      return serve_stream(cluster, lp_spec, lp_config).schedule;
+    });
+    for (const auto& replica : replicas) {
+      identical = identical && schedules_identical(warm.schedule, replica);
+    }
+    n.deterministic = identical;
+  }
+
+  // --- Sharded serve path: large batches fanned across shard workers
+  // must merge to the serial sharded plan bit for bit. ------------------
+  {
+    const cluster::Cluster big =
+        cluster::make_simulation_cluster(32, 25.0, 8, 2);
+    const std::string spec = "jobs=48,rate=4,rounds_min=0.05,rounds_max=0.15";
+    const auto sharded = [&](bool serial) {
+      serve::ServeConfig config;
+      config.tick = 4.0;
+      config.lp_max_batch_jobs = 0;
+      config.shard_min_batch_jobs = 2;
+      config.shard.serial = serial;
+      config.shard.workers = serial ? 0 : 3;
+      return serve_stream(big, spec, config).schedule;
+    };
+    n.sharded_identical = schedules_identical(sharded(true), sharded(false));
+    n.deterministic = n.deterministic && n.sharded_identical;
+  }
+
+  n.p99_us = histogram_p99(
+      obs::histogram("serve.replan_latency", obs::latency_bounds_us()));
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - bench_start)
+                             .count();
+
+  const std::size_t warm_total = n.warm.warm_pivots + n.warm.cold_pivots;
+  const std::size_t cold_total = n.cold.warm_pivots + n.cold.cold_pivots;
+  common::Table table({"metric", "value"});
+  table.row().cell("arrivals served").cell(n.arrivals);
+  table.row().cell("batches (max jobs)").cell(
+      std::to_string(n.batches) + " (" + std::to_string(n.max_batch_jobs) +
+      ")");
+  table.row().cell("throughput (arrivals/s)").cell(n.throughput, 0);
+  table.row().cell("replan p99 (us, bucket bound)").cell(n.p99_us, 1);
+  table.row().cell("LP pivots warm/cold").cell(
+      std::to_string(warm_total) + "/" + std::to_string(cold_total));
+  table.row().cell("LP solves warm-path/cold-path").cell(
+      std::to_string(n.warm.warm_solves) + "/" +
+      std::to_string(n.cold.cold_solves));
+  table.row().cell("warm == cold schedule").cell(
+      n.warm_cold_identical ? "yes" : "NO");
+  table.row().cell("sharded serial == pooled").cell(
+      n.sharded_identical ? "yes" : "NO");
+  table.row().cell("bit-identical x7").cell(n.deterministic ? "yes" : "NO");
+  table.print(std::cout);
+
+  const bool wrote = write_json(json_path, n, wall_ms, quick);
+  const bool pivots_ok =
+      n.warm.warm_solves > 0 && warm_total < cold_total;
+  if (!pivots_ok) {
+    std::cerr << "error: warm replans did not beat cold pivot work\n";
+  }
+  const bool throughput_ok = quick || n.throughput >= 10000.0;
+  if (!throughput_ok) {
+    std::cerr << "error: sustained throughput " << n.throughput
+              << " arrivals/s below the 10k/s floor\n";
+  }
+  return n.deterministic && pivots_ok && throughput_ok && wrote ? 0 : 1;
+}

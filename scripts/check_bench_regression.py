@@ -50,6 +50,19 @@ bench_fault (BENCH_fault.json):
   * every job is accounted for by exactly one outcome, the degradation
     ratio is positive and finite, and fragmentation lies in [0, 1].
 
+bench_serve (BENCH_serve.json):
+  * the served schedule is bit-identical across a serial re-run, pooled
+    replicas, warm vs cold LP, and sharded serial vs pooled — a
+    correctness contract, never waived;
+  * the warm (retained-basis) replanner did strictly less total simplex
+    pivot work than the cold re-solve on the same stream, and at least
+    one warm solve actually happened — pivot counts are deterministic,
+    so this is machine-independent and enforced in quick mode too;
+  * full mode: sustained admission throughput stayed at or above the
+    10k arrivals/s serving floor (the only machine-dependent serve
+    gate; quick grids are fixed-cost dominated, so it is skipped
+    there).
+
 A baseline JSON missing an expected key fails with a clear message naming
 the key(s) and the gate(s) that had to be skipped — never a bare KeyError
 traceback.
@@ -91,6 +104,13 @@ SWEEP_MIN_1WORKER_SPEEDUP = 0.95
 SHARD_MIN_SPEEDUP = 3.0
 SHARD_MIN_WORKERS = 4
 SHARD_MIN_RESORT_SAVINGS = 0.5
+
+# Serving-loop floor: sustained arrivals/second through the full
+# admit -> profile -> batch -> replan path. The bench workload clears this
+# by an order of magnitude on a single core, so the floor holds on 1-2
+# core CI runners; it is still skipped in quick mode, where the tiny
+# stream is dominated by fixed costs.
+SERVE_MIN_THROUGHPUT = 10000.0
 
 
 def fail(msg):
@@ -379,6 +399,59 @@ def check_fault(data, quick, path):
     return 0
 
 
+def check_serve(data, quick, path):
+    absent = missing_keys(
+        data,
+        (
+            "deterministic",
+            "arrivals",
+            "batches",
+            "throughput_arrivals_per_s",
+            "warm_solves",
+            "warm_pivots",
+            "cold_pivots",
+        ),
+    )
+    if absent:
+        return skip_missing(path, absent, "all serve gates")
+
+    errors = 0
+    if not data["deterministic"]:
+        errors += fail(
+            f"{path}: served schedule diverged across serial/pooled/"
+            "warm-cold/sharded executions (bit-identity is a correctness "
+            "contract, never waived)"
+        )
+    if data["arrivals"] < 1 or data["batches"] < 1:
+        errors += fail(f"{path}: serve run admitted or planned nothing")
+    if data["warm_solves"] < 1:
+        errors += fail(
+            f"{path}: the warm replanner never reused a basis "
+            "(no warm solve happened)"
+        )
+    if data["warm_pivots"] >= data["cold_pivots"]:
+        errors += fail(
+            f"{path}: warm replans did not beat cold re-solves "
+            f"({data['warm_pivots']} >= {data['cold_pivots']} pivots)"
+        )
+    throughput = data["throughput_arrivals_per_s"]
+    if not quick and throughput < SERVE_MIN_THROUGHPUT:
+        errors += fail(
+            f"{path}: sustained throughput {throughput:.0f} arrivals/s "
+            f"below the {SERVE_MIN_THROUGHPUT:.0f}/s serving floor"
+        )
+
+    if errors:
+        return errors
+    mode = "quick (determinism/pivot)" if quick else "full"
+    print(
+        f"OK: {data['arrivals']} arrivals in {data['batches']} batches "
+        f"({throughput:.0f}/s, warm {data['warm_pivots']} vs cold "
+        f"{data['cold_pivots']} pivots) pass the {mode} serve gate in {path}"
+    )
+    return 0
+
+
 def check_file(path, quick):
     try:
         with open(path) as fh:
@@ -393,6 +466,8 @@ def check_file(path, quick):
         return check_shard(data, quick, path)
     if bench == "bench_fault":
         return check_fault(data, quick, path)
+    if bench == "bench_serve":
+        return check_serve(data, quick, path)
     return check_planner(data, quick, path)
 
 

@@ -452,4 +452,52 @@ double HareScheduler::schedule_jobs(const sched::SchedulerInput& input,
   return build.objective;
 }
 
+double HareScheduler::schedule_jobs_with_h(const sched::SchedulerInput& input,
+                                           const std::vector<char>& job_mask,
+                                           const std::vector<Time>& h,
+                                           IncrementalState& state,
+                                           sim::Schedule& schedule) {
+  HARE_SPAN("planner", "planner.schedule_with_h");
+  HARE_CHECK_MSG(config_.sync == SyncScheme::Relaxed,
+                 "incremental planning requires relaxed sync");
+  HARE_CHECK_MSG(job_mask.size() == input.jobs.job_count(),
+                 "job mask size mismatch");
+  HARE_CHECK_MSG(h.size() >= input.jobs.task_count(),
+                 "middle completion times must span the task array");
+  const std::size_t gpu_count = input.cluster.gpu_count();
+  if (state.phi.empty()) state.phi.assign(gpu_count, 0.0);
+  HARE_CHECK_MSG(state.phi.size() == gpu_count, "phi size mismatch");
+  if (schedule.sequences.empty()) {
+    schedule.sequences.resize(gpu_count);
+    schedule.predicted_start.assign(input.jobs.task_count(), 0.0);
+  }
+
+  std::vector<TaskId> pi;
+  for (const auto& task : input.jobs.tasks()) {
+    if (job_mask[static_cast<std::size_t>(task.job.value())]) {
+      pi.push_back(task.id);
+    }
+  }
+  sort_by_middle_completion(pi, h, config_.relaxation.engine.naive);
+
+  PlannerScratch scratch;
+  BuildState build(input, config_, &scratch);
+  build.phi = state.phi;
+  build.enable_engine();
+  run_relaxed_pass(build, pi);
+
+  for (std::size_t g = 0; g < gpu_count; ++g) {
+    auto& target = schedule.sequences[g];
+    const auto& batch = build.schedule.sequences[g];
+    target.insert(target.end(), batch.begin(), batch.end());
+  }
+  for (TaskId id : pi) {
+    schedule.predicted_start[static_cast<std::size_t>(id.value())] =
+        build.schedule.predicted_start[static_cast<std::size_t>(id.value())];
+  }
+  state.phi = build.phi;
+  schedule.predicted_objective += build.objective;
+  return build.objective;
+}
+
 }  // namespace hare::core

@@ -59,6 +59,19 @@ class HareScheduler final : public sched::Scheduler {
                        const std::vector<char>& job_mask,
                        IncrementalState& state, sim::Schedule& schedule);
 
+  /// Like schedule_jobs, but list-schedule the masked jobs with externally
+  /// supplied middle completion times `h` (indexed by TaskId value; only
+  /// masked tasks' entries are read) instead of running the relaxation.
+  /// The serving loop's incremental replanner derives h from its own warm
+  /// LP re-solve (or an arrival-keyed greedy order when its replan budget
+  /// is exhausted) and hands the ordering here, so placement semantics stay
+  /// identical to every other planner path. Requires relaxed sync.
+  double schedule_jobs_with_h(const sched::SchedulerInput& input,
+                              const std::vector<char>& job_mask,
+                              const std::vector<Time>& h,
+                              IncrementalState& state,
+                              sim::Schedule& schedule);
+
   /// Relaxation diagnostics of the last schedule() call.
   [[nodiscard]] const RelaxationResult& last_relaxation() const {
     return last_relaxation_;

@@ -54,6 +54,19 @@ class TimeTable {
     alpha_valid_ = false;
   }
 
+  /// Grow the job axis by one zero-filled row (the streaming-admission path:
+  /// a served arrival profiles into the row its JobId was just assigned).
+  /// Returns the new row's index. Existing rows and their cached aggregates
+  /// are untouched; α is invalidated.
+  std::size_t append_job() {
+    tc_.resize(tc_.size() + gpu_count_, 0.0);
+    ts_.resize(ts_.size() + gpu_count_, 0.0);
+    agg_.emplace_back();
+    agg_valid_.push_back(0);
+    alpha_valid_ = false;
+    return agg_.size() - 1;
+  }
+
   /// Total (compute + sync) time of one task of `job` on `gpu`.
   [[nodiscard]] Time total(JobId job, GpuId gpu) const {
     return tc(job, gpu) + ts(job, gpu);

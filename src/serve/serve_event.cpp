@@ -1,0 +1,46 @@
+#include "serve/serve_event.hpp"
+
+namespace hare::serve {
+
+std::vector<ServeEvent> events_from_fault_plan(const fault::FaultPlan& plan,
+                                               const cluster::Cluster& cluster) {
+  std::vector<ServeEvent> events;
+  events.reserve(plan.events.size());
+  std::uint64_t seq = 0;
+  const auto push = [&](ServeEventKind kind, Time time) -> ServeEvent& {
+    ServeEvent& event = events.emplace_back();
+    event.time = time;
+    event.seq = seq++;
+    event.kind = kind;
+    return event;
+  };
+  for (const fault::FaultEvent& fe : plan.events) {
+    switch (fe.kind) {
+      case fault::FaultKind::MachineFail:
+      case fault::FaultKind::MachineRecover: {
+        const ServeEventKind kind = fe.kind == fault::FaultKind::MachineFail
+                                        ? ServeEventKind::GpuFail
+                                        : ServeEventKind::GpuRecover;
+        for (GpuId gpu : cluster.machine(fe.machine).gpus) {
+          push(kind, fe.time).gpu = gpu;
+        }
+        break;
+      }
+      case fault::FaultKind::GpuFail:
+        push(ServeEventKind::GpuFail, fe.time).gpu = fe.gpu;
+        break;
+      case fault::FaultKind::GpuRecover:
+        push(ServeEventKind::GpuRecover, fe.time).gpu = fe.gpu;
+        break;
+      case fault::FaultKind::JobCancel:
+        push(ServeEventKind::JobCancel, fe.time).job = fe.job;
+        break;
+      case fault::FaultKind::StragglerStart:
+      case fault::FaultKind::StragglerEnd:
+        break;  // no slowdown notion at planning level
+    }
+  }
+  return events;
+}
+
+}  // namespace hare::serve

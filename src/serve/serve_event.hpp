@@ -1,0 +1,51 @@
+// Event stream of the serving loop.
+//
+// hare::serve is driven by one time-ordered stream of events: job arrivals
+// (pulled from a workload::TraceStream or an explicit spec list), hardware
+// failures/recoveries and job cancellations (adapted from a fault::FaultPlan,
+// which doubles as the scripted event source), and job completions
+// (bookkeeping). Every event carries a (time, seq) pair and the loop drains
+// strictly in that order — the same discipline the simulator uses — so a
+// fixed event stream produces a bit-identical served schedule run-to-run.
+//
+// Scripted events get their sequence numbers at registration (adapter
+// emission order); streamed arrivals continue the numbering after them, so
+// a scripted event always precedes an arrival with the same timestamp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/types.hpp"
+#include "fault/fault_plan.hpp"
+#include "workload/job.hpp"
+
+namespace hare::serve {
+
+enum class ServeEventKind : std::uint8_t {
+  Arrival,     ///< a new job enters the system
+  GpuFail,     ///< GPU dies; its uncommitted plan suffix is displaced
+  GpuRecover,  ///< GPU returns at max(event time, its pre-failure horizon)
+  JobCancel,   ///< job leaves; never planned if the cancel lands first
+  JobComplete, ///< bookkeeping only (completions free no plan state)
+};
+
+struct ServeEvent {
+  Time time = 0.0;
+  std::uint64_t seq = 0;
+  ServeEventKind kind = ServeEventKind::Arrival;
+  workload::JobSpec spec;  ///< Arrival
+  GpuId gpu;               ///< Gpu{Fail,Recover}
+  JobId job;               ///< JobCancel / JobComplete
+};
+
+/// Adapt a fault plan into scripted serve events: machine events expand to
+/// one event per hosted GPU (same timestamp, GPU-id order), GPU and cancel
+/// events map directly, straggler events are dropped (the serving loop
+/// plans with profiled times and has no slowdown notion). Events keep the
+/// plan's time order and are numbered 0..N-1 in emission order.
+[[nodiscard]] std::vector<ServeEvent> events_from_fault_plan(
+    const fault::FaultPlan& plan, const cluster::Cluster& cluster);
+
+}  // namespace hare::serve

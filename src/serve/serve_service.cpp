@@ -1,0 +1,304 @@
+#include "serve/serve_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hare::serve {
+
+namespace {
+
+/// Horizon parked on a dead GPU: finite (no inf-arithmetic hazards in the
+/// fluid relaxation) but beyond any plannable time, so earliest-finish
+/// placement never selects it while capacity survives elsewhere.
+constexpr Time kDeadHorizon = 1e18;
+
+}  // namespace
+
+ServeService::ServeService(const cluster::Cluster& cluster,
+                           workload::PerfModel perf, ServeConfig config)
+    : cluster_(cluster),
+      perf_(perf),
+      config_(config),
+      times_(0, cluster.gpu_count()),
+      flat_([&] {
+        core::HareConfig hare = config.hare;
+        hare.relaxation.mode = core::RelaxMode::Fluid;
+        hare.sync = core::SyncScheme::Relaxed;
+        return hare;
+      }()),
+      replanner_(ReplannerConfig{config.warm_lp, config.lp_backend,
+                                 config.lp_compact_rows}) {
+  HARE_CHECK_MSG(cluster.gpu_count() > 0, "serving needs a non-empty cluster");
+  schedule_.sequences.resize(cluster.gpu_count());
+  state_.phi.assign(cluster.gpu_count(), 0.0);
+  saved_phi_.assign(cluster.gpu_count(), 0.0);
+  alive_.assign(cluster.gpu_count(), 1);
+  if (config_.shard_min_batch_jobs > 0) {
+    sharded_.emplace(config_.shard);
+  }
+}
+
+JobId ServeService::admit(workload::JobSpec spec, AdmissionBatcher& batcher) {
+  const Time arrival = spec.arrival;
+  const JobId id = jobs_.add_job(std::move(spec));
+  const std::size_t j = static_cast<std::size_t>(id.value());
+  times_.append_job();
+  const workload::Job& job = jobs_.job(id);
+  const auto batch_size = job.effective_batch_size();
+  for (const auto& gpu : cluster_.gpus()) {
+    const double uplink = cluster_.machine(gpu.machine).network_gbps;
+    times_.set(id, gpu.id,
+               perf_.task_compute_time(job.spec.model, gpu.type, batch_size,
+                                       job.spec.batches_per_task),
+               perf_.sync_time(job.spec.model, uplink));
+  }
+  canceled_.resize(j + 1, 0);
+  planned_.resize(j + 1, 0);
+  continued_.resize(j + 1, 0);
+  if (j < precanceled_.size() && precanceled_[j]) {
+    canceled_[j] = 1;
+    ++report_.canceled;
+    return id;  // never joins a batch
+  }
+  batcher.admit(id, arrival);
+  return id;
+}
+
+void ServeService::plan_batch(const std::vector<JobId>& plannable) {
+  static auto& latency_hist =
+      obs::histogram("serve.replan_latency", obs::latency_bounds_us());
+  static auto& batch_hist = obs::histogram(
+      "serve.batch_size",
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0});
+  static auto& replans = obs::counter("serve.replans");
+  static auto& basis_reuse = obs::counter("serve.basis_reuse");
+  static auto& basis_cold = obs::counter("serve.basis_cold");
+  static auto& greedy_fallbacks = obs::counter("serve.greedy_fallbacks");
+  const auto started = std::chrono::steady_clock::now();
+
+  std::vector<char> mask(jobs_.job_count(), 0);
+  for (JobId id : plannable) mask[static_cast<std::size_t>(id.value())] = 1;
+  const sched::SchedulerInput input{cluster_, jobs_, times_};
+
+  const bool budget_left = config_.replan_budget == 0 ||
+                           replans_spent_ < config_.replan_budget;
+  bool planned = false;
+  if (!budget_left) {
+    // Budget exhausted: list-schedule the batch in arrival order through
+    // the same placement machinery (greedy earliest-finish).
+    for (JobId id : plannable) {
+      const workload::Job& job = jobs_.job(id);
+      for (TaskId task : job.tasks) {
+        h_[static_cast<std::size_t>(task.value())] = job.spec.arrival;
+      }
+    }
+    flat_.schedule_jobs_with_h(input, mask, h_, state_, schedule_);
+    ++report_.greedy_batches;
+    greedy_fallbacks.add();
+    planned = true;
+  } else {
+    if (config_.lp_max_batch_jobs > 0 &&
+        plannable.size() <= config_.lp_max_batch_jobs) {
+      Time phi_floor = kTimeInfinity;
+      std::size_t gpus_alive = 0;
+      for (std::size_t g = 0; g < alive_.size(); ++g) {
+        if (!alive_[g]) continue;
+        ++gpus_alive;
+        phi_floor = std::min(phi_floor, state_.phi[g]);
+      }
+      if (gpus_alive == 0) phi_floor = 0.0;
+      if (replanner_.relax_batch(jobs_, times_, plannable, phi_floor,
+                                 gpus_alive, h_)) {
+        flat_.schedule_jobs_with_h(input, mask, h_, state_, schedule_);
+        ++report_.lp_batches;
+        if (replanner_.last_was_warm()) {
+          basis_reuse.add();
+        } else {
+          basis_cold.add();
+        }
+        planned = true;
+      }
+    }
+    if (!planned) {
+      if (sharded_ && plannable.size() >= config_.shard_min_batch_jobs) {
+        sharded_->schedule_online(input, mask, state_.phi, schedule_);
+        ++report_.sharded_batches;
+      } else {
+        flat_.schedule_jobs(input, mask, state_, schedule_);
+        ++report_.flat_batches;
+      }
+      planned = true;
+    }
+    ++replans_spent_;
+  }
+
+  for (JobId id : plannable) {
+    planned_[static_cast<std::size_t>(id.value())] = 1;
+  }
+  report_.planned_jobs += plannable.size();
+  ++report_.batches;
+  report_.max_batch_jobs = std::max(report_.max_batch_jobs, plannable.size());
+  replans.add();
+  batch_hist.record(static_cast<double>(plannable.size()));
+  latency_hist.record(
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+}
+
+void ServeService::flush_batch(AdmissionBatcher& batcher) {
+  if (batcher.empty()) return;
+  const std::vector<JobId> batch = batcher.take();
+  std::vector<JobId> plannable;
+  plannable.reserve(batch.size());
+  for (JobId id : batch) {
+    if (!canceled_[static_cast<std::size_t>(id.value())]) {
+      plannable.push_back(id);
+    }
+  }
+  if (plannable.empty()) return;
+  schedule_.predicted_start.resize(jobs_.task_count(), 0.0);
+  h_.resize(jobs_.task_count(), 0.0);
+  plan_batch(plannable);
+}
+
+void ServeService::apply_event(const ServeEvent& event,
+                               AdmissionBatcher& batcher) {
+  switch (event.kind) {
+    case ServeEventKind::Arrival:
+      HARE_CHECK_MSG(false, "arrivals come from the stream, not the script");
+      break;
+    case ServeEventKind::GpuFail: {
+      ++report_.fault_events;
+      const auto g = static_cast<std::size_t>(event.gpu.value());
+      if (!alive_[g]) break;
+      alive_[g] = 0;
+      saved_phi_[g] = state_.phi[g];
+      state_.phi[g] = kDeadHorizon;
+      // Commitments on the dead GPU from the failure instant onward are
+      // displaced; each affected job's remaining rounds re-enter as a
+      // continuation job arriving now. std::map keeps the continuation
+      // admission order deterministic (ascending original JobId).
+      std::map<JobId, RoundIndex> first_displaced_round;
+      for (TaskId tid : schedule_.sequences[g]) {
+        const auto t = static_cast<std::size_t>(tid.value());
+        if (schedule_.predicted_start[t] < event.time) continue;
+        ++report_.displaced_tasks;
+        const workload::Task& task = jobs_.task(tid);
+        auto [it, inserted] =
+            first_displaced_round.emplace(task.job, task.round);
+        if (!inserted) it->second = std::min(it->second, task.round);
+      }
+      for (const auto& [job_id, first_round] : first_displaced_round) {
+        const auto j = static_cast<std::size_t>(job_id.value());
+        if (canceled_[j] || continued_[j]) continue;
+        continued_[j] = 1;
+        const workload::Job& job = jobs_.job(job_id);
+        workload::JobSpec spec = job.spec;
+        spec.arrival = event.time;
+        spec.rounds = job.rounds() - static_cast<std::uint32_t>(first_round);
+        spec.name += "+r" + std::to_string(first_round);
+        ++report_.continuations;
+        admit(std::move(spec), batcher);
+      }
+      break;
+    }
+    case ServeEventKind::GpuRecover: {
+      ++report_.fault_events;
+      const auto g = static_cast<std::size_t>(event.gpu.value());
+      if (alive_[g]) break;
+      alive_[g] = 1;
+      state_.phi[g] = std::max(event.time, saved_phi_[g]);
+      break;
+    }
+    case ServeEventKind::JobCancel: {
+      const auto j = static_cast<std::size_t>(event.job.value());
+      if (j >= jobs_.job_count()) {
+        // Cancel outruns the arrival: drop the job at admission time.
+        if (j >= precanceled_.size()) precanceled_.resize(j + 1, 0);
+        precanceled_[j] = 1;
+      } else if (!planned_[j] && !canceled_[j]) {
+        canceled_[j] = 1;
+        ++report_.canceled;
+      } else {
+        ++report_.late_cancels;
+      }
+      break;
+    }
+    case ServeEventKind::JobComplete:
+      ++report_.completions;
+      break;
+  }
+}
+
+template <typename NextSpec>
+ServeReport ServeService::serve(NextSpec&& next_spec,
+                                const fault::FaultPlan& faults) {
+  HARE_CHECK_MSG(!ran_, "a ServeService instance serves one stream");
+  ran_ = true;
+  HARE_SPAN("serve", "serve.run");
+  static auto& events_counter = obs::counter("serve.events");
+  static auto& arrivals_counter = obs::counter("serve.arrivals");
+
+  const std::vector<ServeEvent> scripted =
+      events_from_fault_plan(faults, cluster_);
+  AdmissionBatcher batcher(config_.tick);
+  std::size_t next_event = 0;
+  std::optional<workload::JobSpec> pending = next_spec();
+  while (next_event < scripted.size() || pending.has_value()) {
+    // Scripted events carry the lower sequence numbers, so they win ties
+    // against an arrival with the same timestamp.
+    const bool take_scripted =
+        next_event < scripted.size() &&
+        (!pending.has_value() || scripted[next_event].time <= pending->arrival);
+    events_counter.add();
+    if (take_scripted) {
+      // A non-arrival event always closes the open batch first: a failure
+      // must displace against a fully flushed plan.
+      flush_batch(batcher);
+      apply_event(scripted[next_event++], batcher);
+    } else {
+      if (batcher.should_flush(pending->arrival)) flush_batch(batcher);
+      ++report_.arrivals;
+      arrivals_counter.add();
+      admit(std::move(*pending), batcher);
+      pending = next_spec();
+    }
+  }
+  flush_batch(batcher);
+
+  report_.objective = schedule_.predicted_objective;
+  report_.schedule = std::move(schedule_);
+  report_.lp = replanner_.stats();
+  return std::move(report_);
+}
+
+ServeReport ServeService::run(workload::TraceStream& stream,
+                              const fault::FaultPlan& faults) {
+  return serve(
+      [&stream]() -> std::optional<workload::JobSpec> {
+        if (stream.exhausted()) return std::nullopt;
+        return stream.next();
+      },
+      faults);
+}
+
+ServeReport ServeService::run(const std::vector<workload::JobSpec>& arrivals,
+                              const fault::FaultPlan& faults) {
+  std::size_t i = 0;
+  return serve(
+      [&arrivals, &i]() -> std::optional<workload::JobSpec> {
+        if (i >= arrivals.size()) return std::nullopt;
+        return arrivals[i++];
+      },
+      faults);
+}
+
+}  // namespace hare::serve

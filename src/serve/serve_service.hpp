@@ -1,0 +1,157 @@
+// hare::serve — long-lived streaming scheduler service.
+//
+// The offline pipeline plans a fixed JobSet once; the serving loop instead
+// drains a time-ordered event stream (arrivals, failures, recoveries,
+// cancellations) and keeps a single growing plan current by *incremental*
+// replanning: every flushed admission batch is planned on top of the
+// standing per-GPU commitment horizons phi, commitments are never revised,
+// and phi advances monotonically — the same contract the online scheduler
+// and the shard planner's online entry point obey.
+//
+// Replan paths, chosen per batch:
+//  * LP (batches of at most `lp_max_batch_jobs` jobs) — the
+//    IncrementalReplanner appends the batch's rows/columns onto the
+//    retained sparse basis, dual-simplex re-solves, and hands middle
+//    completion times to HareScheduler::schedule_jobs_with_h.
+//  * Flat fluid (larger batches) — HareScheduler::schedule_jobs with the
+//    Fluid relaxation, exactly the OnlineHareScheduler path.
+//  * Sharded (batches of at least `shard_min_batch_jobs`, when enabled) —
+//    HierarchicalPlanner::schedule_online plans only the shards that
+//    received batch jobs, with a bit-identical serial/pooled fan-out.
+//  * Greedy fallback — once `replan_budget` non-greedy replans have been
+//    spent, batches are list-scheduled in arrival order (h = arrival)
+//    through the same placement code, so even the fallback is a valid
+//    Algorithm-1 step-2 schedule.
+//
+// Fault semantics are planning-level (no re-simulation): a GPU failure
+// parks its horizon at a dead sentinel (earliest-finish placement then
+// never picks it), tasks committed to it at or after the failure instant
+// count as displaced, and each affected job's remaining rounds re-enter
+// the stream as a *continuation job* arriving at the failure time.
+// Recovery restores max(event time, pre-failure horizon). A cancellation
+// that lands before its job is planned removes the job from every future
+// batch (the JobSet row stays, keeping arrival-index == JobId).
+//
+// Determinism: for a fixed event stream the served schedule is
+// bit-identical across serial and pooled execution and across LP backends
+// (see incremental_replanner.hpp for the perturbation argument).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/hare_scheduler.hpp"
+#include "fault/fault_plan.hpp"
+#include "profiler/time_table.hpp"
+#include "serve/admission_batcher.hpp"
+#include "serve/incremental_replanner.hpp"
+#include "serve/serve_event.hpp"
+#include "shard/hierarchical_planner.hpp"
+#include "sim/schedule.hpp"
+#include "workload/perf_model.hpp"
+#include "workload/trace.hpp"
+
+namespace hare::serve {
+
+struct ServeConfig {
+  /// Admission batching window (seconds); 0 coalesces only simultaneous
+  /// arrivals (arrival-time planning).
+  Time tick = 0.0;
+  /// Batches up to this many jobs take the incremental-LP path; 0 disables
+  /// the LP entirely (every batch plans flat/sharded).
+  std::size_t lp_max_batch_jobs = 32;
+  /// LP compaction bound (accumulated rows), forwarded to the replanner.
+  std::size_t lp_compact_rows = 2048;
+  /// Retain the LP basis across batches; false = cold reference mode.
+  bool warm_lp = true;
+  opt::LpBackend lp_backend = opt::LpBackend::Auto;
+  /// Non-greedy replans allowed before the greedy fallback takes over
+  /// permanently; 0 = unlimited.
+  std::size_t replan_budget = 0;
+  /// Batches with at least this many plannable jobs use the sharded online
+  /// planner; 0 = never shard.
+  std::size_t shard_min_batch_jobs = 0;
+  shard::ShardPlannerConfig shard{};
+  /// Placement/engine knobs for the flat and greedy paths (the relaxation
+  /// mode is forced to Fluid, sync to Relaxed).
+  core::HareConfig hare{};
+};
+
+struct ServeReport {
+  sim::Schedule schedule;      ///< cumulative served plan
+  double objective = 0.0;      ///< planned sum of weighted completions
+  std::size_t arrivals = 0;    ///< stream arrivals admitted
+  std::size_t planned_jobs = 0;
+  std::size_t batches = 0;     ///< planned (non-empty) batches
+  std::size_t max_batch_jobs = 0;
+  std::size_t canceled = 0;      ///< cancels that landed before planning
+  std::size_t late_cancels = 0;  ///< cancels after the job was planned
+  std::size_t completions = 0;
+  std::size_t fault_events = 0;  ///< GPU failures + recoveries applied
+  std::size_t displaced_tasks = 0;
+  std::size_t continuations = 0;  ///< continuation jobs re-entered
+  // Per-path batch counts.
+  std::size_t lp_batches = 0;
+  std::size_t flat_batches = 0;
+  std::size_t sharded_batches = 0;
+  std::size_t greedy_batches = 0;
+  ReplannerStats lp;  ///< warm/cold solve + pivot counts
+};
+
+class ServeService {
+ public:
+  ServeService(const cluster::Cluster& cluster, workload::PerfModel perf,
+               ServeConfig config);
+
+  /// Drain a pull-based arrival stream (plus scripted fault events) to the
+  /// end and return the served plan. A service instance serves one stream.
+  ServeReport run(workload::TraceStream& stream,
+                  const fault::FaultPlan& faults = {});
+
+  /// Same, over an explicit arrival list (specs in nondecreasing arrival
+  /// order) — the porting surface for the offline benches and tests.
+  ServeReport run(const std::vector<workload::JobSpec>& arrivals,
+                  const fault::FaultPlan& faults = {});
+
+  /// Post-run instance state, for replaying the served schedule through
+  /// the simulator or inspecting per-job outcomes.
+  [[nodiscard]] const workload::JobSet& jobs() const { return jobs_; }
+  [[nodiscard]] const profiler::TimeTable& times() const { return times_; }
+
+ private:
+  template <typename NextSpec>
+  ServeReport serve(NextSpec&& next_spec, const fault::FaultPlan& faults);
+
+  JobId admit(workload::JobSpec spec, AdmissionBatcher& batcher);
+  void flush_batch(AdmissionBatcher& batcher);
+  void apply_event(const ServeEvent& event, AdmissionBatcher& batcher);
+  void plan_batch(const std::vector<JobId>& plannable);
+
+  const cluster::Cluster& cluster_;
+  workload::PerfModel perf_;
+  ServeConfig config_;
+
+  workload::JobSet jobs_;
+  profiler::TimeTable times_;
+  sim::Schedule schedule_;
+  core::HareScheduler::IncrementalState state_;
+  std::vector<Time> saved_phi_;  ///< pre-failure horizons of dead GPUs
+  std::vector<char> alive_;
+  std::vector<char> canceled_;   ///< admitted but never to be planned
+  std::vector<char> planned_;
+  std::vector<char> continued_;  ///< a continuation was already spawned
+  std::vector<char> precanceled_;  ///< cancel seen before arrival (by index)
+  std::vector<Time> h_;
+
+  core::HareScheduler flat_;
+  IncrementalReplanner replanner_;
+  std::optional<shard::HierarchicalPlanner> sharded_;
+
+  ServeReport report_;
+  std::size_t replans_spent_ = 0;  ///< non-greedy replans so far
+  bool ran_ = false;
+};
+
+}  // namespace hare::serve

@@ -70,6 +70,205 @@ sim::Schedule HierarchicalPlanner::schedule_with_order(
   return plan(input, &plan_order);
 }
 
+double HierarchicalPlanner::schedule_online(const sched::SchedulerInput& input,
+                                            const std::vector<char>& job_mask,
+                                            std::vector<Time>& phi,
+                                            sim::Schedule& schedule) {
+  HARE_SPAN("shard", "shard.replan_online");
+  static obs::Counter& replans_counter = obs::counter("shard.online_replans");
+  static obs::Counter& planned_counter =
+      obs::counter("shard.online_shards_planned");
+
+  const cluster::Cluster& cluster = input.cluster;
+  const workload::JobSet& jobs = input.jobs;
+  const profiler::TimeTable& times = input.times;
+  const std::size_t gpu_count = cluster.gpu_count();
+  HARE_CHECK_MSG(gpu_count > 0, "cluster has no GPUs");
+  HARE_CHECK_MSG(job_mask.size() == jobs.job_count(), "job mask size mismatch");
+  HARE_CHECK_MSG(phi.size() == gpu_count, "phi size mismatch");
+  HARE_CHECK_MSG(schedule.sequences.size() == gpu_count,
+                 "schedule does not span the cluster");
+  HARE_CHECK_MSG(schedule.predicted_start.size() >= jobs.task_count(),
+                 "predicted_start does not span the instance");
+  times.precompute();
+
+  const ShardPartition partition = partition_cluster(cluster, config_.shards);
+  const std::size_t shard_count = partition.size();
+
+  // ---- Level 1: assign the batch's jobs, loads seeded from φ -------------
+  std::vector<std::vector<JobId>> shard_jobs(shard_count);
+  {
+    HARE_SPAN("shard", "shard.assign");
+    std::vector<std::vector<ShardTypeSummary>> shard_types(shard_count);
+    std::vector<double> load(shard_count, 0.0);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      shard_types[s] = summarize_types(cluster, partition.shards[s]);
+      // The horizon a new arrival queues behind: the shard's worst standing
+      // commitment.
+      for (const GpuId g : partition.shards[s].gpus) {
+        load[s] = std::max(load[s], phi[static_cast<std::size_t>(g.value())]);
+      }
+    }
+
+    std::vector<JobId> wspt;
+    std::vector<double> key(jobs.job_count(), 0.0);
+    for (const auto& job : jobs.jobs()) {
+      if (!job_mask[static_cast<std::size_t>(job.id.value())]) continue;
+      key[static_cast<std::size_t>(job.id.value())] =
+          job.spec.arrival + static_cast<double>(job.rounds()) *
+                                 static_cast<double>(job.tasks_per_round()) *
+                                 times.min_total(job.id) / job.spec.weight;
+      wspt.push_back(job.id);
+    }
+    std::sort(wspt.begin(), wspt.end(), [&](JobId a, JobId b) {
+      const double ka = key[static_cast<std::size_t>(a.value())];
+      const double kb = key[static_cast<std::size_t>(b.value())];
+      if (ka != kb) return ka < kb;
+      return a < b;
+    });
+
+    for (const JobId job_id : wspt) {
+      const workload::Job& job = jobs.job(job_id);
+      std::size_t best = shard_count;
+      double best_est = kTimeInfinity;
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        std::size_t fitting = 0;
+        Time best_round = kTimeInfinity;
+        for (const ShardTypeSummary& t : shard_types[s]) {
+          if (!workload::task_fits(job, cluster.gpu(t.representative))) {
+            continue;
+          }
+          fitting += t.count;
+          best_round =
+              std::min(best_round, times.total(job_id, t.representative));
+        }
+        if (fitting < job.tasks_per_round()) continue;
+        const double work = static_cast<double>(job.rounds()) *
+                            static_cast<double>(job.tasks_per_round()) *
+                            best_round;
+        const double est = std::max(job.spec.arrival, load[s]) +
+                           work / static_cast<double>(fitting);
+        if (est < best_est) {  // strict <: ties stay with the lower shard
+          best_est = est;
+          best = s;
+        }
+      }
+      HARE_CHECK_MSG(best < shard_count,
+                     "job " << job_id << " fits no shard (sync scale "
+                            << job.tasks_per_round()
+                            << " too large — use fewer shards)");
+      load[best] = best_est;
+      shard_jobs[best].push_back(job_id);
+    }
+    for (auto& list : shard_jobs) std::sort(list.begin(), list.end());
+  }
+
+  // ---- Level 2: plan only the shards that received batch jobs ------------
+  struct OnlineOutcome {
+    bool planned = false;
+    std::vector<std::vector<TaskId>> sequences;  ///< per local gpu, global ids
+    std::vector<std::pair<std::size_t, Time>> starts;
+    std::vector<Time> phi;  ///< per local gpu, advanced horizons
+    double objective = 0.0;
+  };
+  auto plan_shard = [&](std::size_t s) -> OnlineOutcome {
+    OnlineOutcome outcome;
+    if (shard_jobs[s].empty()) return outcome;
+    HARE_SPAN_ARG("shard", "shard.replan_one", "shard",
+                  static_cast<double>(s));
+    const ShardSpec& spec = partition.shards[s];
+    const std::size_t local_gpus = spec.gpus.size();
+
+    workload::JobSet local_jobs;
+    for (const JobId global : shard_jobs[s]) {
+      local_jobs.add_job(jobs.job(global).spec);
+    }
+    profiler::TimeTable local_times(local_jobs.job_count(), local_gpus);
+    for (std::size_t lj = 0; lj < shard_jobs[s].size(); ++lj) {
+      const JobId global = shard_jobs[s][lj];
+      const JobId local(static_cast<int>(lj));
+      for (std::size_t lg = 0; lg < local_gpus; ++lg) {
+        const GpuId gg = spec.gpus[lg];
+        local_times.set(local, GpuId(static_cast<int>(lg)),
+                        times.tc(global, gg), times.ts(global, gg));
+      }
+    }
+
+    core::HareConfig hare = config_.hare;
+    hare.relaxation.mode = core::RelaxMode::Fluid;
+    hare.sync = core::SyncScheme::Relaxed;
+    core::HareScheduler planner(hare);
+    core::HareScheduler::IncrementalState state;
+    state.phi.resize(local_gpus);
+    for (std::size_t lg = 0; lg < local_gpus; ++lg) {
+      state.phi[lg] =
+          phi[static_cast<std::size_t>(spec.gpus[lg].value())];
+    }
+    const std::vector<char> all(local_jobs.job_count(), 1);
+    sim::Schedule local;
+    const sched::SchedulerInput local_input{spec.sub, local_jobs, local_times};
+    outcome.objective = planner.schedule_jobs(local_input, all, state, local);
+    outcome.planned = true;
+    outcome.phi = std::move(state.phi);
+
+    auto global_task = [&](TaskId local_task) {
+      const workload::Task& t = local_jobs.task(local_task);
+      const workload::Job& g =
+          jobs.job(shard_jobs[s][static_cast<std::size_t>(t.job.value())]);
+      return g.tasks[static_cast<std::size_t>(t.round) * g.tasks_per_round() +
+                     t.slot];
+    };
+    outcome.sequences.resize(local_gpus);
+    for (std::size_t lg = 0; lg < local_gpus; ++lg) {
+      outcome.sequences[lg].reserve(local.sequences[lg].size());
+      for (const TaskId lt : local.sequences[lg]) {
+        outcome.sequences[lg].push_back(global_task(lt));
+      }
+    }
+    outcome.starts.reserve(local_jobs.task_count());
+    for (const auto& task : local_jobs.tasks()) {
+      outcome.starts.emplace_back(
+          static_cast<std::size_t>(global_task(task.id).value()),
+          local.predicted_start[static_cast<std::size_t>(task.id.value())]);
+    }
+    return outcome;
+  };
+
+  std::vector<OnlineOutcome> outcomes(shard_count);
+  {
+    HARE_SPAN("shard", "shard.plan_shards");
+    const bool nested = common::ThreadPool::current() != nullptr;
+    exp::Engine engine(
+        exp::Engine::Options{config_.workers, config_.serial || nested});
+    outcomes = engine.map(shard_count, plan_shard);
+  }
+
+  // ---- Merge (canonical ascending-shard order, append-only) --------------
+  double total = 0.0;
+  std::size_t shards_planned = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    OnlineOutcome& outcome = outcomes[s];
+    if (!outcome.planned) continue;
+    ++shards_planned;
+    const ShardSpec& spec = partition.shards[s];
+    for (std::size_t lg = 0; lg < spec.gpus.size(); ++lg) {
+      const std::size_t g = static_cast<std::size_t>(spec.gpus[lg].value());
+      auto& target = schedule.sequences[g];
+      target.insert(target.end(), outcome.sequences[lg].begin(),
+                    outcome.sequences[lg].end());
+      phi[g] = outcome.phi[lg];
+    }
+    for (const auto& [task_value, start] : outcome.starts) {
+      schedule.predicted_start[task_value] = start;
+    }
+    total += outcome.objective;
+  }
+  schedule.predicted_objective += total;
+  replans_counter.add();
+  planned_counter.add(static_cast<double>(shards_planned));
+  return total;
+}
+
 sim::Schedule HierarchicalPlanner::plan(
     const sched::SchedulerInput& input,
     const std::vector<std::size_t>* order) {

@@ -92,6 +92,22 @@ class HierarchicalPlanner final : public sched::Scheduler {
       const sched::SchedulerInput& input,
       const std::vector<std::size_t>& plan_order);
 
+  /// Online entry point (shard-local replans — ROADMAP item 2 married to
+  /// the serving loop): plan only the jobs with `job_mask[id] != 0` on top
+  /// of the standing per-GPU commitment horizons `phi`, appending the batch
+  /// onto `schedule`, whose sequences must already span the cluster and
+  /// whose predicted_start must span the instance. Level 1 seeds each
+  /// shard's load with its worst commitment horizon; level 2 plans **only**
+  /// the shards that received a batch job (an arrival replans its shard,
+  /// not the cluster) through the flat incremental contract
+  /// (HareScheduler::schedule_jobs), so the Fluid relaxation is used
+  /// regardless of `lp_max_jobs`. Commitments are never revised and `phi`
+  /// advances in place. Returns the batch's planned weighted-completion
+  /// contribution. Bit-identical across serial and pooled shard fan-out.
+  double schedule_online(const sched::SchedulerInput& input,
+                         const std::vector<char>& job_mask,
+                         std::vector<Time>& phi, sim::Schedule& schedule);
+
   [[nodiscard]] const HierarchicalPlanInfo& last_plan() const {
     return last_plan_;
   }

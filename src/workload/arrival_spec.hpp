@@ -1,0 +1,36 @@
+// Arrival-burstiness spec strings (the remaining half of ROADMAP item 5).
+//
+// Same WiredTiger-style `key=value,key=value` grammar as fault specs
+// (fault/fault_spec.hpp): the whole arrival process of a scenario — Poisson
+// rate, burst factor, stochastic burst shape or deterministic on/off
+// periods — is one copy-pastable string, so the serving front-end and the
+// scenario harness grow arrival variants without new C++. Unknown keys and
+// malformed or out-of-range values throw hare::common::Error, exactly like
+// fault specs.
+//
+//   "jobs=500,rate=0.5,burst=8,burst_prob=0.2,burst_len=10"
+//   "jobs=200,rate=2,burst=5,on_period=30,off_period=90"
+//
+// Keys (all optional; defaults = TraceConfig defaults):
+//   jobs=N          job count of the stream
+//   rate=R          quiet-state Poisson arrival rate, jobs/s (> 0)
+//   burst=X         burst rate multiplier (>= 1)
+//   burst_prob=P    per-arrival probability of entering a burst ([0, 1])
+//   burst_len=L     mean jobs per burst (> 0)
+//   on_period=S     deterministic burst window, seconds (with off_period)
+//   off_period=S    deterministic quiet window, seconds (with on_period)
+//   rounds_min=F    lower rounds scale (0 < rounds_min <= rounds_max)
+//   rounds_max=F    upper rounds scale
+//   batch_scale=F   global batch-size multiplier (> 0)
+#pragma once
+
+#include <string_view>
+
+#include "workload/trace.hpp"
+
+namespace hare::workload {
+
+/// Parse an arrival spec on top of default TraceConfig values.
+[[nodiscard]] TraceConfig parse_arrival_spec(std::string_view text);
+
+}  // namespace hare::workload

@@ -1,6 +1,7 @@
 #include "workload/trace.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -43,6 +44,71 @@ ModelType TraceGenerator::draw_model(const WorkloadMix& mix) {
   return members[rng_.uniform_int(members.size())];
 }
 
+JobSpec TraceGenerator::next_spec(const TraceConfig& config, std::size_t index,
+                                  Time& clock, bool& bursting,
+                                  std::size_t& burst_remaining) {
+  // Two-state MMPP: occasionally enter a burst whose arrivals come at
+  // burst_rate_multiplier times the base rate for ~mean_burst_length jobs.
+  // A configured on/off duty cycle replaces the stochastic burst draws with
+  // a fixed schedule keyed off the arrival clock.
+  const bool duty_cycle =
+      config.burst_on_period > 0.0 && config.burst_off_period > 0.0;
+  if (duty_cycle) {
+    const double period = config.burst_on_period + config.burst_off_period;
+    bursting = std::fmod(clock, period) < config.burst_on_period;
+  } else if (!bursting && rng_.bernoulli(config.burst_probability)) {
+    bursting = true;
+    burst_remaining = 1 + static_cast<std::size_t>(rng_.exponential(
+                              1.0 / std::max(1.0, config.mean_burst_length)));
+  }
+  const double rate = bursting ? config.base_arrival_rate *
+                                     config.burst_rate_multiplier
+                               : config.base_arrival_rate;
+  clock += rng_.exponential(rate);
+  if (!duty_cycle && bursting && --burst_remaining == 0) bursting = false;
+
+  JobSpec spec;
+  spec.model = draw_model(config.mix);
+  spec.arrival = clock;
+
+  // Sync scale |D_r|.
+  double scale_total = 0.0;
+  for (double w : config.sync_scale_weight) scale_total += w;
+  double r = rng_.uniform() * scale_total;
+  std::size_t pick = 0;
+  for (; pick + 1 < config.sync_scales.size(); ++pick) {
+    if (r < config.sync_scale_weight[pick]) break;
+    r -= config.sync_scale_weight[pick];
+  }
+  spec.tasks_per_round = config.sync_scales[pick];
+
+  const ModelSpec& model = model_spec(spec.model);
+  const double rounds_scale =
+      rng_.uniform(config.rounds_scale_min, config.rounds_scale_max);
+  spec.rounds = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(
+             static_cast<double>(model.typical_rounds) * rounds_scale));
+
+  double odds_total = 0.0;
+  for (double w : config.weight_odds) odds_total += w;
+  double wr = rng_.uniform() * odds_total;
+  if (wr < config.weight_odds[0]) {
+    spec.weight = 1.0;
+  } else if (wr < config.weight_odds[0] + config.weight_odds[1]) {
+    spec.weight = 2.0;
+  } else {
+    spec.weight = 4.0;
+  }
+
+  spec.batch_size = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(
+             static_cast<double>(model.default_batch_size) *
+             config.batch_scale));
+  spec.batches_per_task = config.batches_per_task;
+  spec.name = std::string(model.name) + "-" + std::to_string(index);
+  return spec;
+}
+
 JobSet TraceGenerator::generate(const TraceConfig& config) {
   HARE_CHECK_MSG(config.job_count > 0, "trace needs at least one job");
   HARE_CHECK_MSG(config.base_arrival_rate > 0.0,
@@ -52,63 +118,24 @@ JobSet TraceGenerator::generate(const TraceConfig& config) {
   Time clock = 0.0;
   bool bursting = false;
   std::size_t burst_remaining = 0;
-
   for (std::size_t i = 0; i < config.job_count; ++i) {
-    // Two-state MMPP: occasionally enter a burst whose arrivals come at
-    // burst_rate_multiplier times the base rate for ~mean_burst_length jobs.
-    if (!bursting && rng_.bernoulli(config.burst_probability)) {
-      bursting = true;
-      burst_remaining = 1 + static_cast<std::size_t>(rng_.exponential(
-                                1.0 / std::max(1.0, config.mean_burst_length)));
-    }
-    const double rate = bursting ? config.base_arrival_rate *
-                                       config.burst_rate_multiplier
-                                 : config.base_arrival_rate;
-    clock += rng_.exponential(rate);
-    if (bursting && --burst_remaining == 0) bursting = false;
-
-    JobSpec spec;
-    spec.model = draw_model(config.mix);
-    spec.arrival = clock;
-
-    // Sync scale |D_r|.
-    double scale_total = 0.0;
-    for (double w : config.sync_scale_weight) scale_total += w;
-    double r = rng_.uniform() * scale_total;
-    std::size_t pick = 0;
-    for (; pick + 1 < config.sync_scales.size(); ++pick) {
-      if (r < config.sync_scale_weight[pick]) break;
-      r -= config.sync_scale_weight[pick];
-    }
-    spec.tasks_per_round = config.sync_scales[pick];
-
-    const ModelSpec& model = model_spec(spec.model);
-    const double rounds_scale =
-        rng_.uniform(config.rounds_scale_min, config.rounds_scale_max);
-    spec.rounds = std::max<std::uint32_t>(
-        1, static_cast<std::uint32_t>(
-               static_cast<double>(model.typical_rounds) * rounds_scale));
-
-    double odds_total = 0.0;
-    for (double w : config.weight_odds) odds_total += w;
-    double wr = rng_.uniform() * odds_total;
-    if (wr < config.weight_odds[0]) {
-      spec.weight = 1.0;
-    } else if (wr < config.weight_odds[0] + config.weight_odds[1]) {
-      spec.weight = 2.0;
-    } else {
-      spec.weight = 4.0;
-    }
-
-    spec.batch_size = std::max<std::uint32_t>(
-        1, static_cast<std::uint32_t>(
-               static_cast<double>(model.default_batch_size) *
-               config.batch_scale));
-    spec.batches_per_task = config.batches_per_task;
-    spec.name = std::string(model.name) + "-" + std::to_string(i);
-    jobs.add_job(std::move(spec));
+    jobs.add_job(next_spec(config, i, clock, bursting, burst_remaining));
   }
   return jobs;
+}
+
+TraceStream::TraceStream(std::uint64_t seed, const TraceConfig& config)
+    : config_(config), generator_(seed) {
+  HARE_CHECK_MSG(config.job_count > 0, "trace needs at least one job");
+  HARE_CHECK_MSG(config.base_arrival_rate > 0.0,
+                 "arrival rate must be positive");
+}
+
+JobSpec TraceStream::next() {
+  HARE_CHECK_MSG(!exhausted(), "trace stream exhausted after "
+                                   << config_.job_count << " jobs");
+  return generator_.next_spec(config_, index_++, clock_, bursting_,
+                              burst_remaining_);
 }
 
 namespace {

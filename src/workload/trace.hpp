@@ -40,6 +40,13 @@ struct TraceConfig {
   double burst_probability = 0.15;
   double mean_burst_length = 5.0;  ///< jobs per burst on average
 
+  /// Deterministic on/off duty cycle (seconds). When both are > 0 the
+  /// stochastic per-job burst draws are replaced by a fixed schedule:
+  /// arrivals whose clock falls inside the first `burst_on_period` seconds
+  /// of each on+off window come at the burst rate. 0 keeps the MMPP.
+  double burst_on_period = 0.0;
+  double burst_off_period = 0.0;
+
   /// Sync scales (|D_r|) to draw from, with weights.
   std::array<std::uint32_t, 4> sync_scales = {1, 2, 4, 8};
   std::array<double, 4> sync_scale_weight = {0.25, 0.35, 0.25, 0.15};
@@ -66,8 +73,44 @@ class TraceGenerator {
   [[nodiscard]] JobSet generate(const TraceConfig& config);
 
  private:
+  friend class TraceStream;
+
+  /// Draw one job's spec, threading the MMPP state; generate() and
+  /// TraceStream both run this exact sequence, so a streamed trace is
+  /// bit-identical to a materialized one from the same seed.
+  JobSpec next_spec(const TraceConfig& config, std::size_t index, Time& clock,
+                    bool& bursting, std::size_t& burst_remaining);
   ModelType draw_model(const WorkloadMix& mix);
   common::Rng rng_;
+};
+
+/// Pull-based arrival stream: yields the same job sequence
+/// TraceGenerator(seed).generate(config) would materialize, one JobSpec at
+/// a time, so a serving front-end (or a 100k-job shard sweep) can admit
+/// arrivals without ever holding the whole JobSet in memory.
+class TraceStream {
+ public:
+  TraceStream(std::uint64_t seed, const TraceConfig& config);
+
+  /// True once config.job_count specs have been drawn.
+  [[nodiscard]] bool exhausted() const { return index_ >= config_.job_count; }
+
+  /// Number of specs drawn so far (equals the next spec's index).
+  [[nodiscard]] std::size_t drawn() const { return index_; }
+
+  [[nodiscard]] const TraceConfig& config() const { return config_; }
+
+  /// Draw the next job spec; arrivals are nondecreasing across calls.
+  /// Throws once the stream is exhausted.
+  [[nodiscard]] JobSpec next();
+
+ private:
+  TraceConfig config_;
+  TraceGenerator generator_;
+  Time clock_ = 0.0;
+  bool bursting_ = false;
+  std::size_t burst_remaining_ = 0;
+  std::size_t index_ = 0;
 };
 
 /// Plain-text trace serialization: one header line, then one line per job

@@ -1,0 +1,381 @@
+// hare::serve tests: pull-based trace streaming, arrival-spec parsing,
+// the schedule_jobs_with_h core seam, admission-batch determinism across
+// tick sizes, warm-vs-cold and sparse-vs-dense served-schedule parity,
+// replan-budget exhaustion fallback, fault-event-driven replanning, and
+// serial-vs-pooled bit-identity of the sharded serve path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/error.hpp"
+#include "core/hare_scheduler.hpp"
+#include "fault/fault_plan.hpp"
+#include "profiler/profiler.hpp"
+#include "serve/serve_service.hpp"
+#include "sim/schedule.hpp"
+#include "workload/arrival_spec.hpp"
+#include "workload/trace.hpp"
+
+namespace hare {
+namespace {
+
+bool schedules_identical(const sim::Schedule& a, const sim::Schedule& b) {
+  return a.sequences == b.sequences &&
+         a.predicted_start == b.predicted_start &&
+         a.predicted_objective == b.predicted_objective;
+}
+
+bool specs_identical(const workload::JobSpec& a, const workload::JobSpec& b) {
+  return a.model == b.model && a.arrival == b.arrival &&
+         a.weight == b.weight && a.rounds == b.rounds &&
+         a.tasks_per_round == b.tasks_per_round &&
+         a.batch_size == b.batch_size &&
+         a.batches_per_task == b.batches_per_task && a.name == b.name;
+}
+
+/// Specs with controlled arrival times: one job every `gap` seconds.
+std::vector<workload::JobSpec> spaced_arrivals(std::size_t count, Time gap,
+                                               Time start = 0.0) {
+  std::vector<workload::JobSpec> specs;
+  const workload::ModelType models[] = {
+      workload::ModelType::ResNet50, workload::ModelType::BertBase,
+      workload::ModelType::DeepSpeech, workload::ModelType::FastGCN};
+  for (std::size_t i = 0; i < count; ++i) {
+    workload::JobSpec spec;
+    spec.model = models[i % 4];
+    spec.arrival = start + static_cast<double>(i) * gap;
+    spec.rounds = 3 + static_cast<std::uint32_t>(i % 4);
+    spec.tasks_per_round = 1 + static_cast<std::uint32_t>(i % 3);
+    spec.weight = 1.0 + static_cast<double>(i % 2);
+    spec.name = "job-" + std::to_string(i);
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+// ------------------------------------------------------ trace streaming --
+
+TEST(TraceStream, MatchesMaterializedGenerate) {
+  workload::TraceConfig config;
+  config.job_count = 64;
+  config.base_arrival_rate = 0.4;
+  const workload::JobSet jobs = workload::TraceGenerator(91).generate(config);
+  workload::TraceStream stream(91, config);
+  for (std::size_t i = 0; i < config.job_count; ++i) {
+    ASSERT_FALSE(stream.exhausted());
+    EXPECT_EQ(stream.drawn(), i);
+    const workload::JobSpec spec = stream.next();
+    EXPECT_TRUE(
+        specs_identical(spec, jobs.job(JobId(static_cast<int>(i))).spec))
+        << "job " << i;
+  }
+  EXPECT_TRUE(stream.exhausted());
+  EXPECT_THROW((void)stream.next(), common::Error);
+}
+
+TEST(TraceStream, DutyCycleBurstsAreDeterministic) {
+  workload::TraceConfig config;
+  config.job_count = 48;
+  config.base_arrival_rate = 0.5;
+  config.burst_rate_multiplier = 8.0;
+  config.burst_on_period = 20.0;
+  config.burst_off_period = 60.0;
+  const workload::JobSet jobs = workload::TraceGenerator(7).generate(config);
+  workload::TraceStream stream(7, config);
+  Time last = 0.0;
+  for (std::size_t i = 0; i < config.job_count; ++i) {
+    const workload::JobSpec spec = stream.next();
+    EXPECT_TRUE(
+        specs_identical(spec, jobs.job(JobId(static_cast<int>(i))).spec));
+    EXPECT_GE(spec.arrival, last);
+    last = spec.arrival;
+  }
+  // The duty cycle replaces the stochastic burst draws, so the same seed
+  // with the MMPP disabled draws a different (still monotone) sequence.
+  workload::TraceConfig quiet = config;
+  quiet.burst_on_period = 0.0;
+  quiet.burst_off_period = 0.0;
+  const workload::JobSet other = workload::TraceGenerator(7).generate(quiet);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < config.job_count; ++i) {
+    const JobId id(static_cast<int>(i));
+    any_difference |= jobs.job(id).spec.arrival != other.job(id).spec.arrival;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// --------------------------------------------------------- arrival spec --
+
+TEST(ArrivalSpec, ParsesEveryKey) {
+  const workload::TraceConfig config = workload::parse_arrival_spec(
+      "jobs=120,rate=1.5,burst=4,burst_prob=0.3,burst_len=6,"
+      "on_period=15,off_period=45,rounds_min=0.2,rounds_max=0.6,"
+      "batch_scale=2");
+  EXPECT_EQ(config.job_count, 120u);
+  EXPECT_DOUBLE_EQ(config.base_arrival_rate, 1.5);
+  EXPECT_DOUBLE_EQ(config.burst_rate_multiplier, 4.0);
+  EXPECT_DOUBLE_EQ(config.burst_probability, 0.3);
+  EXPECT_DOUBLE_EQ(config.mean_burst_length, 6.0);
+  EXPECT_DOUBLE_EQ(config.burst_on_period, 15.0);
+  EXPECT_DOUBLE_EQ(config.burst_off_period, 45.0);
+  EXPECT_DOUBLE_EQ(config.rounds_scale_min, 0.2);
+  EXPECT_DOUBLE_EQ(config.rounds_scale_max, 0.6);
+  EXPECT_DOUBLE_EQ(config.batch_scale, 2.0);
+}
+
+TEST(ArrivalSpec, MalformedSpecsThrow) {
+  EXPECT_THROW((void)workload::parse_arrival_spec("jobz=10"), common::Error);
+  EXPECT_THROW((void)workload::parse_arrival_spec("rate=fast"), common::Error);
+  EXPECT_THROW((void)workload::parse_arrival_spec("jobs=0"), common::Error);
+  EXPECT_THROW((void)workload::parse_arrival_spec("rate"), common::Error);
+  EXPECT_THROW((void)workload::parse_arrival_spec("burst_prob=1.5"),
+               common::Error);
+  EXPECT_THROW((void)workload::parse_arrival_spec("on_period=10"),
+               common::Error);
+  EXPECT_THROW((void)workload::parse_arrival_spec(
+                   "rounds_min=0.8,rounds_max=0.4"),
+               common::Error);
+}
+
+// ----------------------------------------------------- core with-h seam --
+
+TEST(ScheduleWithH, ReproducesScheduleJobsGivenItsH) {
+  const cluster::Cluster cluster = cluster::make_testbed_cluster();
+  workload::JobSet jobs;
+  for (const auto& spec : spaced_arrivals(10, 5.0)) jobs.add_job(spec);
+  const profiler::Profiler profiler({}, {}, 3);
+  const profiler::TimeTable times = profiler.exact(jobs, cluster);
+  const sched::SchedulerInput input{cluster, jobs, times};
+  const std::vector<char> mask(jobs.job_count(), 1);
+
+  core::HareConfig config;
+  config.relaxation.mode = core::RelaxMode::Fluid;
+  core::HareScheduler planner(config);
+  core::HareScheduler::IncrementalState state_a;
+  sim::Schedule a;
+  const double obj_a = planner.schedule_jobs(input, mask, state_a, a);
+
+  core::HareScheduler replayer(config);
+  core::HareScheduler::IncrementalState state_b;
+  sim::Schedule b;
+  const double obj_b = replayer.schedule_jobs_with_h(
+      input, mask, planner.last_relaxation().h, state_b, b);
+
+  EXPECT_EQ(obj_a, obj_b);
+  EXPECT_TRUE(schedules_identical(a, b));
+  EXPECT_EQ(state_a.phi, state_b.phi);
+}
+
+// ------------------------------------------------------- serve batching --
+
+serve::ServeConfig small_lp_config() {
+  serve::ServeConfig config;
+  config.lp_max_batch_jobs = 64;
+  return config;
+}
+
+TEST(Serve, TickSizesWithIdenticalCoalescingMatchBitForBit) {
+  const cluster::Cluster cluster = cluster::make_testbed_cluster();
+  const auto arrivals = spaced_arrivals(12, 2.0);
+  // Arrivals are 2 s apart, so every tick below 2 s yields singleton
+  // batches: the partitions coincide and so must the served schedules.
+  sim::Schedule reference;
+  bool have_reference = false;
+  for (const Time tick : {0.0, 0.5, 1.9}) {
+    serve::ServeConfig config = small_lp_config();
+    config.tick = tick;
+    serve::ServeService service(cluster, workload::PerfModel{}, config);
+    const serve::ServeReport report = service.run(arrivals);
+    EXPECT_EQ(report.batches, arrivals.size()) << "tick " << tick;
+    sim::validate_schedule(report.schedule, service.jobs());
+    if (!have_reference) {
+      reference = report.schedule;
+      have_reference = true;
+    } else {
+      EXPECT_TRUE(schedules_identical(reference, report.schedule))
+          << "tick " << tick;
+    }
+  }
+  // A tick wide enough to merge everything batches differently (one joint
+  // planning round) but still plans every job exactly once.
+  serve::ServeConfig wide = small_lp_config();
+  wide.tick = 1000.0;
+  serve::ServeService service(cluster, workload::PerfModel{}, wide);
+  const serve::ServeReport report = service.run(arrivals);
+  EXPECT_EQ(report.batches, 1u);
+  EXPECT_EQ(report.planned_jobs, arrivals.size());
+  sim::validate_schedule(report.schedule, service.jobs());
+}
+
+TEST(Serve, WarmAndColdLpServeIdenticalSchedules) {
+  const cluster::Cluster cluster = cluster::make_testbed_cluster();
+  const auto arrivals = spaced_arrivals(18, 1.0);
+  serve::ServeConfig warm = small_lp_config();
+  warm.tick = 3.0;
+  serve::ServeConfig cold = warm;
+  cold.warm_lp = false;
+
+  serve::ServeService warm_service(cluster, workload::PerfModel{}, warm);
+  const serve::ServeReport warm_report = warm_service.run(arrivals);
+  serve::ServeService cold_service(cluster, workload::PerfModel{}, cold);
+  const serve::ServeReport cold_report = cold_service.run(arrivals);
+
+  EXPECT_GT(warm_report.lp_batches, 1u);
+  EXPECT_GT(warm_report.lp.warm_solves, 0u);
+  EXPECT_EQ(cold_report.lp.warm_solves, 0u);
+  EXPECT_TRUE(
+      schedules_identical(warm_report.schedule, cold_report.schedule));
+  sim::validate_schedule(warm_report.schedule, warm_service.jobs());
+}
+
+TEST(Serve, LpBackendsServeIdenticalSchedules) {
+  const cluster::Cluster cluster = cluster::make_testbed_cluster();
+  const auto arrivals = spaced_arrivals(10, 1.5);
+  serve::ServeConfig sparse = small_lp_config();
+  sparse.tick = 4.0;
+  sparse.lp_backend = opt::LpBackend::Sparse;
+  serve::ServeConfig dense = sparse;
+  dense.lp_backend = opt::LpBackend::Dense;
+
+  serve::ServeService sparse_service(cluster, workload::PerfModel{}, sparse);
+  const serve::ServeReport sparse_report = sparse_service.run(arrivals);
+  serve::ServeService dense_service(cluster, workload::PerfModel{}, dense);
+  const serve::ServeReport dense_report = dense_service.run(arrivals);
+
+  EXPECT_GT(sparse_report.lp_batches, 0u);
+  EXPECT_EQ(sparse_report.lp_batches, dense_report.lp_batches);
+  EXPECT_TRUE(
+      schedules_identical(sparse_report.schedule, dense_report.schedule));
+}
+
+TEST(Serve, CompactionBoundForcesColdRebuildsButSameSchedule) {
+  const cluster::Cluster cluster = cluster::make_testbed_cluster();
+  const auto arrivals = spaced_arrivals(16, 1.0);
+  serve::ServeConfig roomy = small_lp_config();
+  roomy.tick = 2.5;
+  serve::ServeConfig tight = roomy;
+  tight.lp_compact_rows = 8;  // force a rebuild nearly every batch
+
+  serve::ServeService roomy_service(cluster, workload::PerfModel{}, roomy);
+  const serve::ServeReport roomy_report = roomy_service.run(arrivals);
+  serve::ServeService tight_service(cluster, workload::PerfModel{}, tight);
+  const serve::ServeReport tight_report = tight_service.run(arrivals);
+
+  EXPECT_GT(tight_report.lp.compactions, 0u);
+  EXPECT_TRUE(
+      schedules_identical(roomy_report.schedule, tight_report.schedule));
+}
+
+TEST(Serve, ReplanBudgetExhaustionFallsBackToGreedy) {
+  const cluster::Cluster cluster = cluster::make_testbed_cluster();
+  const auto arrivals = spaced_arrivals(12, 2.0);
+  serve::ServeConfig config = small_lp_config();
+  config.replan_budget = 3;  // singleton batches: 12 replans wanted
+  serve::ServeService service(cluster, workload::PerfModel{}, config);
+  const serve::ServeReport report = service.run(arrivals);
+
+  EXPECT_EQ(report.lp_batches + report.flat_batches, 3u);
+  EXPECT_EQ(report.greedy_batches, report.batches - 3u);
+  EXPECT_GT(report.greedy_batches, 0u);
+  EXPECT_EQ(report.planned_jobs, arrivals.size());
+  sim::validate_schedule(report.schedule, service.jobs());
+
+  // The fallback is still deterministic.
+  serve::ServeService again(cluster, workload::PerfModel{}, config);
+  EXPECT_TRUE(
+      schedules_identical(report.schedule, again.run(arrivals).schedule));
+}
+
+// ---------------------------------------------------------- fault events --
+
+fault::FaultPlan gpu_blip(int gpu, Time fail, Time recover) {
+  fault::FaultPlan plan;
+  fault::FaultEvent down;
+  down.time = fail;
+  down.kind = fault::FaultKind::GpuFail;
+  down.gpu = GpuId(gpu);
+  plan.events.push_back(down);
+  fault::FaultEvent up;
+  up.time = recover;
+  up.kind = fault::FaultKind::GpuRecover;
+  up.gpu = GpuId(gpu);
+  plan.events.push_back(up);
+  return plan;
+}
+
+TEST(Serve, GpuFailureDisplacesAndSpawnsContinuations) {
+  const cluster::Cluster cluster = cluster::make_testbed_cluster();
+  const auto arrivals = spaced_arrivals(14, 1.0);
+  serve::ServeConfig config = small_lp_config();
+  config.tick = 2.0;
+  const fault::FaultPlan plan = gpu_blip(0, 6.0, 40.0);
+
+  serve::ServeService service(cluster, workload::PerfModel{}, config);
+  const serve::ServeReport report = service.run(arrivals, plan);
+
+  EXPECT_EQ(report.fault_events, 2u);
+  EXPECT_GT(report.displaced_tasks, 0u);
+  EXPECT_GT(report.continuations, 0u);
+  EXPECT_EQ(report.planned_jobs, arrivals.size() + report.continuations);
+  // Originals keep their committed tasks and continuations are planned
+  // once each, so the cumulative plan still covers every task exactly once.
+  sim::validate_schedule(report.schedule, service.jobs());
+
+  serve::ServeService again(cluster, workload::PerfModel{}, config);
+  EXPECT_TRUE(schedules_identical(report.schedule,
+                                  again.run(arrivals, plan).schedule));
+}
+
+TEST(Serve, CancelBeforePlanningSkipsTheJob) {
+  const cluster::Cluster cluster = cluster::make_testbed_cluster();
+  const auto arrivals = spaced_arrivals(8, 2.0);
+  fault::FaultPlan plan;
+  fault::FaultEvent cancel;
+  cancel.kind = fault::FaultKind::JobCancel;
+  cancel.job = JobId(5);
+  cancel.time = 1.0;  // long before job 5 arrives at t = 10
+  plan.events.push_back(cancel);
+
+  serve::ServeConfig config = small_lp_config();
+  serve::ServeService service(cluster, workload::PerfModel{}, config);
+  const serve::ServeReport report = service.run(arrivals, plan);
+
+  EXPECT_EQ(report.canceled, 1u);
+  EXPECT_EQ(report.planned_jobs, arrivals.size() - 1);
+  const workload::Job& dropped = service.jobs().job(JobId(5));
+  for (const auto& sequence : report.schedule.sequences) {
+    for (TaskId task : sequence) {
+      EXPECT_NE(service.jobs().task(task).job, dropped.id);
+    }
+  }
+}
+
+// ------------------------------------------------------------- sharding --
+
+TEST(Serve, ShardedServeIsBitIdenticalSerialVsPooled) {
+  const cluster::Cluster cluster =
+      cluster::make_simulation_cluster(32, 25.0, 8, 2);
+  const auto arrivals = spaced_arrivals(20, 0.5);
+
+  const auto run_with = [&](bool serial) {
+    serve::ServeConfig config;
+    config.tick = 4.0;
+    config.lp_max_batch_jobs = 0;  // force the sharded/flat paths
+    config.shard_min_batch_jobs = 2;
+    config.shard.serial = serial;
+    config.shard.workers = serial ? 0 : 3;
+    serve::ServeService service(cluster, workload::PerfModel{}, config);
+    return service.run(arrivals);
+  };
+  const serve::ServeReport serial_report = run_with(true);
+  const serve::ServeReport pooled_report = run_with(false);
+
+  EXPECT_GT(serial_report.sharded_batches, 0u);
+  EXPECT_EQ(serial_report.sharded_batches, pooled_report.sharded_batches);
+  EXPECT_TRUE(schedules_identical(serial_report.schedule,
+                                  pooled_report.schedule));
+}
+
+}  // namespace
+}  // namespace hare
