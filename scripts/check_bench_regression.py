@@ -63,9 +63,22 @@ bench_serve (BENCH_serve.json):
     gate; quick grids are fixed-cost dominated, so it is skipped
     there).
 
+bench_scale_100k (BENCH_scale.json):
+  * the pooled sharded plan diverged from the serial one, a plan failed
+    structural validation, the sparse-backend LpCuts plan differs from the
+    dense tableau reference, or Classic and Hyper sparse modes disagree on
+    an LP objective — correctness contracts, never waived, including in
+    quick mode;
+  * full mode: the hyper-sparse mode fell below the 1.5x speedup floor
+    over the classic sparse path on any wide (>= 4096 column) LP point —
+    an in-process ratio, so it holds across machines;
+  * full mode: the grid never reached the six-figure (100k-job) point.
+
 A baseline JSON missing an expected key fails with a clear message naming
 the key(s) and the gate(s) that had to be skipped — never a bare KeyError
-traceback.
+traceback. Numeric-floor failures print the observed value against the
+floor key by key (see fail_floor), so the CI log names the exact number
+that moved.
 
 Quick mode (--quick, or a JSON produced with --quick) runs tiny grids
 where fixed costs dominate, so only the determinism contracts and the
@@ -112,10 +125,30 @@ SHARD_MIN_RESORT_SAVINGS = 0.5
 # stream is dominated by fixed costs.
 SERVE_MIN_THROUGHPUT = 10000.0
 
+# Scale-bench thresholds: the full grid must actually reach the six-figure
+# point, and the hyper-sparse LP mode must beat the classic sparse path on
+# the wide (>= SCALE_LP_WIDE_COLS columns) LP points. The speedup is an
+# in-process ratio measured in the same run, so it holds across machines;
+# the quick grid's LP is small and single-rep, so the floor is full-mode
+# only there.
+SCALE_SIX_FIGURE_JOBS = 100000
+SCALE_LP_MIN_SPEEDUP = 1.5
+SCALE_LP_WIDE_COLS = 4096
+
 
 def fail(msg):
     print(f"REGRESSION: {msg}")
     return 1
+
+
+def fail_floor(tag, key, observed, floor, note=""):
+    """Threshold failure that spells out the observed value against its
+    floor, key by key, so a CI log names the exact number that moved
+    instead of burying it in prose."""
+    suffix = f" — {note}" if note else ""
+    return fail(
+        f"{tag}: {key} = {observed:.3f} vs floor {floor:.3f}{suffix}"
+    )
 
 
 def missing_keys(mapping, keys):
@@ -177,10 +210,10 @@ def check_planner(data, quick, path):
             if p["jobs"] >= LP_CUTS_MIN_JOBS and (
                 p["speedup_serial"] < LP_CUTS_MIN_SPEEDUP
             ):
-                errors += fail(
-                    f"{tag}: sparse backend speedup "
-                    f"{p['speedup_serial']:.2f} < {LP_CUTS_MIN_SPEEDUP:.1f}x "
-                    "over the dense reference"
+                errors += fail_floor(
+                    tag, "speedup_serial", p["speedup_serial"],
+                    LP_CUTS_MIN_SPEEDUP,
+                    "sparse backend vs the dense reference",
                 )
 
     if not quick:
@@ -197,9 +230,10 @@ def check_planner(data, quick, path):
                 )
                 continue
             if p["speedup_serial"] < ANY_POINT_MIN_SPEEDUP:
-                errors += fail(
-                    f"{tag}: optimized engine slower than naive "
-                    f"(speedup {p['speedup_serial']:.2f})"
+                errors += fail_floor(
+                    tag, "speedup_serial", p["speedup_serial"],
+                    ANY_POINT_MIN_SPEEDUP,
+                    "optimized engine slower than naive",
                 )
         fluid = [
             p
@@ -215,10 +249,10 @@ def check_planner(data, quick, path):
                     "large-fluid speedup gate",
                 )
             elif largest["speedup_serial"] < LARGE_FLUID_MIN_SPEEDUP:
-                errors += fail(
-                    f"large fluid grid {largest['jobs']}x{largest['gpus']}: "
-                    f"speedup {largest['speedup_serial']:.2f} < "
-                    f"{LARGE_FLUID_MIN_SPEEDUP:.1f}"
+                errors += fail_floor(
+                    f"large fluid grid {largest['jobs']}x{largest['gpus']}",
+                    "speedup_serial", largest["speedup_serial"],
+                    LARGE_FLUID_MIN_SPEEDUP,
                 )
 
     if errors:
@@ -240,19 +274,19 @@ def check_sweep(data, quick, path):
     if not quick and "speedup_1worker" in data:
         one_worker = data["speedup_1worker"]
         if one_worker < SWEEP_MIN_1WORKER_SPEEDUP:
-            errors += fail(
-                f"{path}: 1-worker sweep at {one_worker:.2f}x of the serial "
-                f"reference (< {SWEEP_MIN_1WORKER_SPEEDUP:.2f}x — the inline "
-                "single-worker path regressed)"
+            errors += fail_floor(
+                path, "speedup_1worker", one_worker,
+                SWEEP_MIN_1WORKER_SPEEDUP,
+                "the inline single-worker path regressed",
             )
 
     workers = data.get("workers", 1)
     if not quick and workers >= SWEEP_MIN_WORKERS:
         speedup = data.get("speedup", 0.0)
         if speedup < SWEEP_MIN_SPEEDUP:
-            errors += fail(
-                f"{path}: sweep speedup {speedup:.2f} < "
-                f"{SWEEP_MIN_SPEEDUP:.1f} on {workers} workers"
+            errors += fail_floor(
+                path, "speedup", speedup, SWEEP_MIN_SPEEDUP,
+                f"on {workers} workers",
             )
     elif not quick:
         print(
@@ -302,10 +336,9 @@ def check_shard(data, quick, path):
     if not quick:
         savings = sep.get("resort_savings", 0.0)
         if savings < SHARD_MIN_RESORT_SAVINGS:
-            errors += fail(
-                f"{path}: incremental separation saved only "
-                f"{savings:.0%} of the separation sort work "
-                f"(< {SHARD_MIN_RESORT_SAVINGS:.0%})"
+            errors += fail_floor(
+                path, "resort_savings", savings, SHARD_MIN_RESORT_SAVINGS,
+                "incremental separation saved too little sort work",
             )
         sized = [p for p in points if "jobs" in p and "gpus" in p]
         largest = max(sized, key=lambda p: p["jobs"] * p["gpus"]) if sized else {}
@@ -316,10 +349,10 @@ def check_shard(data, quick, path):
                     tag, ["speedup_parallel"], "sharded-over-flat speedup gate"
                 )
             elif largest["speedup_parallel"] < SHARD_MIN_SPEEDUP:
-                errors += fail(
-                    f"{tag}: sharded-over-flat speedup "
-                    f"{largest['speedup_parallel']:.2f} < "
-                    f"{SHARD_MIN_SPEEDUP:.1f} on {largest['workers']} workers"
+                errors += fail_floor(
+                    tag, "speedup_parallel", largest["speedup_parallel"],
+                    SHARD_MIN_SPEEDUP,
+                    f"sharded-over-flat on {largest['workers']} workers",
                 )
         else:
             print(
@@ -436,9 +469,9 @@ def check_serve(data, quick, path):
         )
     throughput = data["throughput_arrivals_per_s"]
     if not quick and throughput < SERVE_MIN_THROUGHPUT:
-        errors += fail(
-            f"{path}: sustained throughput {throughput:.0f} arrivals/s "
-            f"below the {SERVE_MIN_THROUGHPUT:.0f}/s serving floor"
+        errors += fail_floor(
+            path, "throughput_arrivals_per_s", throughput,
+            SERVE_MIN_THROUGHPUT, "sustained serving throughput",
         )
 
     if errors:
@@ -448,6 +481,82 @@ def check_serve(data, quick, path):
         f"OK: {data['arrivals']} arrivals in {data['batches']} batches "
         f"({throughput:.0f}/s, warm {data['warm_pivots']} vs cold "
         f"{data['cold_pivots']} pivots) pass the {mode} serve gate in {path}"
+    )
+    return 0
+
+
+def check_scale(data, quick, path):
+    points = data.get("scale_points", [])
+    if not points:
+        return fail(f"{path} contains no scale points")
+
+    errors = 0
+    for i, p in enumerate(points):
+        absent = missing_keys(p, ("jobs", "gpus", "shards"))
+        if absent:
+            errors += skip_missing(
+                f"{path} scale point {i}", absent, "all gates for this point"
+            )
+            continue
+        tag = f"{p['jobs']}x{p['gpus']} ({p['shards']} shards)"
+        if not p.get("merge_identical", False):
+            errors += fail(
+                f"{tag}: pooled sharded plan differs from the serial "
+                "sharded plan (canonical-order merge broke)"
+            )
+        if not p.get("valid", False):
+            errors += fail(f"{tag}: the plan failed structural validation")
+        if p.get("tasks", 0) < 1:
+            errors += fail(f"{tag}: the streamed trace produced no tasks")
+
+    backend = data.get("backend_cross_check", {})
+    if not backend.get("identical", False):
+        errors += fail(
+            f"{path}: sparse-backend LpCuts plan differs from the dense "
+            "tableau reference (bit-identity is a correctness contract, "
+            "never waived)"
+        )
+
+    lp_points = data.get("lp_points", [])
+    if not lp_points:
+        errors += fail(f"{path} contains no LP backend points")
+    for p in lp_points:
+        absent = missing_keys(p, ("rows", "cols"))
+        if absent:
+            errors += skip_missing(
+                f"{path} lp point", absent, "all gates for this point"
+            )
+            continue
+        tag = f"lp {p['rows']}x{p['cols']}"
+        if not p.get("objectives_match", False):
+            errors += fail(
+                f"{tag}: Classic and Hyper sparse modes disagree on the "
+                "optimal objective"
+            )
+        if not quick and p["cols"] >= SCALE_LP_WIDE_COLS:
+            if "speedup" not in p:
+                errors += skip_missing(tag, ["speedup"], "hyper speedup gate")
+            elif p["speedup"] < SCALE_LP_MIN_SPEEDUP:
+                errors += fail_floor(
+                    tag, "speedup", p["speedup"], SCALE_LP_MIN_SPEEDUP,
+                    "hyper-sparse over classic sparse",
+                )
+
+    if not quick:
+        sized = [p for p in points if "jobs" in p]
+        largest_jobs = max((p["jobs"] for p in sized), default=0)
+        if largest_jobs < SCALE_SIX_FIGURE_JOBS:
+            errors += fail_floor(
+                path, "largest jobs", largest_jobs, SCALE_SIX_FIGURE_JOBS,
+                "the full grid never reached the six-figure point",
+            )
+
+    if errors:
+        return errors
+    mode = "quick (identity/validity/objective)" if quick else "full"
+    print(
+        f"OK: {len(points)} scale points and {len(lp_points)} LP points "
+        f"pass the {mode} scale gate in {path}"
     )
     return 0
 
@@ -468,6 +577,8 @@ def check_file(path, quick):
         return check_fault(data, quick, path)
     if bench == "bench_serve":
         return check_serve(data, quick, path)
+    if bench == "bench_scale_100k":
+        return check_scale(data, quick, path)
     return check_planner(data, quick, path)
 
 

@@ -1,0 +1,35 @@
+// Process resource queries for the scale benches.
+//
+// The six-figure bench grid reports peak resident set size alongside
+// wall-clock so a regression that trades time for memory (or silently
+// reintroduces per-plan allocation churn) still shows up in the recorded
+// baseline. Linux getrusage reports ru_maxrss in kilobytes; the helper
+// normalizes to bytes and degrades to 0 on platforms without the call, so
+// callers can always print the value and gate only when it is nonzero.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace hare::common {
+
+/// Peak resident set size of the calling process in bytes; 0 when the
+/// platform does not expose it.
+inline std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace hare::common

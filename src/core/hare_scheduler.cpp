@@ -46,9 +46,7 @@ struct BuildState {
              PlannerScratch* shared)
       : input(in), config(cfg), scratch(shared) {
     if (scratch && !cfg.relaxation.engine.naive) {
-      if (scratch->fits.empty()) {
-        scratch->fits = workload::fitting_matrix(in.cluster, in.jobs);
-      }
+      scratch->sync(in.cluster, in.jobs);
       fits_ptr = &scratch->fits;
     } else {
       own_fits = workload::fitting_matrix(in.cluster, in.jobs);
@@ -77,6 +75,9 @@ struct BuildState {
     if (sharded) return;
     if (scratch) {
       if (scratch->index) {
+        // A cross-batch scratch may lag a grown instance: extend the masked
+        // rows for appended jobs before re-seeding the horizons.
+        scratch->index->append_jobs(input.times, fits());
         scratch->index->reset_phi(phi);
       } else {
         scratch->index.emplace(input.times, phi.size(), fits(), phi, pool,
@@ -418,7 +419,10 @@ double HareScheduler::schedule_jobs(const sched::SchedulerInput& input,
   sub.job_mask = job_mask;
   sub.initial_phi = state.phi;
   const HareRelaxation relaxation(config_.relaxation);
-  PlannerScratch scratch;
+  // The scratch rides in the caller's IncrementalState: batch k pays only
+  // for the jobs appended since batch k-1 instead of rebuilding the
+  // fitting matrix and masked index rows over the whole instance.
+  PlannerScratch& scratch = state.scratch;
   last_relaxation_ =
       relaxation.solve(input.cluster, input.jobs, input.times, sub, &scratch);
 
@@ -480,8 +484,7 @@ double HareScheduler::schedule_jobs_with_h(const sched::SchedulerInput& input,
   }
   sort_by_middle_completion(pi, h, config_.relaxation.engine.naive);
 
-  PlannerScratch scratch;
-  BuildState build(input, config_, &scratch);
+  BuildState build(input, config_, &state.scratch);
   build.phi = state.phi;
   build.enable_engine();
   run_relaxed_pass(build, pi);

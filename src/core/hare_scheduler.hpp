@@ -18,6 +18,7 @@
 //    Gandiva-style scale-fixed systems do, Fig 4(a)).
 #pragma once
 
+#include "core/placement_index.hpp"
 #include "core/relaxation.hpp"
 #include "sched/scheduler.hpp"
 
@@ -46,9 +47,17 @@ class HareScheduler final : public sched::Scheduler {
       const sched::SchedulerInput& input) override;
 
   /// Incremental planning state for the online extension: per-GPU
-  /// commitment horizons carried across planning rounds.
+  /// commitment horizons carried across planning rounds, plus the
+  /// φ-independent planning buffers (fitting matrix, placement index).
+  /// Carrying the scratch across batches means a streaming caller pays
+  /// append-only cost per batch — only jobs added since the previous call
+  /// get new rows — instead of rebuilding O(jobs × GPUs) state every time.
+  /// The instance behind one state may therefore only grow between calls:
+  /// jobs are append-only and the cluster is fixed (the φ size check
+  /// enforces the latter; PlannerScratch::sync rebuilds on a shrink).
   struct IncrementalState {
     std::vector<Time> phi;
+    PlannerScratch scratch;
   };
 
   /// Plan only the jobs with `job_mask[id] != 0` on top of `state` (prior

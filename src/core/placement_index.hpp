@@ -51,6 +51,7 @@
 #include "common/types.hpp"
 #include "core/gpu_bucket_index.hpp"
 #include "profiler/time_table.hpp"
+#include "workload/feasibility.hpp"
 
 namespace hare::core {
 
@@ -213,6 +214,40 @@ class PlacementIndex {
   /// True when queries run through the bucketed per-(domain, type) index.
   [[nodiscard]] bool bucketed() const { return buckets_.has_value(); }
 
+  /// Jobs whose masked rows the index currently holds.
+  [[nodiscard]] std::size_t job_count() const {
+    return gpu_count_ ? masked_tc_.size() / gpu_count_ : 0;
+  }
+
+  /// Extend the job axis in place for streaming callers: masked T^c rows
+  /// are built for jobs [job_count(), times.job_count()) only, so a
+  /// standing index follows a growing instance at append-only cost instead
+  /// of being rebuilt O(jobs × GPUs) per planning batch. Appended rows use
+  /// the same arithmetic as the constructor, so a grown index and a fresh
+  /// build agree bit for bit. Bucket exactness is re-verified for the new
+  /// rows alone (the old verdict still holds); a non-uniform addition drops
+  /// the whole index back to the flat scan, keeping bit-identity
+  /// unconditional.
+  void append_jobs(const profiler::TimeTable& times,
+                   const std::vector<std::vector<char>>& fits) {
+    times_ = &times;
+    const std::size_t old_jobs = job_count();
+    const std::size_t jobs = times.job_count();
+    if (jobs <= old_jobs) return;
+    masked_tc_.resize(jobs * gpu_count_);
+    bool uniform = buckets_.has_value();
+    for (std::size_t j = old_jobs; j < jobs; ++j) {
+      const Time* tc = times.tc_row(JobId(static_cast<int>(j)));
+      const auto& job_fits = fits[j];
+      Time* row = masked_tc_.data() + j * gpu_count_;
+      for (std::size_t g = 0; g < gpu_count_; ++g) {
+        row[g] = job_fits[g] ? tc[g] : kTimeInfinity;
+      }
+      if (uniform && !buckets_->row_uniform(row)) uniform = false;
+    }
+    if (buckets_ && !uniform) buckets_.reset();
+  }
+
   [[nodiscard]] Time phi(std::size_t gpu) const { return phi_[gpu]; }
   [[nodiscard]] const std::vector<Time>& phi() const { return phi_; }
 
@@ -359,12 +394,33 @@ class PlacementIndex {
 /// Reusable φ-independent planning buffers: the memory-fitting matrix and
 /// the placement index (whose job-masked T^c rows are the expensive part).
 /// One planning invocation builds them once; the relaxation's fluid pass
-/// and Algorithm 1's list scheduler both reuse them via reset_phi(). The
+/// and Algorithm 1's list scheduler both reuse them via reset_phi(). A
+/// scratch may also outlive one invocation — the incremental planners carry
+/// it across batches through HareScheduler::IncrementalState, so a
+/// streaming instance pays append-only cost per batch (sync below). The
 /// naive engine never touches the scratch — it keeps the seed's
 /// build-twice behaviour as the bench baseline.
 struct PlannerScratch {
   std::vector<std::vector<char>> fits;  ///< [job][gpu] memory fit
   std::optional<PlacementIndex> index;
+
+  /// Follow the caller's instance across planning calls. The first use
+  /// builds the fitting matrix; later uses extend it for jobs appended
+  /// since (the streaming contract: between calls sharing one scratch the
+  /// job set may only grow and the cluster is fixed). A scratch that no
+  /// longer matches the instance — more rows than jobs, or a different GPU
+  /// axis — starts over from scratch. The standing index's masked rows are
+  /// extended in lock-step by the engine-enable paths via append_jobs.
+  void sync(const cluster::Cluster& cluster, const workload::JobSet& jobs) {
+    if (fits.size() > jobs.job_count() ||
+        (!fits.empty() && fits.front().size() != cluster.gpu_count())) {
+      fits.clear();
+      index.reset();
+    }
+    if (fits.size() < jobs.job_count()) {
+      workload::append_fitting_rows(cluster, jobs, fits);
+    }
+  }
 };
 
 namespace detail {

@@ -101,9 +101,7 @@ FluidPass run_fluid_pass(const cluster::Cluster& cluster,
   const bool share = scratch != nullptr && !engine.naive;
   std::vector<std::vector<char>> local_fits;
   if (share) {
-    if (scratch->fits.empty()) {
-      scratch->fits = workload::fitting_matrix(cluster, jobs);
-    }
+    scratch->sync(cluster, jobs);
   } else {
     local_fits = workload::fitting_matrix(cluster, jobs);
   }
@@ -117,6 +115,9 @@ FluidPass run_fluid_pass(const cluster::Cluster& cluster,
   if (!engine.naive && !sharded) {
     if (share) {
       if (scratch->index) {
+        // A cross-batch scratch may lag a grown instance: extend the masked
+        // rows for appended jobs before re-seeding the horizons.
+        scratch->index->append_jobs(times, fits);
         scratch->index->reset_phi(phi);
       } else {
         scratch->index.emplace(times, gpu_count, fits, phi, pool, &cluster,

@@ -30,6 +30,7 @@ enum class FaultKind : std::uint8_t {
   GpuFail,
   GpuRecover,
   JobCancel,        ///< user-initiated: job leaves the system, no retry
+  JobComplete,      ///< job finished early (serve-layer horizon release)
   StragglerStart,   ///< GPU compute slows by `factor` until StragglerEnd
   StragglerEnd,
 };
@@ -39,7 +40,7 @@ struct FaultEvent {
   FaultKind kind = FaultKind::GpuFail;
   MachineId machine;  ///< Machine{Fail,Recover}
   GpuId gpu;          ///< Gpu{Fail,Recover}, Straggler{Start,End}
-  JobId job;          ///< JobCancel
+  JobId job;          ///< JobCancel / JobComplete
   double factor = 1.0;  ///< StragglerStart slowdown multiplier (> 1)
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <sstream>
 #include <vector>
 
@@ -22,9 +23,13 @@ double parse_number(std::string_view text, std::string_view fragment) {
   double value = 0.0;
   const auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    bad_spec("number out of range", fragment);
+  }
   if (ec != std::errc{} || ptr != text.data() + text.size()) {
     bad_spec("malformed number", fragment);
   }
+  if (std::isinf(value)) bad_spec("number out of range", fragment);
   return value;
 }
 
@@ -40,6 +45,9 @@ int parse_id(std::string_view text, std::string_view fragment) {
 
 std::size_t parse_count(std::string_view text, std::string_view fragment) {
   const double value = parse_number(text, fragment);
+  // Reject magnitudes the long cast below can't represent before casting
+  // (the cast itself would be undefined behaviour on overflow).
+  if (value >= 9.2e18) bad_spec("number out of range", fragment);
   if (value < 0.0 || value != static_cast<double>(static_cast<long>(value))) {
     bad_spec("expected a non-negative integer", fragment);
   }
@@ -71,6 +79,10 @@ FaultEvent parse_event(std::string_view entry) {
     event.time = parse_number(rest, entry);
   } else if (kind == "cancel_job") {
     event.kind = FaultKind::JobCancel;
+    event.job = JobId(id);
+    event.time = parse_number(rest, entry);
+  } else if (kind == "complete_job") {
+    event.kind = FaultKind::JobComplete;
     event.job = JobId(id);
     event.time = parse_number(rest, entry);
   } else {
@@ -117,9 +129,12 @@ void parse_entry_into(std::string_view entry, std::vector<FaultEvent>& out) {
 }  // namespace
 
 FaultSpec parse_fault_spec(std::string_view text) {
+  if (text.empty()) bad_spec("empty spec", text);
   FaultSpec spec;
+  std::vector<std::string_view> seen_keys;
   std::size_t pos = 0;
-  while (pos < text.size()) {
+  bool trailing = false;
+  while (pos < text.size() || trailing) {
     // `events=(...)` may contain commas-free ';' lists but we still scan
     // to the matching ')' so a future nested grammar stays parseable.
     std::size_t end = pos;
@@ -130,13 +145,19 @@ FaultSpec parse_fault_spec(std::string_view text) {
       ++end;
     }
     const std::string_view item = text.substr(pos, end - pos);
-    pos = end + (end < text.size() ? 1 : 0);
-    if (item.empty()) continue;
+    trailing = end < text.size();  // a ',' consumed with nothing after it
+    pos = end + (trailing ? 1 : 0);
+    if (item.empty()) bad_spec("dangling separator", text);
 
     const auto eq = item.find('=');
     if (eq == std::string_view::npos) bad_spec("expected key=value", item);
     const std::string_view key = item.substr(0, eq);
     const std::string_view value = item.substr(eq + 1);
+    if (std::find(seen_keys.begin(), seen_keys.end(), key) !=
+        seen_keys.end()) {
+      bad_spec("duplicate key", item);
+    }
+    seen_keys.push_back(key);
 
     if (key == "seed") {
       spec.seed = static_cast<std::uint64_t>(parse_count(value, item));
@@ -183,7 +204,11 @@ FaultSpec parse_fault_spec(std::string_view text) {
         const auto semi = list.find(';', p);
         const std::string_view entry =
             list.substr(p, semi == std::string_view::npos ? semi : semi - p);
-        if (!entry.empty()) parse_entry_into(entry, spec.scripted);
+        if (!entry.empty()) {
+          parse_entry_into(entry, spec.scripted);
+        } else if (!list.empty()) {
+          bad_spec("dangling separator", item);
+        }
         if (semi == std::string_view::npos) break;
         p = semi + 1;
       }
@@ -326,6 +351,9 @@ std::string describe(const FaultEvent& event) {
       break;
     case FaultKind::JobCancel:
       os << "cancel_job:" << event.job.value();
+      break;
+    case FaultKind::JobComplete:
+      os << "complete_job:" << event.job.value();
       break;
     case FaultKind::StragglerStart:
       os << "straggle_gpu:" << event.gpu.value() << " x" << event.factor;

@@ -15,12 +15,13 @@
 // Entry grammar inside `events=(...)` (';'-separated):
 //   fail_machine:<id>@<t>      recover_machine:<id>@<t>
 //   fail_gpu:<id>@<t>          recover_gpu:<id>@<t>
-//   cancel_job:<id>@<t>
+//   cancel_job:<id>@<t>        complete_job:<id>@<t>
 //   straggle_gpu:<id>@<t0>-<t1>:<factor>
 //
-// Unknown keys and malformed values throw common::Error with the
-// offending fragment — a typo'd scenario must fail loudly, not silently
-// run fault-free.
+// Unknown keys, malformed or out-of-range values, duplicate keys,
+// dangling separators, and the empty string all throw common::Error with
+// the offending fragment — a typo'd scenario must fail loudly, not
+// silently run fault-free.
 #pragma once
 
 #include <cstdint>

@@ -265,6 +265,27 @@ const char* lp_backend_name(LpBackend backend) {
   return "unknown";
 }
 
+SparseMode resolve_sparse_mode(SparseMode requested) {
+  if (requested != SparseMode::Auto) return requested;
+  if (const char* env = std::getenv("HARE_LP_SPARSE_MODE")) {
+    std::string value(env);
+    std::transform(value.begin(), value.end(), value.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+    if (value == "classic") return SparseMode::Classic;
+    if (value == "hyper") return SparseMode::Hyper;
+  }
+  return SparseMode::Auto;  // solver decides via its width heuristic
+}
+
+const char* sparse_mode_name(SparseMode mode) {
+  switch (mode) {
+    case SparseMode::Auto: return "auto";
+    case SparseMode::Classic: return "classic";
+    case SparseMode::Hyper: return "hyper";
+  }
+  return "unknown";
+}
+
 std::size_t LinearProgram::add_variable(double objective_coefficient) {
   objective_.push_back(objective_coefficient);
   lower_.push_back(0.0);
@@ -304,6 +325,7 @@ struct IncrementalLpSolver::Impl {
   LinearProgram lp;  ///< full program including appended cuts
   bool warm_start = true;
   LpBackend backend = LpBackend::Sparse;
+  SparseMode sparse_mode = SparseMode::Auto;
 
   // --- Sparse backend state -----------------------------------------------
   std::unique_ptr<RevisedSimplex> sparse;
@@ -560,6 +582,7 @@ LpSolution IncrementalLpSolver::Impl::sparse_solve(
   }
   last_warm = false;
   sparse = std::make_unique<RevisedSimplex>(lp);
+  sparse->set_sparse_mode(sparse_mode);
   return sparse->solve(max_iterations, &stats);
 }
 
@@ -640,6 +663,10 @@ bool IncrementalLpSolver::last_solve_was_warm() const {
 }
 
 LpBackend IncrementalLpSolver::backend() const { return impl_->backend; }
+
+void IncrementalLpSolver::set_sparse_mode(SparseMode mode) {
+  impl_->sparse_mode = mode;
+}
 
 LpSolution LinearProgram::solve(std::size_t max_iterations,
                                 LpIterationStats* stats,

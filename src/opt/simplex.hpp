@@ -53,6 +53,26 @@ enum class LpBackend { Auto, Dense, Sparse };
 
 [[nodiscard]] const char* lp_backend_name(LpBackend backend);
 
+/// Sub-mode of the sparse backend.
+///  * Classic — the plain revised simplex: dense triangular sweeps, full
+///    Devex pricing scans, partial-pivoting LU. The reference the
+///    hyper-sparse path is benchmarked against.
+///  * Hyper — graph-driven FTRAN/BTRAN on sparse right-hand sides,
+///    row-view pricing passes touching only the columns that intersect the
+///    BTRAN nonzeros, candidate-list partial Devex pricing, and
+///    Markowitz-style LU pivoting.
+///  * Auto — resolve against HARE_LP_SPARSE_MODE ("classic"/"hyper");
+///    otherwise the solver flips to Hyper only on wide LPs (see
+///    RevisedSimplex), so the small cut/serve LPs keep their exact classic
+///    trajectories.
+enum class SparseMode { Auto, Classic, Hyper };
+
+/// Resolve Auto against HARE_LP_SPARSE_MODE; an unset/unknown value keeps
+/// Auto (solver-side width heuristic). Classic/Hyper pass through.
+[[nodiscard]] SparseMode resolve_sparse_mode(SparseMode requested);
+
+[[nodiscard]] const char* sparse_mode_name(SparseMode mode);
+
 struct LpSolution {
   LpStatus status = LpStatus::Infeasible;
   double objective = 0.0;
@@ -172,6 +192,10 @@ class IncrementalLpSolver {
 
   /// The backend this solver resolved to at construction.
   [[nodiscard]] LpBackend backend() const;
+
+  /// Request a sparse-backend sub-mode (Classic/Hyper/Auto). Takes effect
+  /// from the next cold solve; the dense backend ignores it.
+  void set_sparse_mode(SparseMode mode);
 
  private:
   struct Impl;

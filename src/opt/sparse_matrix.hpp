@@ -22,6 +22,12 @@ struct SparseEntry {
   double value = 0.0;
 };
 
+/// One entry of the optional row-wise view: (column, value).
+struct RowEntry {
+  int col = 0;
+  double value = 0.0;
+};
+
 class SparseMatrix {
  public:
   SparseMatrix() = default;
@@ -32,7 +38,10 @@ class SparseMatrix {
   [[nodiscard]] std::size_t nonzeros() const { return nnz_; }
 
   /// Grow the row dimension by `extra` (new rows start empty).
-  void add_rows(int extra) { rows_ += extra; }
+  void add_rows(int extra) {
+    rows_ += extra;
+    if (row_view_) rows_view_.resize(static_cast<std::size_t>(rows_));
+  }
 
   /// Reserve space for future columns (cut logicals).
   void reserve_columns(std::size_t n) { cols_.reserve(n); }
@@ -69,10 +78,24 @@ class SparseMatrix {
     }
   }
 
+  /// Build (or rebuild) the row-wise mirror of the column store. Later
+  /// push() calls keep it in sync, so enabling once on a live matrix is
+  /// enough. The hyper-sparse pricing passes walk rows of the few nonzero
+  /// BTRAN entries instead of dotting every column.
+  void enable_row_view();
+
+  [[nodiscard]] bool row_view_enabled() const { return row_view_; }
+
+  [[nodiscard]] const std::vector<RowEntry>& row(int i) const {
+    return rows_view_[static_cast<std::size_t>(i)];
+  }
+
  private:
   int rows_ = 0;
   std::vector<std::vector<SparseEntry>> cols_;
   std::size_t nnz_ = 0;
+  bool row_view_ = false;
+  std::vector<std::vector<RowEntry>> rows_view_;
 };
 
 }  // namespace hare::opt

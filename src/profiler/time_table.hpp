@@ -54,6 +54,21 @@ class TimeTable {
     alpha_valid_ = false;
   }
 
+  /// Re-shape in place to a zero-filled (job_count × gpu_count) table,
+  /// reusing the underlying storage. The per-shard planners rebuild a local
+  /// sub-table for every plan; resetting a standing table lets the
+  /// allocation survive across shard plans and migration re-plans instead
+  /// of being malloc'd fresh each time. Every cached aggregate (and α) is
+  /// dropped.
+  void reset(std::size_t job_count, std::size_t gpu_count) {
+    gpu_count_ = gpu_count;
+    tc_.assign(job_count * gpu_count, 0.0);
+    ts_.assign(job_count * gpu_count, 0.0);
+    agg_.assign(job_count, JobAggregates{});
+    agg_valid_.assign(job_count, 0);
+    alpha_valid_ = false;
+  }
+
   /// Grow the job axis by one zero-filled row (the streaming-admission path:
   /// a served arrival profiles into the row its JobId was just assigned).
   /// Returns the new row's index. Existing rows and their cached aggregates

@@ -35,6 +35,9 @@ std::vector<ServeEvent> events_from_fault_plan(const fault::FaultPlan& plan,
       case fault::FaultKind::JobCancel:
         push(ServeEventKind::JobCancel, fe.time).job = fe.job;
         break;
+      case fault::FaultKind::JobComplete:
+        push(ServeEventKind::JobComplete, fe.time).job = fe.job;
+        break;
       case fault::FaultKind::StragglerStart:
       case fault::FaultKind::StragglerEnd:
         break;  // no slowdown notion at planning level

@@ -28,7 +28,7 @@ enum class ServeEventKind : std::uint8_t {
   GpuFail,     ///< GPU dies; its uncommitted plan suffix is displaced
   GpuRecover,  ///< GPU returns at max(event time, its pre-failure horizon)
   JobCancel,   ///< job leaves; never planned if the cancel lands first
-  JobComplete, ///< bookkeeping only (completions free no plan state)
+  JobComplete, ///< early finish; releases the job's unstarted committed tail
 };
 
 struct ServeEvent {

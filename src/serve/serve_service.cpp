@@ -232,9 +232,45 @@ void ServeService::apply_event(const ServeEvent& event,
       }
       break;
     }
-    case ServeEventKind::JobComplete:
+    case ServeEventKind::JobComplete: {
       ++report_.completions;
+      const auto j = static_cast<std::size_t>(event.job.value());
+      if (j >= jobs_.job_count()) break;  // completion outran the arrival
+      // Early finish: committed tasks of the job that have not started by
+      // the completion instant will never run, so the horizon they pinned
+      // is released. Only contiguous tails can be freed — commitments are
+      // never reordered, so a buried task cannot shrink phi without
+      // revising every commitment after it. phi rolls back to the finish
+      // (start + tc; sync overlaps) of the surviving tail task.
+      for (std::size_t g = 0; g < schedule_.sequences.size(); ++g) {
+        if (!alive_[g]) continue;
+        auto& seq = schedule_.sequences[g];
+        bool popped = false;
+        while (!seq.empty()) {
+          const TaskId tid = seq.back();
+          const workload::Task& task = jobs_.task(tid);
+          if (task.job != event.job) break;
+          if (schedule_.predicted_start[static_cast<std::size_t>(
+                  tid.value())] < event.time) {
+            break;  // already running at completion time; leave committed
+          }
+          seq.pop_back();
+          popped = true;
+          ++report_.released_tasks;
+        }
+        if (!popped) continue;
+        if (seq.empty()) {
+          state_.phi[g] = 0.0;
+        } else {
+          const TaskId tail = seq.back();
+          state_.phi[g] =
+              schedule_.predicted_start[static_cast<std::size_t>(
+                  tail.value())] +
+              times_.tc(jobs_.task(tail).job, GpuId(static_cast<int>(g)));
+        }
+      }
       break;
+    }
   }
 }
 

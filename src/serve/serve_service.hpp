@@ -6,7 +6,11 @@
 // replanning: every flushed admission batch is planned on top of the
 // standing per-GPU commitment horizons phi, commitments are never revised,
 // and phi advances monotonically — the same contract the online scheduler
-// and the shard planner's online entry point obey.
+// and the shard planner's online entry point obey. The one exception is an
+// early JobComplete: committed tasks of the completed job that have not
+// started yet will never run, so contiguous committed tails are popped and
+// phi rolls back to the surviving tail's finish (a pure release — no
+// surviving commitment moves).
 //
 // Replan paths, chosen per batch:
 //  * LP (batches of at most `lp_max_batch_jobs` jobs) — the
@@ -91,6 +95,8 @@ struct ServeReport {
   std::size_t completions = 0;
   std::size_t fault_events = 0;  ///< GPU failures + recoveries applied
   std::size_t displaced_tasks = 0;
+  /// Committed tasks freed by early JobComplete events (horizon release).
+  std::size_t released_tasks = 0;
   std::size_t continuations = 0;  ///< continuation jobs re-entered
   // Per-path batch counts.
   std::size_t lp_batches = 0;

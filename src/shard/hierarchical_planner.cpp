@@ -94,6 +94,7 @@ double HierarchicalPlanner::schedule_online(const sched::SchedulerInput& input,
 
   const ShardPartition partition = partition_cluster(cluster, config_.shards);
   const std::size_t shard_count = partition.size();
+  if (shard_scratch_.size() < shard_count) shard_scratch_.resize(shard_count);
 
   // ---- Level 1: assign the batch's jobs, loads seeded from φ -------------
   std::vector<std::vector<JobId>> shard_jobs(shard_count);
@@ -179,11 +180,16 @@ double HierarchicalPlanner::schedule_online(const sched::SchedulerInput& input,
     const ShardSpec& spec = partition.shards[s];
     const std::size_t local_gpus = spec.gpus.size();
 
-    workload::JobSet local_jobs;
+    // Batch-local sub-jobset / sub-table in the shard's scratch slot: the
+    // serve loop replans shards every admission batch, so the storage is
+    // reused across batches instead of being malloc'd fresh per replan.
+    workload::JobSet& local_jobs = shard_scratch_[s].jobs;
+    local_jobs.clear();
     for (const JobId global : shard_jobs[s]) {
       local_jobs.add_job(jobs.job(global).spec);
     }
-    profiler::TimeTable local_times(local_jobs.job_count(), local_gpus);
+    profiler::TimeTable& local_times = shard_scratch_[s].times;
+    local_times.reset(local_jobs.job_count(), local_gpus);
     for (std::size_t lj = 0; lj < shard_jobs[s].size(); ++lj) {
       const JobId global = shard_jobs[s][lj];
       const JobId local(static_cast<int>(lj));
@@ -277,6 +283,7 @@ sim::Schedule HierarchicalPlanner::plan(
   static obs::Gauge& imbalance_gauge = obs::gauge("shard.imbalance");
   static obs::Gauge& savings_gauge = obs::gauge("shard.sep_resort_savings");
   static obs::Counter& plans_counter = obs::counter("shard.plans");
+  static obs::Counter& migrations_counter = obs::counter("shard.migrations");
 
   const cluster::Cluster& cluster = input.cluster;
   const workload::JobSet& jobs = input.jobs;
@@ -297,18 +304,36 @@ sim::Schedule HierarchicalPlanner::plan(
   last_plan_ = HierarchicalPlanInfo{};
   last_plan_.shard_count = shard_count;
   last_plan_.shards.resize(shard_count);
+  if (shard_scratch_.size() < shard_count) shard_scratch_.resize(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
     last_plan_.shards[s].gpus = partition.shards[s].gpus.size();
   }
+
+  // Type summaries outlive level 1: the migration pass re-evaluates fluid
+  // estimates against them after the per-shard plans land.
+  std::vector<std::vector<ShardTypeSummary>> shard_types(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shard_types[s] = summarize_types(cluster, partition.shards[s]);
+  }
+  // Fluid-fit pieces of (job, shard): GPUs that can host one task, and the
+  // cheapest per-round task time among the fitting types. Shared verbatim
+  // between the level-1 assignment and the migration pass so both judge
+  // shards with the same arithmetic.
+  auto shard_fit = [&](const workload::Job& job, std::size_t s,
+                       std::size_t& fitting, Time& best_round) {
+    fitting = 0;
+    best_round = kTimeInfinity;
+    for (const ShardTypeSummary& t : shard_types[s]) {
+      if (!workload::task_fits(job, cluster.gpu(t.representative))) continue;
+      fitting += t.count;
+      best_round = std::min(best_round, times.total(job.id, t.representative));
+    }
+  };
 
   // ---- Level 1: fluid inter-shard assignment -----------------------------
   std::vector<std::vector<JobId>> shard_jobs(shard_count);
   {
     HARE_SPAN("shard", "shard.assign");
-    std::vector<std::vector<ShardTypeSummary>> shard_types(shard_count);
-    for (std::size_t s = 0; s < shard_count; ++s) {
-      shard_types[s] = summarize_types(cluster, partition.shards[s]);
-    }
 
     // Same arrival-adjusted WSPT order as the fluid relaxation pass: the
     // level-1 assignment sees jobs in the sequence level 2 will favour.
@@ -339,14 +364,7 @@ sim::Schedule HierarchicalPlanner::plan(
         // the cheapest fitting type estimates the round time.
         std::size_t fitting = 0;
         Time best_round = kTimeInfinity;
-        for (const ShardTypeSummary& t : shard_types[s]) {
-          if (!workload::task_fits(job, cluster.gpu(t.representative))) {
-            continue;
-          }
-          fitting += t.count;
-          best_round =
-              std::min(best_round, times.total(job_id, t.representative));
-        }
+        shard_fit(job, s, fitting, best_round);
         if (fitting < job.tasks_per_round()) continue;
         const double work = static_cast<double>(job.rounds()) *
                             static_cast<double>(job.tasks_per_round()) *
@@ -392,13 +410,17 @@ sim::Schedule HierarchicalPlanner::plan(
 
     // Re-index the shard's jobs and times: local JobId = position in the
     // ascending global-id list, local tasks map positionally through
-    // Job::tasks (both are round-major).
-    workload::JobSet local_jobs;
+    // Job::tasks (both are round-major). The sub-jobset and sub-table live
+    // in the shard's scratch slot, so their storage is reused across plan
+    // calls and migration re-plans.
+    workload::JobSet& local_jobs = shard_scratch_[s].jobs;
+    local_jobs.clear();
     for (const JobId global : shard_jobs[s]) {
       local_jobs.add_job(jobs.job(global).spec);
     }
     const std::size_t local_gpus = spec.gpus.size();
-    profiler::TimeTable local_times(local_jobs.job_count(), local_gpus);
+    profiler::TimeTable& local_times = shard_scratch_[s].times;
+    local_times.reset(local_jobs.job_count(), local_gpus);
     for (std::size_t lj = 0; lj < shard_jobs[s].size(); ++lj) {
       const JobId global = shard_jobs[s][lj];
       const JobId local(static_cast<int>(lj));
@@ -467,6 +489,167 @@ sim::Schedule HierarchicalPlanner::plan(
       exp::Engine engine(exp::Engine::Options{
           config_.workers, config_.serial || nested});
       outcomes = engine.map(shard_count, plan_shard);
+    }
+  }
+
+  // ---- Bounded cross-shard migration -------------------------------------
+  // Jobs that straddled a shard boundary at assignment time (the donor
+  // looked marginally better by the fluid estimate) can end up queued
+  // behind the donor's real plan. Move a bounded number of them from the
+  // max-horizon donor into receivers with fluid headroom, re-plan only the
+  // affected shards, and keep the result only when the summed planned
+  // objective strictly improves. All decisions derive from the barriered
+  // outcomes in ascending-shard order, so serial, pooled, and
+  // order-shuffled runs migrate identically.
+  if (config_.migration_max_moves > 0 && shard_count > 1 &&
+      jobs.job_count() > 0) {
+    HARE_SPAN("shard", "shard.migrate");
+    std::vector<Time> start_of(jobs.task_count(), 0.0);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      for (const auto& [task_value, start] : outcomes[s].starts) {
+        start_of[task_value] = start;
+      }
+    }
+    // Realized horizon per shard: the latest compute finish of any planned
+    // task (sync overlaps the successor, matching the φ commitment rule).
+    std::vector<double> horizon(shard_count, 0.0);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      const ShardSpec& spec = partition.shards[s];
+      for (std::size_t lg = 0; lg < spec.gpus.size(); ++lg) {
+        const GpuId gg = spec.gpus[lg];
+        for (const TaskId t : outcomes[s].sequences[lg]) {
+          const double finish =
+              start_of[static_cast<std::size_t>(t.value())] +
+              times.tc(jobs.task(t).job, gg);
+          horizon[s] = std::max(horizon[s], finish);
+        }
+      }
+    }
+    std::size_t donor = 0;
+    for (std::size_t s = 1; s < shard_count; ++s) {
+      if (horizon[s] > horizon[donor]) donor = s;  // ties stay low
+    }
+
+    // Donor marginal value: rank the donor's jobs by the fluid capacity a
+    // move would free (work over fitting GPUs), largest first.
+    struct Candidate {
+      JobId job;
+      double freed = 0.0;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(shard_jobs[donor].size());
+    for (const JobId job_id : shard_jobs[donor]) {
+      const workload::Job& job = jobs.job(job_id);
+      std::size_t fitting = 0;
+      Time best_round = kTimeInfinity;
+      shard_fit(job, donor, fitting, best_round);
+      const double work = static_cast<double>(job.rounds()) *
+                          static_cast<double>(job.tasks_per_round()) *
+                          best_round;
+      candidates.push_back(
+          Candidate{job_id, work / static_cast<double>(fitting)});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.freed != b.freed) return a.freed > b.freed;
+                return a.job < b.job;
+              });
+
+    // Receiver headroom test: the job must complete — by the fluid
+    // estimate, appended after the receiver's standing horizon — before
+    // the donor horizon it is escaping. `head` advances with each
+    // tentative move so one receiver cannot absorb unbounded work.
+    struct Move {
+      JobId job;
+      std::size_t to = 0;
+    };
+    std::vector<Move> moves;
+    std::vector<double> head = horizon;
+    for (const Candidate& c : candidates) {
+      if (moves.size() >= config_.migration_max_moves) break;
+      const workload::Job& job = jobs.job(c.job);
+      std::size_t best = shard_count;
+      double best_est = kTimeInfinity;
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        if (s == donor) continue;
+        std::size_t fitting = 0;
+        Time best_round = kTimeInfinity;
+        shard_fit(job, s, fitting, best_round);
+        if (fitting < job.tasks_per_round()) continue;
+        const double work = static_cast<double>(job.rounds()) *
+                            static_cast<double>(job.tasks_per_round()) *
+                            best_round;
+        const double est = std::max(job.spec.arrival, head[s]) +
+                           work / static_cast<double>(fitting);
+        if (est < best_est) {  // strict <: ties stay with the lower shard
+          best_est = est;
+          best = s;
+        }
+      }
+      if (best == shard_count || best_est >= horizon[donor]) continue;
+      head[best] = best_est;
+      moves.push_back(Move{c.job, best});
+    }
+
+    if (!moves.empty()) {
+      std::vector<std::size_t> replan{donor};
+      for (const Move& m : moves) {
+        if (std::find(replan.begin(), replan.end(), m.to) == replan.end()) {
+          replan.push_back(m.to);
+        }
+      }
+      std::sort(replan.begin(), replan.end());
+
+      std::vector<std::vector<JobId>> saved_jobs(replan.size());
+      std::vector<ShardOutcome> saved_outcomes(replan.size());
+      for (std::size_t i = 0; i < replan.size(); ++i) {
+        saved_jobs[i] = shard_jobs[replan[i]];
+        saved_outcomes[i] = std::move(outcomes[replan[i]]);
+      }
+      for (const Move& m : moves) {
+        auto& from = shard_jobs[donor];
+        from.erase(std::find(from.begin(), from.end(), m.job));
+        shard_jobs[m.to].push_back(m.job);
+      }
+      for (const std::size_t s : replan) {
+        std::sort(shard_jobs[s].begin(), shard_jobs[s].end());
+      }
+
+      {
+        HARE_SPAN("shard", "shard.replan_pairs");
+        if (order != nullptr) {
+          for (const std::size_t s : replan) outcomes[s] = plan_shard(s);
+        } else {
+          const bool nested = common::ThreadPool::current() != nullptr;
+          exp::Engine engine(exp::Engine::Options{
+              config_.workers, config_.serial || nested});
+          std::vector<ShardOutcome> fresh = engine.map(
+              replan.size(),
+              [&](std::size_t i) { return plan_shard(replan[i]); });
+          for (std::size_t i = 0; i < replan.size(); ++i) {
+            outcomes[replan[i]] = std::move(fresh[i]);
+          }
+        }
+      }
+
+      double before = 0.0;
+      double after = 0.0;
+      for (const ShardOutcome& o : saved_outcomes) before += o.objective;
+      for (const std::size_t s : replan) after += outcomes[s].objective;
+      if (after < before) {
+        last_plan_.migrated_jobs = moves.size();
+        for (const std::size_t s : replan) {
+          last_plan_.shards[s].jobs = shard_jobs[s].size();
+        }
+        migrations_counter.add(static_cast<double>(moves.size()));
+      } else {
+        // The re-plan did not pay for the moves: restore the original
+        // assignment and outcomes untouched.
+        for (std::size_t i = 0; i < replan.size(); ++i) {
+          shard_jobs[replan[i]] = std::move(saved_jobs[i]);
+          outcomes[replan[i]] = std::move(saved_outcomes[i]);
+        }
+      }
     }
   }
 

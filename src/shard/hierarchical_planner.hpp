@@ -15,6 +15,19 @@
 // the shards serially — parallelism changes wall-clock only, never a
 // number.
 //
+// Between planning and merging, offline plans run a bounded cross-shard
+// migration pass. The level-1 fluid estimate can strand jobs that straddled
+// a shard boundary (the donor looked marginally better at assignment time,
+// but the realized plan queues them): the pass finds the max-horizon donor
+// shard, ranks its jobs by the fluid capacity a move would free (the donor
+// marginal value), offers each to the receiver with the earliest fluid
+// completion estimate provided that estimate lands inside the donor's
+// horizon (the receiver headroom test), re-plans only the affected shards,
+// and keeps the result only when the summed planned objective strictly
+// improves. Every decision is computed serially from the barriered
+// outcomes, so serial, pooled, and order-shuffled runs still agree bit for
+// bit.
+//
 // Planning cost: a flat plan is Ω(J·G) in the fitting matrix and masked
 // T^c rows alone; with S shards each sub-instance is ~(J/S)·(G/S), so even
 // the *serial* sharded plan does ~1/S of the flat work, and workers stack
@@ -48,6 +61,12 @@ struct ShardPlannerConfig {
   /// Shards with at most this many jobs plan with the LpCuts relaxation;
   /// larger shards use Fluid. 0 = always use `hare.relaxation.mode` as-is.
   std::size_t lp_max_jobs = 0;
+  /// Bounded cross-shard migration (offline plans only). After the
+  /// per-shard plans land, up to this many jobs may leave the worst
+  /// (max-horizon) shard for shards with fluid headroom; only the affected
+  /// shards are re-planned, and the migration is kept only when the summed
+  /// planned objective strictly improves. 0 disables the pass.
+  std::size_t migration_max_moves = 8;
   /// Per-shard planner configuration (placement rule, engine knobs, ...).
   core::HareConfig hare{};
 };
@@ -71,6 +90,10 @@ struct HierarchicalPlanInfo {
   std::vector<ShardStats> shards;
   std::size_t sep_tasks_total = 0;
   std::size_t sep_tasks_resorted = 0;
+  /// Jobs moved out of the bottleneck shard by the accepted migration pass
+  /// (0 when migration was disabled, found no candidates, or was rejected
+  /// for not improving the planned objective).
+  std::size_t migrated_jobs = 0;
 };
 
 class HierarchicalPlanner final : public sched::Scheduler {
@@ -113,11 +136,23 @@ class HierarchicalPlanner final : public sched::Scheduler {
   }
 
  private:
+  /// Per-shard planning buffers — the local sub-jobset and sub-timetable a
+  /// shard plan is built from. Slot-indexed by shard (the pooled fan-out
+  /// writes disjoint entries) and kept on the planner, so the allocations
+  /// survive across plan calls, migration re-plans, and the serve loop's
+  /// repeated online batches instead of being rebuilt from malloc each
+  /// time.
+  struct ShardScratch {
+    workload::JobSet jobs;
+    profiler::TimeTable times;
+  };
+
   [[nodiscard]] sim::Schedule plan(const sched::SchedulerInput& input,
                                    const std::vector<std::size_t>* order);
 
   ShardPlannerConfig config_;
   HierarchicalPlanInfo last_plan_;
+  std::vector<ShardScratch> shard_scratch_;
 };
 
 }  // namespace hare::shard

@@ -776,6 +776,10 @@ SimResult Simulator::run(const Schedule& schedule, SimScratch& state) const {
         }
         break;
       }
+      case fault::FaultKind::JobComplete:
+        // Serve-layer event: the simulator derives completions from task
+        // execution itself, so a scripted completion carries no state here.
+        break;
       case fault::FaultKind::StragglerStart: {
         GpuState& gpu =
             gpus[static_cast<std::size_t>(fault_event.gpu.value())];

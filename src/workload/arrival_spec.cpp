@@ -1,7 +1,10 @@
 #include "workload/arrival_spec.hpp"
 
+#include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -19,14 +22,21 @@ double parse_number(std::string_view text, std::string_view fragment) {
   double value = 0.0;
   const auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    bad_spec("number out of range", fragment);
+  }
   if (ec != std::errc{} || ptr != text.data() + text.size()) {
     bad_spec("malformed number", fragment);
   }
+  if (std::isinf(value)) bad_spec("number out of range", fragment);
   return value;
 }
 
 std::size_t parse_count(std::string_view text, std::string_view fragment) {
   const double value = parse_number(text, fragment);
+  // Reject magnitudes the long cast below can't represent before casting
+  // (the cast itself would be undefined behaviour on overflow).
+  if (value >= 9.2e18) bad_spec("number out of range", fragment);
   if (value < 0.0 || value != static_cast<double>(static_cast<long>(value))) {
     bad_spec("expected a non-negative integer", fragment);
   }
@@ -36,9 +46,12 @@ std::size_t parse_count(std::string_view text, std::string_view fragment) {
 }  // namespace
 
 TraceConfig parse_arrival_spec(std::string_view text) {
+  if (text.empty()) bad_spec("empty spec", text);
   TraceConfig config;
+  std::vector<std::string_view> seen_keys;
   std::size_t pos = 0;
-  while (pos < text.size()) {
+  bool trailing = false;
+  while (pos < text.size() || trailing) {
     // Depth-aware comma scan, matching the fault-spec grammar, so a future
     // nested (...) value stays parseable.
     std::size_t end = pos;
@@ -49,13 +62,19 @@ TraceConfig parse_arrival_spec(std::string_view text) {
       ++end;
     }
     const std::string_view item = text.substr(pos, end - pos);
-    pos = end + (end < text.size() ? 1 : 0);
-    if (item.empty()) continue;
+    trailing = end < text.size();  // a ',' consumed with nothing after it
+    pos = end + (trailing ? 1 : 0);
+    if (item.empty()) bad_spec("dangling separator", text);
 
     const auto eq = item.find('=');
     if (eq == std::string_view::npos) bad_spec("expected key=value", item);
     const std::string_view key = item.substr(0, eq);
     const std::string_view value = item.substr(eq + 1);
+    if (std::find(seen_keys.begin(), seen_keys.end(), key) !=
+        seen_keys.end()) {
+      bad_spec("duplicate key", item);
+    }
+    seen_keys.push_back(key);
 
     if (key == "jobs") {
       config.job_count = parse_count(value, item);

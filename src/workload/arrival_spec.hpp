@@ -30,7 +30,10 @@
 
 namespace hare::workload {
 
-/// Parse an arrival spec on top of default TraceConfig values.
+/// Parse an arrival spec on top of default TraceConfig values. Unknown
+/// keys, malformed or out-of-range values, duplicate keys, dangling
+/// separators, and the empty string throw common::Error naming the
+/// offending fragment.
 [[nodiscard]] TraceConfig parse_arrival_spec(std::string_view text);
 
 }  // namespace hare::workload

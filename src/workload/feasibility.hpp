@@ -20,12 +20,19 @@ namespace hare::workload {
          gpu.spec().memory;
 }
 
-/// Per-job bitmap over the cluster's GPUs; throws if some job fits nowhere.
-[[nodiscard]] inline std::vector<std::vector<char>> fitting_matrix(
-    const cluster::Cluster& cluster, const JobSet& jobs) {
-  std::vector<std::vector<char>> fits(jobs.job_count());
-  for (const auto& job : jobs.jobs()) {
-    auto& row = fits[static_cast<std::size_t>(job.id.value())];
+/// Extend a fitting matrix in place to cover jobs appended since it was
+/// built: rows [fits.size(), jobs.job_count()) are filled, existing rows
+/// are untouched. Growing a matrix incrementally and building it fresh use
+/// the same arithmetic, so they agree bit for bit. Throws if an appended
+/// job fits nowhere.
+inline void append_fitting_rows(const cluster::Cluster& cluster,
+                                const JobSet& jobs,
+                                std::vector<std::vector<char>>& fits) {
+  const std::size_t old_jobs = fits.size();
+  fits.resize(jobs.job_count());
+  for (std::size_t j = old_jobs; j < fits.size(); ++j) {
+    const Job& job = jobs.job(JobId(static_cast<int>(j)));
+    auto& row = fits[j];
     row.resize(cluster.gpu_count());
     // The footprint depends only on the job; hoist it out of the GPU loop
     // so the matrix build is one compare per (job, gpu).
@@ -40,6 +47,13 @@ namespace hare::workload {
     HARE_CHECK_MSG(any, "job " << job.id << " (" << job.spec.name
                                << ") fits no GPU in the cluster");
   }
+}
+
+/// Per-job bitmap over the cluster's GPUs; throws if some job fits nowhere.
+[[nodiscard]] inline std::vector<std::vector<char>> fitting_matrix(
+    const cluster::Cluster& cluster, const JobSet& jobs) {
+  std::vector<std::vector<char>> fits;
+  append_fitting_rows(cluster, jobs, fits);
   return fits;
 }
 

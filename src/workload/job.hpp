@@ -64,6 +64,14 @@ class JobSet {
   /// Append a job; validates the spec. Returns the new job's id.
   JobId add_job(JobSpec spec);
 
+  /// Drop every job and task, keeping the vectors' capacity — arena-style
+  /// reuse for the per-shard planners that rebuild a local sub-jobset per
+  /// plan.
+  void clear() {
+    jobs_.clear();
+    tasks_.clear();
+  }
+
   [[nodiscard]] std::size_t job_count() const { return jobs_.size(); }
   [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
   [[nodiscard]] bool empty() const { return jobs_.empty(); }

@@ -151,11 +151,48 @@ TEST(FaultSpec, ParsesAllKeys) {
   EXPECT_DOUBLE_EQ(spec.horizon, 900.0);
 }
 
-TEST(FaultSpec, EmptyStringIsDefaultSpec) {
-  const fault::FaultSpec spec = fault::parse_fault_spec("");
-  EXPECT_EQ(spec.machine_failures, 0u);
-  EXPECT_EQ(spec.gpu_failures, 0u);
-  EXPECT_TRUE(spec.scripted.empty());
+TEST(FaultSpec, EmptyStringThrows) {
+  EXPECT_THROW((void)fault::parse_fault_spec(""), common::Error);
+}
+
+TEST(FaultSpec, DuplicateKeyThrowsNamingTheKey) {
+  try {
+    (void)fault::parse_fault_spec("mttf=10,mttr=5,mttf=20");
+    FAIL() << "duplicate key accepted";
+  } catch (const common::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate key"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("mttf"), std::string::npos);
+  }
+}
+
+TEST(FaultSpec, OverflowValueThrowsNamingTheKey) {
+  try {
+    (void)fault::parse_fault_spec("mttf=1e9999");
+    FAIL() << "overflowing value accepted";
+  } catch (const common::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("mttf"), std::string::npos);
+  }
+  // Integer counts reject magnitudes past what the integral cast holds.
+  EXPECT_THROW((void)fault::parse_fault_spec("gpu_failures=1e30"),
+               common::Error);
+}
+
+TEST(FaultSpec, TrailingSeparatorThrows) {
+  EXPECT_THROW((void)fault::parse_fault_spec("mttf=10,"), common::Error);
+  EXPECT_THROW((void)fault::parse_fault_spec("mttf=10,,mttr=5"),
+               common::Error);
+  EXPECT_THROW((void)fault::parse_fault_spec("events=(fail_gpu:0@10;)"),
+               common::Error);
+}
+
+TEST(FaultSpec, ParsesJobCompleteEvents) {
+  const fault::FaultSpec spec =
+      fault::parse_fault_spec("events=(complete_job:7@42)");
+  ASSERT_EQ(spec.scripted.size(), 1u);
+  EXPECT_EQ(spec.scripted[0].kind, fault::FaultKind::JobComplete);
+  EXPECT_EQ(spec.scripted[0].job, JobId(7));
+  EXPECT_DOUBLE_EQ(spec.scripted[0].time, 42.0);
 }
 
 TEST(FaultSpec, ParsesScriptedEvents) {

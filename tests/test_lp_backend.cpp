@@ -26,7 +26,10 @@
 
 #include "common/rng.hpp"
 #include "core/hare.hpp"
+#include "opt/basis_lu.hpp"
+#include "opt/revised_simplex.hpp"
 #include "opt/simplex.hpp"
+#include "opt/sparse_matrix.hpp"
 #include "test_util.hpp"
 
 namespace hare {
@@ -461,6 +464,285 @@ TEST(LpBackendSchedule, RelaxationReportsResolvedBackendAndShape) {
   engine.naive = true;
   engine.lp_backend = LpBackend::Sparse;
   EXPECT_EQ(engine.resolved_lp_backend(), LpBackend::Dense);
+}
+
+// ------------------------------------------------- hyper-sparse LU core ----
+
+/// Random diagonally-dominant sparse basis: columns 0..m-1 carry a strong
+/// diagonal plus a couple of small off-diagonal entries (nonsingular by
+/// dominance), columns m.. are sparse candidates for basis exchanges.
+opt::SparseMatrix make_sparse_basis_matrix(int m, int extra_cols,
+                                           common::Rng& rng) {
+  opt::SparseMatrix A(m);
+  for (int j = 0; j < m + extra_cols; ++j) {
+    A.add_column();
+    std::vector<std::pair<int, double>> entries;
+    if (j < m) {
+      entries.emplace_back(j, rng.uniform(3.0, 5.0));
+      for (int k = 0; k < 2; ++k) {
+        const int r =
+            static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(m)));
+        if (r != j) entries.emplace_back(r, rng.uniform(-0.4, 0.4));
+      }
+    } else {
+      for (int k = 0; k < 3; ++k) {
+        const int r =
+            static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(m)));
+        entries.emplace_back(r, rng.uniform(0.5, 1.5));
+      }
+    }
+    std::sort(entries.begin(), entries.end());
+    int last = -1;
+    for (const auto& [row, value] : entries) {
+      if (row == last) continue;  // columns must be row-sorted and unique
+      last = row;
+      A.push(j, row, value);
+    }
+  }
+  return A;
+}
+
+std::vector<int> identity_basis(int m) {
+  std::vector<int> basis(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) basis[static_cast<std::size_t>(i)] = i;
+  return basis;
+}
+
+TEST(HyperSparseLu, SparseSolvesMatchDenseBitwise) {
+  // The graph-driven FTRAN/BTRAN fire the same elimination steps in the
+  // same ascending order as the dense sweep, so the doubles — not just
+  // their rounding — must agree, and the reported nonzero pattern must be
+  // exactly the dense result's support.
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    common::Rng rng(seed);
+    const int m = 48;
+    const opt::SparseMatrix A = make_sparse_basis_matrix(m, 0, rng);
+    opt::BasisLU lu;
+    lu.set_hyper(true);
+    ASSERT_TRUE(lu.factorize(A, identity_basis(m)));
+    ASSERT_TRUE(lu.hyper_ready());
+
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<double> v(static_cast<std::size_t>(m), 0.0);
+      std::vector<int> v_rows;
+      const int nnz = 1 + static_cast<int>(rng.uniform_int(3ull));
+      for (int k = 0; k < nnz; ++k) {
+        const int r =
+            static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(m)));
+        if (v[static_cast<std::size_t>(r)] == 0.0) v_rows.push_back(r);
+        v[static_cast<std::size_t>(r)] = rng.uniform(-2.0, 2.0);
+      }
+      std::sort(v_rows.begin(), v_rows.end());
+
+      std::vector<double> dense_out;
+      lu.ftran(v, dense_out);
+      std::vector<double> sparse_out(static_cast<std::size_t>(m), 0.0);
+      std::vector<int> out_pos;
+      lu.ftran_sparse(v, v_rows, sparse_out, out_pos);
+      ASSERT_TRUE(std::is_sorted(out_pos.begin(), out_pos.end()));
+      for (int i = 0; i < m; ++i) {
+        EXPECT_EQ(sparse_out[static_cast<std::size_t>(i)],
+                  dense_out[static_cast<std::size_t>(i)])
+            << "ftran position " << i << " seed " << seed;
+      }
+      for (int i = 0; i < m; ++i) {
+        const bool listed =
+            std::binary_search(out_pos.begin(), out_pos.end(), i);
+        if (!listed) {
+          EXPECT_EQ(sparse_out[static_cast<std::size_t>(i)], 0.0);
+        }
+      }
+
+      std::vector<double> dense_back;
+      lu.btran(v, dense_back);  // v reused as a position-space vector
+      std::vector<double> sparse_back(static_cast<std::size_t>(m), 0.0);
+      std::vector<int> out_rows;
+      lu.btran_sparse(v, v_rows, sparse_back, out_rows);
+      ASSERT_TRUE(std::is_sorted(out_rows.begin(), out_rows.end()));
+      for (int i = 0; i < m; ++i) {
+        EXPECT_EQ(sparse_back[static_cast<std::size_t>(i)],
+                  dense_back[static_cast<std::size_t>(i)])
+            << "btran row " << i << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(HyperSparseLu, SparseUpdateMatchesDenseUpdate) {
+  // Two LU objects track the same basis-exchange sequence, one through
+  // update() (dense spike scan) and one through update_sparse() (listed
+  // positions). The etas — and therefore every later solve — must agree
+  // bitwise.
+  common::Rng rng(99);
+  const int m = 32;
+  const int extra = 40;
+  const opt::SparseMatrix A = make_sparse_basis_matrix(m, extra, rng);
+  std::vector<int> basis = identity_basis(m);
+
+  opt::BasisLU lu_dense;
+  opt::BasisLU lu_sparse;
+  lu_dense.set_hyper(true);
+  lu_sparse.set_hyper(true);
+  ASSERT_TRUE(lu_dense.factorize(A, basis));
+  ASSERT_TRUE(lu_sparse.factorize(A, basis));
+
+  int exchanges = 0;
+  for (int q = m; q < m + extra && exchanges < 12; ++q) {
+    std::vector<double> rhs(static_cast<std::size_t>(m), 0.0);
+    std::vector<int> rhs_rows;
+    for (const opt::SparseEntry& e : A.column(q)) {
+      rhs[static_cast<std::size_t>(e.row)] = e.value;
+      rhs_rows.push_back(e.row);
+    }
+    std::vector<double> spike;
+    lu_dense.ftran(rhs, spike);
+    std::vector<double> spike_sparse(static_cast<std::size_t>(m), 0.0);
+    std::vector<int> spike_pos;
+    lu_sparse.ftran_sparse(rhs, rhs_rows, spike_sparse, spike_pos);
+
+    // Largest pivot keeps the exchanged basis comfortably nonsingular.
+    int p = 0;
+    for (int i = 1; i < m; ++i) {
+      if (std::abs(spike[static_cast<std::size_t>(i)]) >
+          std::abs(spike[static_cast<std::size_t>(p)])) {
+        p = i;
+      }
+    }
+    if (std::abs(spike[static_cast<std::size_t>(p)]) < 0.15) continue;
+    if (basis[static_cast<std::size_t>(p)] >= m) continue;  // keep variety
+    ASSERT_TRUE(lu_dense.update(p, spike));
+    ASSERT_TRUE(lu_sparse.update_sparse(p, spike_sparse, spike_pos));
+    basis[static_cast<std::size_t>(p)] = q;
+    ++exchanges;
+
+    std::vector<double> probe(static_cast<std::size_t>(m), 0.0);
+    std::vector<int> probe_rows;
+    const int r =
+        static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(m)));
+    probe[static_cast<std::size_t>(r)] = rng.uniform(0.5, 1.5);
+    probe_rows.push_back(r);
+    std::vector<double> via_dense;
+    lu_dense.ftran(probe, via_dense);
+    std::vector<double> via_sparse(static_cast<std::size_t>(m), 0.0);
+    std::vector<int> via_pos;
+    lu_sparse.ftran_sparse(probe, probe_rows, via_sparse, via_pos);
+    for (int i = 0; i < m; ++i) {
+      ASSERT_EQ(via_sparse[static_cast<std::size_t>(i)],
+                via_dense[static_cast<std::size_t>(i)])
+          << "after exchange " << exchanges << " position " << i;
+    }
+  }
+  ASSERT_GE(exchanges, 6) << "the corpus produced too few usable exchanges";
+  EXPECT_EQ(lu_dense.eta_count(), lu_sparse.eta_count());
+}
+
+TEST(HyperSparseLu, MarkowitzFactorizationSolvesTheSameSystem) {
+  // Markowitz pivoting reorders the elimination, so the doubles may differ
+  // in rounding — but both factorizations must solve B x = v: check the
+  // residual through the original matrix, and the two solutions against
+  // each other at solver tolerance.
+  common::Rng rng(7);
+  const int m = 64;
+  const opt::SparseMatrix A = make_sparse_basis_matrix(m, 0, rng);
+  const std::vector<int> basis = identity_basis(m);
+
+  opt::BasisLU plain;
+  opt::BasisLU markowitz;
+  markowitz.set_markowitz(true);
+  ASSERT_TRUE(plain.factorize(A, basis));
+  ASSERT_TRUE(markowitz.factorize(A, basis));
+
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<double> v(static_cast<std::size_t>(m));
+    for (double& x : v) x = rng.uniform(-1.0, 1.0);
+    std::vector<double> x_plain;
+    std::vector<double> x_mark;
+    plain.ftran(v, x_plain);
+    markowitz.ftran(v, x_mark);
+    for (const opt::BasisLU* which : {&plain, &markowitz}) {
+      const std::vector<double>& x = which == &plain ? x_plain : x_mark;
+      std::vector<double> residual = v;
+      for (int i = 0; i < m; ++i) {
+        for (const opt::SparseEntry& e :
+             A.column(basis[static_cast<std::size_t>(i)])) {
+          residual[static_cast<std::size_t>(e.row)] -=
+              e.value * x[static_cast<std::size_t>(i)];
+        }
+      }
+      for (int i = 0; i < m; ++i) {
+        EXPECT_NEAR(residual[static_cast<std::size_t>(i)], 0.0, 1e-9);
+      }
+    }
+    for (int i = 0; i < m; ++i) {
+      EXPECT_NEAR(x_plain[static_cast<std::size_t>(i)],
+                  x_mark[static_cast<std::size_t>(i)], 1e-9);
+    }
+  }
+}
+
+// ----------------------------------------------- Classic vs Hyper modes ----
+
+/// Small bounded packing LP with a planted feasible region (0 is always
+/// feasible; finite upper bounds keep it bounded).
+LinearProgram make_mode_corpus_lp(int rows, int cols, std::uint64_t seed) {
+  common::Rng rng(seed);
+  LinearProgram lp;
+  std::vector<std::vector<std::pair<std::size_t, double>>> row_terms(
+      static_cast<std::size_t>(rows));
+  for (int j = 0; j < cols; ++j) {
+    const std::size_t var = lp.add_variable(-rng.uniform(0.5, 2.0));
+    lp.set_bounds(var, 0.0, rng.uniform(0.5, 2.0));
+    for (int k = 0; k < 2; ++k) {
+      const int r =
+          static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(rows)));
+      row_terms[static_cast<std::size_t>(r)].emplace_back(
+          static_cast<std::size_t>(j), rng.uniform(0.2, 1.0));
+    }
+  }
+  for (int i = 0; i < rows; ++i) {
+    lp.add_constraint(row_terms[static_cast<std::size_t>(i)],
+                      Relation::LessEqual, rng.uniform(1.0, 4.0));
+  }
+  return lp;
+}
+
+TEST(HyperSparseMode, ClassicAndHyperAgreeOnObjectiveCorpus) {
+  // Partial pricing changes the pivot trajectory, never the optimum: both
+  // sparse sub-modes must land on the same objective across a randomized
+  // corpus (and both must claim optimality).
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const LinearProgram lp = make_mode_corpus_lp(16, 120, seed);
+    opt::RevisedSimplex classic(lp);
+    classic.set_sparse_mode(opt::SparseMode::Classic);
+    const LpSolution classic_sol = classic.solve(100000);
+    opt::RevisedSimplex hyper(lp);
+    hyper.set_sparse_mode(opt::SparseMode::Hyper);
+    const LpSolution hyper_sol = hyper.solve(100000);
+
+    EXPECT_FALSE(classic.hyper_enabled());
+    EXPECT_TRUE(hyper.hyper_enabled());
+    ASSERT_EQ(classic_sol.status, LpStatus::Optimal) << "seed " << seed;
+    ASSERT_EQ(hyper_sol.status, LpStatus::Optimal) << "seed " << seed;
+    EXPECT_NEAR(classic_sol.objective, hyper_sol.objective,
+                1e-7 * std::max(1.0, std::abs(classic_sol.objective)))
+        << "seed " << seed;
+  }
+}
+
+TEST(HyperSparseMode, AutoHeuristicPicksHyperOnlyForWideLps) {
+  // Auto keeps the classic trajectory unless the LP is wide enough for
+  // partial pricing to pay: >= kHyperMinCols columns and >= 8x wider than
+  // tall (column count includes the per-row logicals).
+  const LinearProgram narrow = make_mode_corpus_lp(16, 120, 42);
+  opt::RevisedSimplex narrow_solver(narrow);
+  (void)narrow_solver.solve(100000);
+  EXPECT_FALSE(narrow_solver.hyper_enabled());
+
+  const LinearProgram wide =
+      make_mode_corpus_lp(8, opt::RevisedSimplex::kHyperMinCols, 43);
+  opt::RevisedSimplex wide_solver(wide);
+  (void)wide_solver.solve(200000);
+  EXPECT_TRUE(wide_solver.hyper_enabled());
 }
 
 }  // namespace

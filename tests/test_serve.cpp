@@ -5,6 +5,7 @@
 // serial-vs-pooled bit-identity of the sharded serve path.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -136,6 +137,40 @@ TEST(ArrivalSpec, MalformedSpecsThrow) {
   EXPECT_THROW((void)workload::parse_arrival_spec(
                    "rounds_min=0.8,rounds_max=0.4"),
                common::Error);
+}
+
+TEST(ArrivalSpec, EmptySpecThrows) {
+  EXPECT_THROW((void)workload::parse_arrival_spec(""), common::Error);
+}
+
+TEST(ArrivalSpec, DuplicateKeyThrowsNamingTheKey) {
+  try {
+    (void)workload::parse_arrival_spec("jobs=10,rate=2,jobs=20");
+    FAIL() << "duplicate key accepted";
+  } catch (const common::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate key"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("jobs"), std::string::npos);
+  }
+}
+
+TEST(ArrivalSpec, OverflowValueThrowsNamingTheKey) {
+  try {
+    (void)workload::parse_arrival_spec("rate=1e9999");
+    FAIL() << "overflowing value accepted";
+  } catch (const common::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("rate"), std::string::npos);
+  }
+  // Counts reject integer-overflowing magnitudes before the integral cast.
+  EXPECT_THROW((void)workload::parse_arrival_spec("jobs=1e30"),
+               common::Error);
+}
+
+TEST(ArrivalSpec, TrailingSeparatorThrows) {
+  EXPECT_THROW((void)workload::parse_arrival_spec("jobs=10,"), common::Error);
+  EXPECT_THROW((void)workload::parse_arrival_spec("jobs=10,,rate=2"),
+               common::Error);
+  EXPECT_THROW((void)workload::parse_arrival_spec(",jobs=10"), common::Error);
 }
 
 // ----------------------------------------------------- core with-h seam --
@@ -349,6 +384,51 @@ TEST(Serve, CancelBeforePlanningSkipsTheJob) {
       EXPECT_NE(service.jobs().task(task).job, dropped.id);
     }
   }
+}
+
+TEST(Serve, JobCompleteReleasesHorizonForNextBatch) {
+  const cluster::Cluster cluster = cluster::make_testbed_cluster();
+  // One long job monopolizes every GPU's committed horizon, then a short
+  // job arrives after the long job is reported complete at t = 5.
+  std::vector<workload::JobSpec> arrivals(2);
+  arrivals[0].model = workload::ModelType::ResNet50;
+  arrivals[0].arrival = 0.0;
+  arrivals[0].rounds = 40;
+  arrivals[0].tasks_per_round = 15;  // one task per testbed GPU per round
+  arrivals[0].name = "long";
+  arrivals[1].model = workload::ModelType::BertBase;
+  arrivals[1].arrival = 6.0;
+  arrivals[1].rounds = 2;
+  arrivals[1].tasks_per_round = 1;
+  arrivals[1].name = "late";
+
+  fault::FaultPlan plan;
+  fault::FaultEvent done;
+  done.kind = fault::FaultKind::JobComplete;
+  done.job = JobId(0);
+  done.time = 5.0;
+  plan.events.push_back(done);
+
+  const serve::ServeConfig config = small_lp_config();
+  serve::ServeService with_completion(cluster, workload::PerfModel{}, config);
+  const serve::ServeReport released = with_completion.run(arrivals, plan);
+  serve::ServeService without(cluster, workload::PerfModel{}, config);
+  const serve::ServeReport held = without.run(arrivals);
+
+  EXPECT_EQ(released.completions, 1u);
+  EXPECT_GT(released.released_tasks, 0u);
+  EXPECT_EQ(held.released_tasks, 0u);
+  // The completion freed the long job's unstarted committed tail, so the
+  // late job plans onto rolled-back horizons: it reaches a fast GPU
+  // immediately instead of queueing behind 40 rounds of committed work,
+  // and the planned weighted-completion objective drops. The long job's
+  // own contribution was fixed when its batch was planned, so the whole
+  // difference is the late job finishing earlier.
+  EXPECT_LT(released.objective, held.objective);
+
+  serve::ServeService again(cluster, workload::PerfModel{}, config);
+  EXPECT_TRUE(schedules_identical(released.schedule,
+                                  again.run(arrivals, plan).schedule));
 }
 
 // ------------------------------------------------------------- sharding --
