@@ -69,6 +69,13 @@ bench_scale_100k (BENCH_scale.json):
     dense tableau reference, or Classic and Hyper sparse modes disagree on
     an LP objective — correctness contracts, never waived, including in
     quick mode;
+  * any point's process peak RSS exceeded the memory ceiling, or the
+    pooled sharded plan lost to the forced-serial plan by more than the
+    slack — both enforced in quick mode too (the ceiling catches a return
+    to dense per-job time storage; the plan-time ratio is in-process);
+  * a six-figure point recorded zero cross-shard migrations — the
+    delay-ranked move bundles are deterministic, so the count is
+    machine-independent;
   * full mode: the hyper-sparse mode fell below the 1.5x speedup floor
     over the classic sparse path on any wide (>= 4096 column) LP point —
     an in-process ratio, so it holds across machines;
@@ -134,6 +141,16 @@ SERVE_MIN_THROUGHPUT = 10000.0
 SCALE_SIX_FIGURE_JOBS = 100000
 SCALE_LP_MIN_SPEEDUP = 1.5
 SCALE_LP_WIDE_COLS = 4096
+# Memory ceiling for any scale point (process peak RSS in MB). The interned
+# time-table layout holds the six-figure point to a few hundred MB; the
+# ceiling catches a silent return to dense per-job storage (13.8 GB at
+# 100k x 8192 before the rework) long before the runner OOMs.
+SCALE_MAX_RSS_MB = 5000.0
+# The pooled sharded plan must not lose to the forced-serial plan. Both are
+# best-of-N and interleaved in one process, so the ratio is stable across
+# machines; 1.1x absorbs scheduler jitter on single-core runners where both
+# paths execute the identical inline code.
+SCALE_PARALLEL_SLACK = 1.1
 
 
 def fail(msg):
@@ -148,6 +165,15 @@ def fail_floor(tag, key, observed, floor, note=""):
     suffix = f" — {note}" if note else ""
     return fail(
         f"{tag}: {key} = {observed:.3f} vs floor {floor:.3f}{suffix}"
+    )
+
+
+def fail_ceiling(tag, key, observed, ceiling, note=""):
+    """Threshold failure for values that must stay *under* a bound, printed
+    observed-vs-ceiling just like fail_floor prints observed-vs-floor."""
+    suffix = f" — {note}" if note else ""
+    return fail(
+        f"{tag}: {key} = {observed:.3f} vs ceiling {ceiling:.3f}{suffix}"
     )
 
 
@@ -508,6 +534,37 @@ def check_scale(data, quick, path):
             errors += fail(f"{tag}: the plan failed structural validation")
         if p.get("tasks", 0) < 1:
             errors += fail(f"{tag}: the streamed trace produced no tasks")
+        if "peak_rss_mb" not in p:
+            errors += skip_missing(tag, ["peak_rss_mb"], "peak RSS ceiling")
+        elif p["peak_rss_mb"] > SCALE_MAX_RSS_MB:
+            errors += fail_ceiling(
+                tag, "peak_rss_mb", p["peak_rss_mb"], SCALE_MAX_RSS_MB,
+                "dense per-job time storage is back?",
+            )
+        if p.get("jobs", 0) >= SCALE_SIX_FIGURE_JOBS:
+            if "migrated_jobs" not in p:
+                errors += skip_missing(
+                    tag, ["migrated_jobs"], "six-figure migration gate"
+                )
+            elif p["migrated_jobs"] < 1:
+                errors += fail_floor(
+                    tag, "migrated_jobs", float(p["migrated_jobs"]), 1.0,
+                    "cross-shard migration fired zero moves at the "
+                    "six-figure point (the objective-gate regression is "
+                    "back?)",
+                )
+        plan_keys = missing_keys(p, ("plan_serial_ms", "plan_parallel_ms"))
+        if plan_keys:
+            errors += skip_missing(tag, plan_keys, "pooled-vs-serial gate")
+        elif (
+            p["plan_parallel_ms"]
+            > p["plan_serial_ms"] * SCALE_PARALLEL_SLACK
+        ):
+            errors += fail_ceiling(
+                tag, "plan_parallel_ms", p["plan_parallel_ms"],
+                p["plan_serial_ms"] * SCALE_PARALLEL_SLACK,
+                "the pooled sharded plan lost to the forced-serial plan",
+            )
 
     backend = data.get("backend_cross_check", {})
     if not backend.get("identical", False):

@@ -52,7 +52,7 @@ class ThreadPool {
     if (threads == 0) threads = default_worker_count();
     workers_.reserve(threads);
     for (std::size_t t = 0; t < threads; ++t) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, t] { worker_loop(static_cast<int>(t)); });
     }
   }
 
@@ -88,6 +88,16 @@ class ThreadPool {
   /// running on a pool worker and degrade to serial execution instead of
   /// oversubscribing the machine with a second pool.
   [[nodiscard]] static ThreadPool* current() { return current_worker_pool(); }
+
+  /// Index of the calling thread within its pool ([0, size())), or -1 when
+  /// the calling thread is not a pool worker. Lets callers keep
+  /// thread-affine scratch slots (slot = index + 1, slot 0 for the
+  /// non-worker caller) so a worker reuses *its own* buffers across the
+  /// tasks it happens to run — no reallocation churn, no false sharing
+  /// between slots another worker owns.
+  [[nodiscard]] static int current_worker_index() {
+    return current_worker_slot();
+  }
 
   /// True when the calling thread is one of *this* pool's workers.
   [[nodiscard]] bool on_worker_thread() const {
@@ -203,16 +213,22 @@ class ThreadPool {
   }
 
  private:
-  // One slot per thread naming the pool it serves; set for the lifetime of
-  // worker_loop. A function-local static sidesteps per-TU thread_local
-  // duplication in this header-only class.
+  // One slot per thread naming the pool it serves (plus the worker's index
+  // within it); set for the lifetime of worker_loop. A function-local
+  // static sidesteps per-TU thread_local duplication in this header-only
+  // class.
   [[nodiscard]] static ThreadPool*& current_worker_pool() {
     thread_local ThreadPool* current = nullptr;
     return current;
   }
+  [[nodiscard]] static int& current_worker_slot() {
+    thread_local int slot = -1;
+    return slot;
+  }
 
-  void worker_loop() {
+  void worker_loop(int index) {
     current_worker_pool() = this;
+    current_worker_slot() = index;
     for (;;) {
       std::function<void()> task;
       {
@@ -220,6 +236,7 @@ class ThreadPool {
         cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
         if (stopping_ && tasks_.empty()) {
           current_worker_pool() = nullptr;
+          current_worker_slot() = -1;
           return;
         }
         task = std::move(tasks_.front());

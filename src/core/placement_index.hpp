@@ -204,8 +204,10 @@ class PlacementIndex {
     } else {
       for (std::size_t j = 0; j < jobs; ++j) build_job(j);
     }
-    // Per-GPU noise (the no-ProfileDb profiler path) breaks bucket
-    // uniformity; the flat SIMD scan stays exact for it.
+    // The memoized profiler keys measurements by (shape, type, uplink),
+    // so same-type cells usually match and buckets survive; mixed uplinks
+    // or hand-built tables still break uniformity, and the flat SIMD scan
+    // stays exact for them.
     if (try_buckets && !uniform.load(std::memory_order_relaxed)) {
       buckets_.reset();
     }

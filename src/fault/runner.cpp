@@ -148,7 +148,7 @@ ReplanResult FaultRunner::replan_with_planner(const ReplanRequest& request) {
       const std::size_t round =
           static_cast<std::size_t>(sub.first_round) +
           static_cast<std::size_t>(task.round);
-      out.push_back(job.tasks[round * job.tasks_per_round() + task.slot]);
+      out.push_back(job.task_at(static_cast<std::uint32_t>(round), task.slot));
     }
   }
   return result;
@@ -216,8 +216,7 @@ ReplanResult FaultRunner::replan_greedy(const ReplanRequest& request) {
         phi[g] = best_finish;
         barrier = std::max(barrier, best_finish + profiled_.ts(jr.job, best));
         result.appended[g].push_back(
-            job.tasks[static_cast<std::size_t>(r) * job.tasks_per_round() +
-                      slot]);
+            job.task_at(static_cast<std::uint32_t>(r), slot));
       }
       job_ready = barrier;
     }

@@ -1,89 +1,296 @@
 #include "profiler/profiler.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace hare::profiler {
 
 namespace {
 
-ProfileKey make_key(const workload::Job& job, const cluster::Gpu& gpu,
+/// One distinct job shape: everything a (T^c, T^s) row depends on besides
+/// the cluster itself.
+struct JobShape {
+  workload::ModelType model{};
+  std::uint32_t batch = 0;
+  std::uint32_t batches_per_task = 0;
+};
+
+using ShapeKey = std::tuple<int, std::uint32_t, std::uint32_t>;
+
+ShapeKey shape_key(const workload::Job& job) {
+  return {static_cast<int>(job.spec.model), job.effective_batch_size(),
+          job.spec.batches_per_task};
+}
+
+ProfileKey make_key(const JobShape& shape, const cluster::Gpu& gpu,
                     double network_gbps) {
   ProfileKey key;
-  key.model = job.spec.model;
+  key.model = shape.model;
   key.gpu = gpu.type;
-  key.batch_size = job.effective_batch_size();
-  key.batches_per_task = job.spec.batches_per_task;
+  key.batch_size = shape.batch;
+  key.batches_per_task = shape.batches_per_task;
   key.network_mbps = static_cast<std::uint32_t>(network_gbps * 1000.0 + 0.5);
   return key;
+}
+
+/// Mirrors exp::serial_requested() without linking hare_exp (the dependency
+/// points the other way): HARE_EXP_SERIAL set to anything but "" or "0"
+/// forces the serial path.
+bool serial_env_requested() {
+  const char* env = std::getenv("HARE_EXP_SERIAL");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+/// Deterministic fan-out following the exp-engine contract: fn(i) for i in
+/// [0, n), results landing in caller-owned slots indexed by i. Inline when
+/// serial was requested, when already on a pool worker (nested fan-out), or
+/// when the shared pool has a single worker (dispatch would only add queue
+/// overhead). Every branch computes identical numbers — the profiler's RNG
+/// seeds are drawn serially before this is called.
+template <typename Fn>
+void for_each_index(bool serial, std::size_t n, Fn&& fn) {
+  if (!serial && !serial_env_requested() && n > 1 &&
+      common::ThreadPool::current() == nullptr &&
+      common::shared_pool().size() > 1) {
+    common::shared_pool().parallel_for_each(n, fn);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+
+/// Canonical first-seen shape enumeration: shapes[] in job order, plus each
+/// job's shape slot. The order is a pure function of the jobset, so every
+/// later pass (seed draws, interning, binding) is deterministic.
+std::vector<JobShape> enumerate_shapes(const workload::JobSet& jobs,
+                                       std::vector<std::uint32_t>& shape_of) {
+  HARE_SPAN("profiler", "profiler.enumerate");
+  std::vector<JobShape> shapes;
+  shape_of.resize(jobs.job_count());
+  std::map<ShapeKey, std::uint32_t> seen;
+  for (const auto& job : jobs.jobs()) {
+    const auto [it, inserted] =
+        seen.try_emplace(shape_key(job), static_cast<std::uint32_t>(shapes.size()));
+    if (inserted) {
+      shapes.push_back(JobShape{job.spec.model, job.effective_batch_size(),
+                                job.spec.batches_per_task});
+    }
+    shape_of[static_cast<std::size_t>(job.id.value())] = it->second;
+  }
+  return shapes;
+}
+
+struct ProfilerMetrics {
+  obs::Counter& cells = obs::counter("profiler.cells");
+  obs::Counter& memo_hits = obs::counter("profiler.memo_hits");
+  obs::Counter& measurements = obs::counter("profiler.measurements");
+  obs::Counter& rows_computed = obs::counter("profiler.rows_computed");
+};
+
+ProfilerMetrics& profiler_metrics() {
+  static ProfilerMetrics metrics;
+  return metrics;
 }
 
 }  // namespace
 
 TimeTable Profiler::profile(const workload::JobSet& jobs,
                             const cluster::Cluster& cluster, ProfileDb* db) {
-  TimeTable table(jobs.job_count(), cluster.gpu_count());
+  HARE_SPAN("profiler", "profiler.profile");
+  const std::size_t gpu_count = cluster.gpu_count();
+  TimeTable table(jobs.job_count(), gpu_count);
   profiling_cost_ = 0.0;
+  memo_hits_ = memo_misses_ = rows_ = 0;
+  if (jobs.job_count() == 0 || gpu_count == 0) return table;
 
-  for (const auto& job : jobs.jobs()) {
-    const auto batch = job.effective_batch_size();
+  // Pass 1 (serial): canonical shape + measurement-key enumeration. Every
+  // (shape, GPU) cell resolves to one entry slot; first-seen keys either
+  // hit the db or get a measurement seed drawn *here*, in canonical order,
+  // so the fan-out below cannot perturb the RNG stream.
+  std::vector<std::uint32_t> shape_of;
+  const std::vector<JobShape> shapes = enumerate_shapes(jobs, shape_of);
+
+  std::vector<ProfileKey> keys;              // entry slot -> key
+  std::vector<ProfileEntry> entries;         // resolved values
+  std::vector<char> needs_measure;           // entry slot -> db miss?
+  std::vector<std::uint64_t> seeds;          // per-slot measurement seed
+  std::vector<double> uplinks;               // per-slot uplink (Gbit/s)
+  std::vector<std::uint32_t> cell_entry(shapes.size() * gpu_count);
+  std::unordered_map<ProfileKey, std::uint32_t, ProfileKeyHash> slot_of;
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
     for (const auto& gpu : cluster.gpus()) {
       const double uplink = cluster.machine(gpu.machine).network_gbps;
-      const ProfileKey key = make_key(job, gpu, uplink);
-
-      if (db != nullptr) {
-        if (const auto hit = db->lookup(key)) {
-          table.set(job.id, gpu.id, hit->tc, hit->ts);
-          continue;
+      const ProfileKey key = make_key(shapes[s], gpu, uplink);
+      const auto [it, inserted] =
+          slot_of.try_emplace(key, static_cast<std::uint32_t>(entries.size()));
+      if (inserted) {
+        keys.push_back(key);
+        uplinks.push_back(uplink);
+        if (db != nullptr) {
+          if (const auto hit = db->lookup(key)) {
+            entries.push_back(*hit);
+            needs_measure.push_back(0);
+            seeds.push_back(0);
+            cell_entry[s * gpu_count +
+                       static_cast<std::size_t>(gpu.id.value())] = it->second;
+            continue;
+          }
         }
+        entries.emplace_back();
+        needs_measure.push_back(1);
+        seeds.push_back(rng_.next_u64());
       }
+      cell_entry[s * gpu_count + static_cast<std::size_t>(gpu.id.value())] =
+          it->second;
+    }
+  }
 
+  // Pass 2 (parallel): run the measurement loop for every db miss. Each
+  // slot draws from its own pre-seeded stream, so slot i's numbers are
+  // independent of which thread (or order) computed it.
+  std::vector<Time> costs(entries.size(), 0.0);
+  {
+    HARE_SPAN("profiler", "profiler.measure");
+    for_each_index(config_.serial, entries.size(), [&](std::size_t i) {
+      if (!needs_measure[i]) return;
+      const ProfileKey& key = keys[i];
+      common::Rng rng(seeds[i]);
       // Measure: warmups discarded, then average `sample_batches` noisy
       // batch times. Noise is multiplicative log-normal with the configured
       // CV, matching how testbed batch times scatter around their mean.
-      const Time true_batch = perf_.batch_time(job.spec.model, gpu.type, batch);
+      const Time true_batch =
+          perf_.batch_time(key.model, key.gpu, key.batch_size);
       const double sigma =
           std::sqrt(std::log(1.0 + config_.measurement_noise_cv *
                                        config_.measurement_noise_cv));
+      Time cost = 0.0;
       for (std::uint32_t w = 0; w < config_.warmup_batches; ++w) {
-        profiling_cost_ += true_batch * rng_.log_normal(-sigma * sigma / 2.0,
-                                                        sigma) *
-                           2.0;  // warmup batches run slower (cold caches)
+        cost += true_batch * rng.log_normal(-sigma * sigma / 2.0, sigma) *
+                2.0;  // warmup batches run slower (cold caches)
       }
       Time measured_sum = 0.0;
       const std::uint32_t samples = std::max(1u, config_.sample_batches);
       for (std::uint32_t s = 0; s < samples; ++s) {
-        const Time one = true_batch * rng_.log_normal(-sigma * sigma / 2.0, sigma);
+        const Time one = true_batch * rng.log_normal(-sigma * sigma / 2.0, sigma);
         measured_sum += one;
-        profiling_cost_ += one;
+        cost += one;
       }
       const Time measured_batch = measured_sum / samples;
 
       ProfileEntry entry;
-      entry.tc = measured_batch * job.spec.batches_per_task;
-      entry.ts = perf_.sync_time(job.spec.model, uplink);
+      entry.tc = measured_batch * key.batches_per_task;
+      entry.ts = perf_.sync_time(key.model, uplinks[i]);
       entry.sample_count = samples;
-      table.set(job.id, gpu.id, entry.tc, entry.ts);
-      if (db != nullptr) db->store(key, entry);
+      entries[i] = entry;
+      costs[i] = cost;
+    });
+  }
+
+  // Pass 3 (serial): accumulate cost and extend the db in canonical slot
+  // order — the floating-point sum and the db contents are the same no
+  // matter how pass 2 was scheduled.
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (!needs_measure[i]) continue;
+    profiling_cost_ += costs[i];
+    if (db != nullptr) db->store(keys[i], entries[i]);
+  }
+
+  // Pass 4 (serial): intern one row per shape and point every job at its
+  // shape's row. Cost is O(shapes × G), not O(jobs × G).
+  {
+    HARE_SPAN("profiler", "profiler.build_rows");
+    std::vector<Time> tc_row(gpu_count), ts_row(gpu_count);
+    std::vector<TimeTable::RowId> row_of_shape(shapes.size());
+    for (std::size_t s = 0; s < shapes.size(); ++s) {
+      for (std::size_t g = 0; g < gpu_count; ++g) {
+        const ProfileEntry& entry = entries[cell_entry[s * gpu_count + g]];
+        tc_row[g] = entry.tc;
+        ts_row[g] = entry.ts;
+      }
+      row_of_shape[s] = table.intern_row(tc_row.data(), ts_row.data());
+    }
+    for (const auto& job : jobs.jobs()) {
+      table.bind_row(job.id,
+                     row_of_shape[shape_of[static_cast<std::size_t>(
+                         job.id.value())]]);
     }
   }
+
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(jobs.job_count()) * gpu_count;
+  std::uint64_t measured = 0;
+  for (const char m : needs_measure) measured += static_cast<std::uint64_t>(m);
+  memo_misses_ = entries.size();
+  memo_hits_ = cells - memo_misses_;
+  rows_ = shapes.size();
+  auto& metrics = profiler_metrics();
+  metrics.cells.add(cells);
+  metrics.memo_hits.add(memo_hits_);
+  metrics.measurements.add(measured);
+  metrics.rows_computed.add(rows_);
   return table;
 }
 
 TimeTable Profiler::exact(const workload::JobSet& jobs,
                           const cluster::Cluster& cluster) const {
-  TimeTable table(jobs.job_count(), cluster.gpu_count());
-  for (const auto& job : jobs.jobs()) {
-    const auto batch = job.effective_batch_size();
-    for (const auto& gpu : cluster.gpus()) {
-      const double uplink = cluster.machine(gpu.machine).network_gbps;
-      const Time tc = perf_.task_compute_time(job.spec.model, gpu.type, batch,
-                                              job.spec.batches_per_task);
-      const Time ts = perf_.sync_time(job.spec.model, uplink);
-      table.set(job.id, gpu.id, tc, ts);
-    }
+  HARE_SPAN("profiler", "profiler.exact");
+  const std::size_t gpu_count = cluster.gpu_count();
+  TimeTable table(jobs.job_count(), gpu_count);
+  memo_hits_ = memo_misses_ = rows_ = 0;
+  if (jobs.job_count() == 0 || gpu_count == 0) return table;
+
+  std::vector<std::uint32_t> shape_of;
+  const std::vector<JobShape> shapes = enumerate_shapes(jobs, shape_of);
+
+  // One exact row per shape, fanned across the pool. Each slot is written
+  // by exactly one index and the values are pure perf-model evaluations,
+  // so pooled and serial builds are bit-identical.
+  std::vector<Time> tc_rows(shapes.size() * gpu_count);
+  std::vector<Time> ts_rows(shapes.size() * gpu_count);
+  {
+    HARE_SPAN("profiler", "profiler.build_rows");
+    for_each_index(config_.serial, shapes.size(), [&](std::size_t s) {
+      const JobShape& shape = shapes[s];
+      Time* tc = tc_rows.data() + s * gpu_count;
+      Time* ts = ts_rows.data() + s * gpu_count;
+      for (const auto& gpu : cluster.gpus()) {
+        const double uplink = cluster.machine(gpu.machine).network_gbps;
+        const std::size_t g = static_cast<std::size_t>(gpu.id.value());
+        tc[g] = perf_.task_compute_time(shape.model, gpu.type, shape.batch,
+                                        shape.batches_per_task);
+        ts[g] = perf_.sync_time(shape.model, uplink);
+      }
+    });
   }
+
+  std::vector<TimeTable::RowId> row_of_shape(shapes.size());
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    row_of_shape[s] = table.intern_row(tc_rows.data() + s * gpu_count,
+                                       ts_rows.data() + s * gpu_count);
+  }
+  for (const auto& job : jobs.jobs()) {
+    table.bind_row(
+        job.id,
+        row_of_shape[shape_of[static_cast<std::size_t>(job.id.value())]]);
+  }
+
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(jobs.job_count()) * gpu_count;
+  memo_misses_ = static_cast<std::uint64_t>(shapes.size()) * gpu_count;
+  memo_hits_ = cells - memo_misses_;
+  rows_ = shapes.size();
+  auto& metrics = profiler_metrics();
+  metrics.cells.add(cells);
+  metrics.memo_hits.add(memo_hits_);
+  metrics.rows_computed.add(rows_);
   return table;
 }
 

@@ -7,6 +7,32 @@
 // The profiler averages `sample_batches` draws after `warmup_batches`
 // discarded warmups, which is exactly the shape of the real measurement
 // loop, and optionally consults/extends a ProfileDb to skip repeat work.
+//
+// Two scaling mechanisms keep profiling off the critical path at six-figure
+// job counts:
+//
+//  * **Shape memoization.** A job's (T^c, T^s) row is a pure function of
+//    its shape — (model, effective batch size, batches per task) — given
+//    the cluster, and one measurement is keyed by (shape, GPU type,
+//    uplink), exactly like the ProfileDb. Jobs sharing a shape share one
+//    interned TimeTable row, and measurement keys are profiled once per
+//    call, so a 100k-job trace with a handful of distinct shapes costs a
+//    handful of row builds instead of 100k × G model evaluations.
+//
+//  * **Deterministic parallel row builds.** Unique rows fan out across
+//    common::shared_pool() following the hare::exp engine contract
+//    (HARE_EXP_SERIAL forces the serial path, HARE_JOBS caps workers,
+//    nested calls from a pool worker degrade to inline). Each measurement
+//    key draws a private RNG seed from the profiler stream *serially in
+//    canonical first-seen order* before the fan-out, so serial and pooled
+//    runs produce bit-identical tables: parallelism changes wall-clock
+//    only, never a number.
+//
+// Telemetry (hare::obs): `profiler.exact` / `profiler.profile` spans with
+// `profiler.enumerate` / `profiler.measure` / `profiler.build_rows` stage
+// spans under them, plus `profiler.cells`, `profiler.memo_hits`,
+// `profiler.measurements`, and `profiler.rows_computed` counters — the
+// profile stage shows up in Chrome traces exactly like the planner.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +51,10 @@ struct ProfilerConfig {
   std::uint32_t sample_batches = 5;
   /// Coefficient of variation of one measured batch (testbed jitter).
   double measurement_noise_cv = 0.03;
+  /// Run row builds and measurements on the calling thread in canonical
+  /// order. ORed with the HARE_EXP_SERIAL environment variable. The result
+  /// is bit-identical either way; this is a debugging/TSan escape hatch.
+  bool serial = false;
 };
 
 class Profiler {
@@ -34,19 +64,30 @@ class Profiler {
 
   /// Profile every (job, GPU) pair; uses `db` when provided (lookups keyed
   /// by GPU *type*, so a 160-GPU cluster needs only |models| × |types|
-  /// actual profiling runs).
+  /// actual profiling runs). Jobs with the same shape share one interned
+  /// row — see the memoization notes above.
   [[nodiscard]] TimeTable profile(const workload::JobSet& jobs,
                                   const cluster::Cluster& cluster,
                                   ProfileDb* db = nullptr);
 
   /// Exact (noise-free) table straight from the performance model — the
-  /// simulator's ground truth.
+  /// simulator's ground truth. Shape-memoized and fanned out like
+  /// profile(), minus the measurement noise.
   [[nodiscard]] TimeTable exact(const workload::JobSet& jobs,
                                 const cluster::Cluster& cluster) const;
 
   /// Total simulated profiling cost in GPU-seconds of the last profile()
   /// call (what the ProfileDb saves on repeat submissions).
   [[nodiscard]] Time last_profiling_cost() const { return profiling_cost_; }
+
+  /// (job, GPU) cells of the last profile()/exact() call that were served
+  /// from an already-resolved measurement key instead of fresh work — the
+  /// in-call memo's savings (ProfileDb hits are counted by the db itself).
+  [[nodiscard]] std::uint64_t last_memo_hits() const { return memo_hits_; }
+  /// First-seen measurement keys of the last call (= cells - memo hits).
+  [[nodiscard]] std::uint64_t last_memo_misses() const { return memo_misses_; }
+  /// Unique rows interned by the last call (= distinct job shapes).
+  [[nodiscard]] std::uint64_t last_rows_computed() const { return rows_; }
 
   [[nodiscard]] const workload::PerfModel& perf_model() const { return perf_; }
 
@@ -55,6 +96,9 @@ class Profiler {
   ProfilerConfig config_;
   common::Rng rng_;
   Time profiling_cost_ = 0.0;
+  mutable std::uint64_t memo_hits_ = 0;
+  mutable std::uint64_t memo_misses_ = 0;
+  mutable std::uint64_t rows_ = 0;
 };
 
 }  // namespace hare::profiler

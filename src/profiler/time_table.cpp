@@ -1,20 +1,62 @@
 #include "profiler/time_table.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/error.hpp"
 
 namespace hare::profiler {
 
-// One pass over the GPU axis fills every aggregate for the job; the old
-// reduce_over_gpus helper ran a separate O(G) scan per min/max accessor.
-const TimeTable::JobAggregates& TimeTable::aggregates(JobId job) const {
-  HARE_CHECK_MSG(gpu_count_ > 0, "time table has no GPUs");
-  const std::size_t j = static_cast<std::size_t>(job.value());
-  HARE_CHECK_MSG(j < agg_.size(), "time table has no job " << job);
-  if (agg_valid_[j]) return agg_[j];
+TimeTable::RowId TimeTable::allocate_row_copy(RowId src) {
+  RowId row = 0;
+  bool reused = false;
+  while (!free_rows_.empty()) {
+    const RowId candidate = free_rows_.back();
+    free_rows_.pop_back();
+    if (owners_[candidate] == 0) {  // stale entries were re-bound; skip them
+      row = candidate;
+      reused = true;
+      break;
+    }
+  }
+  if (!reused) {
+    row = static_cast<RowId>(owners_.size());
+    tc_.resize(tc_.size() + gpu_count_);
+    ts_.resize(ts_.size() + gpu_count_);
+    owners_.push_back(0);
+    agg_.emplace_back();
+    agg_valid_.push_back(0);
+  }
+  const std::size_t dst = static_cast<std::size_t>(row) * gpu_count_;
+  const std::size_t from = static_cast<std::size_t>(src) * gpu_count_;
+  if (gpu_count_ > 0) {
+    std::memmove(tc_.data() + dst, tc_.data() + from,
+                 gpu_count_ * sizeof(Time));
+    std::memmove(ts_.data() + dst, ts_.data() + from,
+                 gpu_count_ * sizeof(Time));
+  }
+  agg_valid_[row] = 0;
+  return row;
+}
 
-  const std::size_t base = j * gpu_count_;
+TimeTable::RowId TimeTable::intern_row(const Time* tc, const Time* ts) {
+  HARE_CHECK_MSG(!owners_.empty(), "intern_row on an unshaped time table");
+  const RowId row = allocate_row_copy(kZeroRow);
+  const std::size_t base = static_cast<std::size_t>(row) * gpu_count_;
+  std::copy(tc, tc + gpu_count_, tc_.data() + base);
+  std::copy(ts, ts + gpu_count_, ts_.data() + base);
+  agg_valid_[row] = 0;
+  alpha_valid_ = false;
+  return row;
+}
+
+// One pass over the GPU axis fills every aggregate for the row; the old
+// reduce_over_gpus helper ran a separate O(G) scan per min/max accessor.
+const TimeTable::JobAggregates& TimeTable::row_aggregates(RowId row) const {
+  HARE_CHECK_MSG(gpu_count_ > 0, "time table has no GPUs");
+  if (agg_valid_[row]) return agg_[row];
+
+  const std::size_t base = static_cast<std::size_t>(row) * gpu_count_;
   JobAggregates agg;
   agg.min_tc = agg.max_tc = tc_[base];
   agg.min_ts = agg.max_ts = ts_[base];
@@ -32,16 +74,25 @@ const TimeTable::JobAggregates& TimeTable::aggregates(JobId job) const {
     agg.max_ts = std::max(agg.max_ts, s);
     agg.min_total = std::min(agg.min_total, c + s);
   }
-  agg_[j] = agg;
-  agg_valid_[j] = 1;
-  return agg_[j];
+  agg_[row] = agg;
+  agg_valid_[row] = 1;
+  return agg_[row];
+}
+
+const TimeTable::JobAggregates& TimeTable::aggregates(JobId job) const {
+  const std::size_t j = static_cast<std::size_t>(job.value());
+  HARE_CHECK_MSG(j < row_of_.size(), "time table has no job " << job);
+  return row_aggregates(row_of_[j]);
 }
 
 double TimeTable::alpha() const {
   if (alpha_valid_) return alpha_;
   double alpha = 1.0;
-  for (std::size_t j = 0; j < job_count(); ++j) {
-    const JobAggregates& agg = aggregates(JobId(static_cast<int>(j)));
+  // Each owned row contributes its ratio once — the max over jobs equals
+  // the max over distinct rows, and rows nobody points at are dead values.
+  for (std::size_t r = 0; r < owners_.size(); ++r) {
+    if (owners_[r] == 0) continue;
+    const JobAggregates& agg = row_aggregates(static_cast<RowId>(r));
     if (agg.min_tc > 0.0) alpha = std::max(alpha, agg.max_tc / agg.min_tc);
     if (agg.min_ts > 0.0) alpha = std::max(alpha, agg.max_ts / agg.min_ts);
   }
@@ -51,10 +102,12 @@ double TimeTable::alpha() const {
 }
 
 void TimeTable::precompute() const {
-  for (std::size_t j = 0; j < job_count(); ++j) {
-    (void)aggregates(JobId(static_cast<int>(j)));
+  if (gpu_count_ == 0) return;
+  for (std::size_t r = 0; r < owners_.size(); ++r) {
+    if (owners_[r] == 0 && r != kZeroRow) continue;
+    (void)row_aggregates(static_cast<RowId>(r));
   }
-  if (job_count() > 0) (void)alpha();
+  if (!row_of_.empty()) (void)alpha();
 }
 
 }  // namespace hare::profiler

@@ -127,7 +127,7 @@ bool IncrementalReplanner::relax_batch(const workload::JobSet& jobs,
     for (std::uint32_t r = 0; r < job.rounds(); ++r) {
       const Time mid = snap(solution.values[round_vars[b][r]]) + half_tc;
       for (std::uint32_t k = 0; k < tpr; ++k) {
-        const TaskId task = job.tasks[static_cast<std::size_t>(r) * tpr + k];
+        const TaskId task = job.task_at(r, k);
         h[static_cast<std::size_t>(task.value())] = mid;
       }
     }

@@ -95,7 +95,7 @@ void ServeService::plan_batch(const std::vector<JobId>& plannable) {
     // the same placement machinery (greedy earliest-finish).
     for (JobId id : plannable) {
       const workload::Job& job = jobs_.job(id);
-      for (TaskId task : job.tasks) {
+      for (TaskId task : job.task_ids()) {
         h_[static_cast<std::size_t>(task.value())] = job.spec.arrival;
       }
     }

@@ -48,7 +48,10 @@ std::vector<ShardTypeSummary> summarize_types(const cluster::Cluster& cluster,
 
 /// Everything one shard's plan hands back to the merge, already translated
 /// to global task ids (the local JobSet dies with the planning call).
-struct ShardOutcome {
+/// Cache-line aligned: outcome slots are written concurrently by different
+/// pool workers during the fan-out, and sharing a line across slots would
+/// bounce it between cores on every append.
+struct alignas(64) ShardOutcome {
   /// [local gpu] → ordered global TaskIds.
   std::vector<std::vector<TaskId>> sequences;
   /// (global task id value, predicted start) for every planned task.
@@ -57,6 +60,63 @@ struct ShardOutcome {
   ShardStats stats;
 };
 
+/// Sentinel for "global row not yet gathered into the local table".
+constexpr std::uint32_t kNoLocalRow = 0xFFFFFFFFu;
+
+}  // namespace
+
+HierarchicalPlanner::WorkerScratch& HierarchicalPlanner::scratch_slot() {
+  // Slot 0 belongs to the non-worker caller (serial plans, the order-hook
+  // test path); pool workers use 1 + their index within the pool. The
+  // vector is pre-sized before every fan-out, so no slot is ever created
+  // concurrently.
+  const std::size_t slot =
+      static_cast<std::size_t>(common::ThreadPool::current_worker_index() + 1);
+  HARE_CHECK_MSG(slot < worker_scratch_.size(),
+                 "worker scratch not pre-sized for slot " << slot);
+  return worker_scratch_[slot];
+}
+
+/// Build `local_times` (a shard-local sub-table over `spec.gpus`) from the
+/// global `times` for the jobs in `shard_jobs`, deduplicating through the
+/// global table's row interning: each distinct *global* row is gathered
+/// (global GPU order → local GPU order) and interned exactly once, then
+/// every job binds its local row by id. With J jobs sharing U unique rows
+/// this is O(U·G_local + J) instead of the old per-cell O(J·G_local) set()
+/// loop — at 100k jobs over a handful of profiles the rebuild cost drops by
+/// orders of magnitude, and the local table shares rows exactly like the
+/// global one (memory stays flat). Values are copied verbatim, so the
+/// resulting table reads bit-identically to the legacy per-cell fill.
+namespace {
+void gather_local_times(const profiler::TimeTable& times,
+                        const std::vector<JobId>& shard_jobs,
+                        const std::vector<GpuId>& shard_gpus,
+                        std::vector<Time>& tc_gather,
+                        std::vector<Time>& ts_gather,
+                        std::vector<std::uint32_t>& row_map,
+                        profiler::TimeTable& local_times) {
+  const std::size_t local_gpus = shard_gpus.size();
+  local_times.reset(shard_jobs.size(), local_gpus);
+  row_map.assign(times.row_count(), kNoLocalRow);
+  tc_gather.resize(local_gpus);
+  ts_gather.resize(local_gpus);
+  for (std::size_t lj = 0; lj < shard_jobs.size(); ++lj) {
+    const JobId global = shard_jobs[lj];
+    std::uint32_t& local_row = row_map[times.row_of(global)];
+    if (local_row == kNoLocalRow) {
+      const Time* gtc = times.tc_row(global);
+      const Time* gts = times.ts_row(global);
+      for (std::size_t lg = 0; lg < local_gpus; ++lg) {
+        const std::size_t gg =
+            static_cast<std::size_t>(shard_gpus[lg].value());
+        tc_gather[lg] = gtc[gg];
+        ts_gather[lg] = gts[gg];
+      }
+      local_row = local_times.intern_row(tc_gather.data(), ts_gather.data());
+    }
+    local_times.bind_row(JobId(static_cast<int>(lj)), local_row);
+  }
+}
 }  // namespace
 
 sim::Schedule HierarchicalPlanner::schedule(
@@ -94,7 +154,18 @@ double HierarchicalPlanner::schedule_online(const sched::SchedulerInput& input,
 
   const ShardPartition partition = partition_cluster(cluster, config_.shards);
   const std::size_t shard_count = partition.size();
-  if (shard_scratch_.size() < shard_count) shard_scratch_.resize(shard_count);
+
+  // One engine for the whole call (nested fan-out guard: already on a pool
+  // worker → plan inline rather than oversubscribing with a second pool),
+  // and scratch slots pre-sized for every thread that may plan a shard.
+  const bool nested = common::ThreadPool::current() != nullptr;
+  exp::Engine engine(
+      exp::Engine::Options{config_.workers, config_.serial || nested});
+  const std::size_t scratch_slots =
+      1 + (nested ? common::ThreadPool::current()->size() : engine.workers());
+  if (worker_scratch_.size() < scratch_slots) {
+    worker_scratch_.resize(scratch_slots);
+  }
 
   // ---- Level 1: assign the batch's jobs, loads seeded from φ -------------
   std::vector<std::vector<JobId>> shard_jobs(shard_count);
@@ -165,7 +236,7 @@ double HierarchicalPlanner::schedule_online(const sched::SchedulerInput& input,
   }
 
   // ---- Level 2: plan only the shards that received batch jobs ------------
-  struct OnlineOutcome {
+  struct alignas(64) OnlineOutcome {
     bool planned = false;
     std::vector<std::vector<TaskId>> sequences;  ///< per local gpu, global ids
     std::vector<std::pair<std::size_t, Time>> starts;
@@ -180,25 +251,19 @@ double HierarchicalPlanner::schedule_online(const sched::SchedulerInput& input,
     const ShardSpec& spec = partition.shards[s];
     const std::size_t local_gpus = spec.gpus.size();
 
-    // Batch-local sub-jobset / sub-table in the shard's scratch slot: the
-    // serve loop replans shards every admission batch, so the storage is
-    // reused across batches instead of being malloc'd fresh per replan.
-    workload::JobSet& local_jobs = shard_scratch_[s].jobs;
+    // Batch-local sub-jobset / sub-table in the *calling thread's* scratch
+    // slot: the serve loop replans shards every admission batch, so each
+    // worker reuses its own storage across batches instead of malloc'ing
+    // fresh per replan (and no two workers share a slot).
+    WorkerScratch& scratch = scratch_slot();
+    workload::JobSet& local_jobs = scratch.jobs;
     local_jobs.clear();
     for (const JobId global : shard_jobs[s]) {
       local_jobs.add_job(jobs.job(global).spec);
     }
-    profiler::TimeTable& local_times = shard_scratch_[s].times;
-    local_times.reset(local_jobs.job_count(), local_gpus);
-    for (std::size_t lj = 0; lj < shard_jobs[s].size(); ++lj) {
-      const JobId global = shard_jobs[s][lj];
-      const JobId local(static_cast<int>(lj));
-      for (std::size_t lg = 0; lg < local_gpus; ++lg) {
-        const GpuId gg = spec.gpus[lg];
-        local_times.set(local, GpuId(static_cast<int>(lg)),
-                        times.tc(global, gg), times.ts(global, gg));
-      }
-    }
+    profiler::TimeTable& local_times = scratch.times;
+    gather_local_times(times, shard_jobs[s], spec.gpus, scratch.tc_gather,
+                       scratch.ts_gather, scratch.row_map, local_times);
 
     core::HareConfig hare = config_.hare;
     hare.relaxation.mode = core::RelaxMode::Fluid;
@@ -221,8 +286,7 @@ double HierarchicalPlanner::schedule_online(const sched::SchedulerInput& input,
       const workload::Task& t = local_jobs.task(local_task);
       const workload::Job& g =
           jobs.job(shard_jobs[s][static_cast<std::size_t>(t.job.value())]);
-      return g.tasks[static_cast<std::size_t>(t.round) * g.tasks_per_round() +
-                     t.slot];
+      return g.task_at(static_cast<std::uint32_t>(t.round), t.slot);
     };
     outcome.sequences.resize(local_gpus);
     for (std::size_t lg = 0; lg < local_gpus; ++lg) {
@@ -243,9 +307,6 @@ double HierarchicalPlanner::schedule_online(const sched::SchedulerInput& input,
   std::vector<OnlineOutcome> outcomes(shard_count);
   {
     HARE_SPAN("shard", "shard.plan_shards");
-    const bool nested = common::ThreadPool::current() != nullptr;
-    exp::Engine engine(
-        exp::Engine::Options{config_.workers, config_.serial || nested});
     outcomes = engine.map(shard_count, plan_shard);
   }
 
@@ -304,9 +365,23 @@ sim::Schedule HierarchicalPlanner::plan(
   last_plan_ = HierarchicalPlanInfo{};
   last_plan_.shard_count = shard_count;
   last_plan_.shards.resize(shard_count);
-  if (shard_scratch_.size() < shard_count) shard_scratch_.resize(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
     last_plan_.shards[s].gpus = partition.shards[s].gpus.size();
+  }
+
+  // One engine for the whole plan — the shard fan-out *and* the migration
+  // re-plan share it, so the pool spins up once per call. Nested fan-out
+  // guard: already on a pool worker (e.g. inside an exp sweep cell) → plan
+  // inline rather than oversubscribing with a second pool. Worker scratch
+  // is pre-sized here for every thread that may plan a shard (slot 0 = the
+  // non-worker caller, used by the serial and order-hook paths).
+  const bool nested = common::ThreadPool::current() != nullptr;
+  exp::Engine engine(
+      exp::Engine::Options{config_.workers, config_.serial || nested});
+  const std::size_t scratch_slots =
+      1 + (nested ? common::ThreadPool::current()->size() : engine.workers());
+  if (worker_scratch_.size() < scratch_slots) {
+    worker_scratch_.resize(scratch_slots);
   }
 
   // Type summaries outlive level 1: the migration pass re-evaluates fluid
@@ -409,28 +484,21 @@ sim::Schedule HierarchicalPlanner::plan(
     if (shard_jobs[s].empty()) return outcome;
 
     // Re-index the shard's jobs and times: local JobId = position in the
-    // ascending global-id list, local tasks map positionally through
-    // Job::tasks (both are round-major). The sub-jobset and sub-table live
-    // in the shard's scratch slot, so their storage is reused across plan
-    // calls and migration re-plans.
-    workload::JobSet& local_jobs = shard_scratch_[s].jobs;
+    // ascending global-id list, local tasks map positionally (task ids are
+    // round-major on both sides). The sub-jobset and sub-table live in the
+    // planning thread's scratch slot, so their storage is reused across
+    // every shard that thread plans, across plan calls, and across
+    // migration re-plans.
+    WorkerScratch& scratch = scratch_slot();
+    workload::JobSet& local_jobs = scratch.jobs;
     local_jobs.clear();
     for (const JobId global : shard_jobs[s]) {
       local_jobs.add_job(jobs.job(global).spec);
     }
     const std::size_t local_gpus = spec.gpus.size();
-    profiler::TimeTable& local_times = shard_scratch_[s].times;
-    local_times.reset(local_jobs.job_count(), local_gpus);
-    for (std::size_t lj = 0; lj < shard_jobs[s].size(); ++lj) {
-      const JobId global = shard_jobs[s][lj];
-      const JobId local(static_cast<int>(lj));
-      for (std::size_t lg = 0; lg < local_gpus; ++lg) {
-        const GpuId gg = spec.gpus[lg];
-        const GpuId lgpu(static_cast<int>(lg));
-        local_times.set(local, lgpu, times.tc(global, gg),
-                        times.ts(global, gg));
-      }
-    }
+    profiler::TimeTable& local_times = scratch.times;
+    gather_local_times(times, shard_jobs[s], spec.gpus, scratch.tc_gather,
+                       scratch.ts_gather, scratch.row_map, local_times);
 
     core::HareConfig hare = config_.hare;
     if (config_.lp_max_jobs > 0) {
@@ -454,8 +522,7 @@ sim::Schedule HierarchicalPlanner::plan(
       const workload::Task& t = local_jobs.task(local_task);
       const workload::Job& g =
           jobs.job(shard_jobs[s][static_cast<std::size_t>(t.job.value())]);
-      return g.tasks[static_cast<std::size_t>(t.round) * g.tasks_per_round() +
-                     t.slot];
+      return g.task_at(static_cast<std::uint32_t>(t.round), t.slot);
     };
     for (std::size_t lg = 0; lg < local_gpus; ++lg) {
       outcome.sequences[lg].reserve(local.sequences[lg].size());
@@ -482,12 +549,6 @@ sim::Schedule HierarchicalPlanner::plan(
                      "plan order must permute the shards");
       for (const std::size_t s : *order) outcomes[s] = plan_shard(s);
     } else {
-      // Nested fan-out guard: already on a pool worker (e.g. inside an exp
-      // sweep cell) → plan inline rather than oversubscribing with a
-      // second pool.
-      const bool nested = common::ThreadPool::current() != nullptr;
-      exp::Engine engine(exp::Engine::Options{
-          config_.workers, config_.serial || nested});
       outcomes = engine.map(shard_count, plan_shard);
     }
   }
@@ -510,18 +571,23 @@ sim::Schedule HierarchicalPlanner::plan(
         start_of[task_value] = start;
       }
     }
-    // Realized horizon per shard: the latest compute finish of any planned
-    // task (sync overlaps the successor, matching the φ commitment rule).
+    // Realized horizon per shard and realized completion per job: the
+    // latest compute finish of any planned task (sync overlaps the
+    // successor, matching the φ commitment rule).
     std::vector<double> horizon(shard_count, 0.0);
+    std::vector<double> completion(jobs.job_count(), 0.0);
     for (std::size_t s = 0; s < shard_count; ++s) {
       const ShardSpec& spec = partition.shards[s];
       for (std::size_t lg = 0; lg < spec.gpus.size(); ++lg) {
         const GpuId gg = spec.gpus[lg];
         for (const TaskId t : outcomes[s].sequences[lg]) {
+          const JobId owner = jobs.task(t).job;
           const double finish =
               start_of[static_cast<std::size_t>(t.value())] +
-              times.tc(jobs.task(t).job, gg);
+              times.tc(owner, gg);
           horizon[s] = std::max(horizon[s], finish);
+          completion[static_cast<std::size_t>(owner.value())] = std::max(
+              completion[static_cast<std::size_t>(owner.value())], finish);
         }
       }
     }
@@ -530,11 +596,14 @@ sim::Schedule HierarchicalPlanner::plan(
       if (horizon[s] > horizon[donor]) donor = s;  // ties stay low
     }
 
-    // Donor marginal value: rank the donor's jobs by the fluid capacity a
-    // move would free (work over fitting GPUs), largest first.
+    // Candidate ranking: queueing delay — how far the realized plan pushed
+    // the job past its own fluid best case on the donor (arrival + work
+    // over fitting GPUs). Jobs with no delay are not queued and never
+    // candidates; the most-delayed jobs are exactly the straddlers the
+    // level-1 mirage stranded, so they go first.
     struct Candidate {
       JobId job;
-      double freed = 0.0;
+      double delay = 0.0;
     };
     std::vector<Candidate> candidates;
     candidates.reserve(shard_jobs[donor].size());
@@ -546,25 +615,36 @@ sim::Schedule HierarchicalPlanner::plan(
       const double work = static_cast<double>(job.rounds()) *
                           static_cast<double>(job.tasks_per_round()) *
                           best_round;
-      candidates.push_back(
-          Candidate{job_id, work / static_cast<double>(fitting)});
+      const double fluid_best =
+          job.spec.arrival + work / static_cast<double>(fitting);
+      const double delay =
+          completion[static_cast<std::size_t>(job_id.value())] - fluid_best;
+      if (delay <= 0.0) continue;
+      candidates.push_back(Candidate{job_id, delay});
     }
     std::sort(candidates.begin(), candidates.end(),
               [](const Candidate& a, const Candidate& b) {
-                if (a.freed != b.freed) return a.freed > b.freed;
+                if (a.delay != b.delay) return a.delay > b.delay;
                 return a.job < b.job;
               });
 
-    // Receiver headroom test: the job must complete — by the fluid
-    // estimate, appended after the receiver's standing horizon — before
-    // the donor horizon it is escaping. `head` advances with each
-    // tentative move so one receiver cannot absorb unbounded work.
+    // Receiver test: the job must complete — by the fluid estimate,
+    // appended on the receiver's assignment-time fluid load — strictly
+    // before its *own realized completion* on the donor. Seeding `head`
+    // from the level-1 fluid loads (not the realized horizons) is what
+    // lets migration engage on arrival-dominated streamed instances, where
+    // every realized horizon sits at the last arrival and the old
+    // horizon-based test never fired. `head` advances with each tentative
+    // move so one receiver cannot absorb unbounded work.
     struct Move {
       JobId job;
       std::size_t to = 0;
     };
     std::vector<Move> moves;
-    std::vector<double> head = horizon;
+    std::vector<double> head(shard_count, 0.0);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      head[s] = last_plan_.shards[s].est_load;
+    }
     for (const Candidate& c : candidates) {
       if (moves.size() >= config_.migration_max_moves) break;
       const workload::Job& job = jobs.job(c.job);
@@ -586,16 +666,34 @@ sim::Schedule HierarchicalPlanner::plan(
           best = s;
         }
       }
-      if (best == shard_count || best_est >= horizon[donor]) continue;
+      if (best == shard_count ||
+          best_est >= completion[static_cast<std::size_t>(c.job.value())]) {
+        continue;
+      }
       head[best] = best_est;
       moves.push_back(Move{c.job, best});
     }
+    common::log_debug("shard.migrate: donor ", donor, " horizon ",
+                      horizon[donor], ", ", candidates.size(),
+                      " delayed candidates, ", moves.size(),
+                      " moves proposed");
 
-    if (!moves.empty()) {
+    // An all-or-nothing bundle can overshoot: the fluid receiver estimate
+    // underprices realized queueing, so moving every accepted candidate at
+    // once may cost more than it frees and the objective gate rejects the
+    // lot. Halving backoff keeps the highest-delay prefix — the jobs with
+    // the most to gain — and retries until a bundle pays for itself (or
+    // the single best move doesn't, and migration stays a no-op). The
+    // extra re-plans are bounded by log2(migration_max_moves) and touch
+    // only the affected shards; every attempt is deterministic, so the
+    // fan-out/order bit-identity contract is untouched.
+    std::size_t bundle = moves.size();
+    while (bundle > 0) {
       std::vector<std::size_t> replan{donor};
-      for (const Move& m : moves) {
-        if (std::find(replan.begin(), replan.end(), m.to) == replan.end()) {
-          replan.push_back(m.to);
+      for (std::size_t m = 0; m < bundle; ++m) {
+        if (std::find(replan.begin(), replan.end(), moves[m].to) ==
+            replan.end()) {
+          replan.push_back(moves[m].to);
         }
       }
       std::sort(replan.begin(), replan.end());
@@ -606,10 +704,10 @@ sim::Schedule HierarchicalPlanner::plan(
         saved_jobs[i] = shard_jobs[replan[i]];
         saved_outcomes[i] = std::move(outcomes[replan[i]]);
       }
-      for (const Move& m : moves) {
+      for (std::size_t m = 0; m < bundle; ++m) {
         auto& from = shard_jobs[donor];
-        from.erase(std::find(from.begin(), from.end(), m.job));
-        shard_jobs[m.to].push_back(m.job);
+        from.erase(std::find(from.begin(), from.end(), moves[m].job));
+        shard_jobs[moves[m].to].push_back(moves[m].job);
       }
       for (const std::size_t s : replan) {
         std::sort(shard_jobs[s].begin(), shard_jobs[s].end());
@@ -620,9 +718,6 @@ sim::Schedule HierarchicalPlanner::plan(
         if (order != nullptr) {
           for (const std::size_t s : replan) outcomes[s] = plan_shard(s);
         } else {
-          const bool nested = common::ThreadPool::current() != nullptr;
-          exp::Engine engine(exp::Engine::Options{
-              config_.workers, config_.serial || nested});
           std::vector<ShardOutcome> fresh = engine.map(
               replan.size(),
               [&](std::size_t i) { return plan_shard(replan[i]); });
@@ -636,20 +731,25 @@ sim::Schedule HierarchicalPlanner::plan(
       double after = 0.0;
       for (const ShardOutcome& o : saved_outcomes) before += o.objective;
       for (const std::size_t s : replan) after += outcomes[s].objective;
+      common::log_debug("shard.migrate: bundle of ", bundle, " across ",
+                        replan.size(), " shards, objective ", before,
+                        " -> ", after,
+                        after < before ? " (accepted)" : " (rejected)");
       if (after < before) {
-        last_plan_.migrated_jobs = moves.size();
+        last_plan_.migrated_jobs = bundle;
         for (const std::size_t s : replan) {
           last_plan_.shards[s].jobs = shard_jobs[s].size();
         }
-        migrations_counter.add(static_cast<double>(moves.size()));
-      } else {
-        // The re-plan did not pay for the moves: restore the original
-        // assignment and outcomes untouched.
-        for (std::size_t i = 0; i < replan.size(); ++i) {
-          shard_jobs[replan[i]] = std::move(saved_jobs[i]);
-          outcomes[replan[i]] = std::move(saved_outcomes[i]);
-        }
+        migrations_counter.add(static_cast<double>(bundle));
+        break;
       }
+      // The re-plan did not pay for this bundle: restore the original
+      // assignment and outcomes untouched, then try the smaller prefix.
+      for (std::size_t i = 0; i < replan.size(); ++i) {
+        shard_jobs[replan[i]] = std::move(saved_jobs[i]);
+        outcomes[replan[i]] = std::move(saved_outcomes[i]);
+      }
+      bundle /= 2;
     }
   }
 

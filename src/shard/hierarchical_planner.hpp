@@ -19,14 +19,18 @@
 // migration pass. The level-1 fluid estimate can strand jobs that straddled
 // a shard boundary (the donor looked marginally better at assignment time,
 // but the realized plan queues them): the pass finds the max-horizon donor
-// shard, ranks its jobs by the fluid capacity a move would free (the donor
-// marginal value), offers each to the receiver with the earliest fluid
-// completion estimate provided that estimate lands inside the donor's
-// horizon (the receiver headroom test), re-plans only the affected shards,
-// and keeps the result only when the summed planned objective strictly
-// improves. Every decision is computed serially from the barriered
-// outcomes, so serial, pooled, and order-shuffled runs still agree bit for
-// bit.
+// shard, ranks its jobs by realized queueing delay (planned completion
+// minus the job's own fluid best case on the donor), offers each to the
+// receiver with the earliest fluid completion estimate — seeded from the
+// assignment-time fluid loads, so the test engages even on
+// arrival-dominated streamed instances where every realized horizon sits at
+// the last arrival — provided that estimate strictly beats the job's
+// realized completion. It then re-plans only the affected shards and keeps
+// the result only when the summed planned objective strictly improves,
+// halving the move bundle down to its highest-delay prefix when a larger
+// bundle overshoots that gate.
+// Every decision is computed serially from the barriered outcomes, so
+// serial, pooled, and order-shuffled runs still agree bit for bit.
 //
 // Planning cost: a flat plan is Ω(J·G) in the fitting matrix and masked
 // T^c rows alone; with S shards each sub-instance is ~(J/S)·(G/S), so even
@@ -42,6 +46,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/hare_scheduler.hpp"
@@ -136,23 +141,32 @@ class HierarchicalPlanner final : public sched::Scheduler {
   }
 
  private:
-  /// Per-shard planning buffers — the local sub-jobset and sub-timetable a
-  /// shard plan is built from. Slot-indexed by shard (the pooled fan-out
-  /// writes disjoint entries) and kept on the planner, so the allocations
-  /// survive across plan calls, migration re-plans, and the serve loop's
-  /// repeated online batches instead of being rebuilt from malloc each
-  /// time.
-  struct ShardScratch {
+  /// Per-*worker* planning buffers — the local sub-jobset, sub-timetable,
+  /// and row-gather staging a shard plan is built from. Slots are keyed by
+  /// ThreadPool::current_worker_index() (slot 0 = the non-worker caller),
+  /// so each pool worker reuses **its own** buffers across every shard it
+  /// plans: capacity survives across shards, plan calls, migration
+  /// re-plans, and the serve loop's repeated online batches, and no two
+  /// threads ever touch the same slot. Cache-line alignment keeps one
+  /// worker's vector headers out of its neighbours' lines (false-sharing
+  /// guard for the pooled fan-out's hot rebuild loop).
+  struct alignas(64) WorkerScratch {
     workload::JobSet jobs;
     profiler::TimeTable times;
+    std::vector<Time> tc_gather;   ///< one local row being gathered
+    std::vector<Time> ts_gather;   ///< one local row being gathered
+    std::vector<std::uint32_t> row_map;  ///< global row id → local row id
   };
+
+  /// The calling thread's scratch slot (grown on demand; see WorkerScratch).
+  [[nodiscard]] WorkerScratch& scratch_slot();
 
   [[nodiscard]] sim::Schedule plan(const sched::SchedulerInput& input,
                                    const std::vector<std::size_t>* order);
 
   ShardPlannerConfig config_;
   HierarchicalPlanInfo last_plan_;
-  std::vector<ShardScratch> shard_scratch_;
+  std::vector<WorkerScratch> worker_scratch_;
 };
 
 }  // namespace hare::shard

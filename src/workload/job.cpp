@@ -18,8 +18,7 @@ JobId JobSet::add_job(JobSpec spec) {
   Job job;
   job.id = JobId(static_cast<JobId::underlying_type>(jobs_.size()));
   job.spec = std::move(spec);
-  job.tasks.reserve(static_cast<std::size_t>(job.spec.rounds) *
-                    job.spec.tasks_per_round);
+  job.first_task = TaskId(static_cast<TaskId::underlying_type>(tasks_.size()));
   for (std::uint32_t r = 0; r < job.spec.rounds; ++r) {
     for (std::uint32_t k = 0; k < job.spec.tasks_per_round; ++k) {
       Task task;
@@ -27,7 +26,6 @@ JobId JobSet::add_job(JobSpec spec) {
       task.job = job.id;
       task.round = static_cast<RoundIndex>(r);
       task.slot = k;
-      job.tasks.push_back(task.id);
       tasks_.push_back(task);
     }
   }
@@ -48,14 +46,12 @@ const Task& JobSet::task(TaskId id) const {
   return tasks_[static_cast<std::size_t>(id.value())];
 }
 
-std::span<const TaskId> JobSet::round_tasks(JobId job_id,
-                                            RoundIndex round) const {
+TaskIdRange JobSet::round_tasks(JobId job_id, RoundIndex round) const {
   const Job& j = job(job_id);
   HARE_CHECK_MSG(round >= 0 && static_cast<std::uint32_t>(round) < j.rounds(),
                  "round out of range for job " << job_id << ": " << round);
-  const std::size_t offset =
-      static_cast<std::size_t>(round) * j.tasks_per_round();
-  return {j.tasks.data() + offset, j.tasks_per_round()};
+  return TaskIdRange(j.task_at(static_cast<std::uint32_t>(round), 0),
+                     j.tasks_per_round());
 }
 
 Time JobSet::earliest_arrival() const {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/resource.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -403,6 +404,41 @@ TEST(ThreadPool, DistinctPoolsDoNotLookNested) {
     });
   });
   EXPECT_EQ(hits.load(), 32);
+}
+
+// ------------------------------------------------------------- resource --
+
+TEST(Resource, PeakRssReportsPlatformContract) {
+#if defined(__unix__) || defined(__APPLE__)
+  // The platform exposes getrusage: the helper must report a positive,
+  // plausible peak (a running test binary is at least a few hundred KiB
+  // and far below 1 TiB).
+  const std::size_t rss = common::peak_rss_bytes();
+  EXPECT_GT(rss, 100u * 1024);
+  EXPECT_LT(rss, std::size_t{1} << 40);
+#if defined(__linux__)
+  // Linux reports ru_maxrss in KiB; the byte normalization makes the
+  // result an exact KiB multiple. A unit mix-up (reporting raw KiB as
+  // bytes, or scaling twice) breaks either this or the bounds above.
+  EXPECT_EQ(rss % 1024, 0u);
+#endif
+#else
+  // Documented fallback: platforms without the call report 0 so callers
+  // can print unconditionally and gate only on nonzero.
+  EXPECT_EQ(common::peak_rss_bytes(), 0u);
+#endif
+}
+
+TEST(Resource, PeakRssIsMonotonic) {
+  const std::size_t before = common::peak_rss_bytes();
+  // Touch a fresh allocation so the peak has a chance to move; whether or
+  // not it does, the reported peak must never decrease within a process.
+  std::vector<char> ballast(4 * 1024 * 1024);
+  for (std::size_t i = 0; i < ballast.size(); i += 4096) {
+    ballast[i] = static_cast<char>(i);
+  }
+  const std::size_t after = common::peak_rss_bytes();
+  EXPECT_GE(after, before);
 }
 
 // ---------------------------------------------------------------- error --

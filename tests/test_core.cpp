@@ -143,7 +143,8 @@ TEST(Relaxation, ModesAgreeOnOrderingShape) {
     const RelaxationResult result =
         HareRelaxation(config).solve(shell.cluster, jobs, times);
     // Heavy-short job's task must carry the smaller H.
-    EXPECT_LT(result.h[0], result.h[jobs.job(JobId(1)).tasks.front().value()]);
+    EXPECT_LT(result.h[0],
+              result.h[jobs.job(JobId(1)).task_ids().front().value()]);
   }
 }
 

@@ -83,7 +83,7 @@ void check_completed_job_invariants(const Instance& inst,
   for (const auto& job : inst.jobs.jobs()) {
     const auto& record = result.jobs[static_cast<std::size_t>(job.id.value())];
     if (record.outcome != sim::JobOutcome::Completed) continue;
-    for (TaskId id : job.tasks) {
+    for (TaskId id : job.task_ids()) {
       const auto& task = result.tasks[static_cast<std::size_t>(id.value())];
       EXPECT_GE(task.attempts, 1u);
       EXPECT_GE(task.start + kEps, job.spec.arrival);

@@ -219,16 +219,40 @@ TEST(PlacementIndexBuckets, EngageOnExactTablesAndProbeIdentically) {
     }
   }
 
-  // Per-GPU noise breaks within-type row uniformity → the build detects it
-  // and the index falls back to the flat scan.
+  // Measurements are memoized per (shape, GPU type, uplink), so even the
+  // noisy no-db profiler now produces within-type-uniform rows and the
+  // bucketed index may engage on them.
   workload::PerfModel perf;
   profiler::Profiler noisy_profiler(perf, profiler::ProfilerConfig{}, 13);
-  const profiler::TimeTable noisy =
+  profiler::TimeTable noisy =
       noisy_profiler.profile(instance.jobs, instance.cluster);
   core::PlacementIndex from_noisy(noisy, instance.cluster.gpu_count(), fits,
                                   {}, nullptr, &instance.cluster,
                                   /*bucket_min_gpus=*/1);
-  EXPECT_FALSE(from_noisy.bucketed());
+  EXPECT_TRUE(from_noisy.bucketed());
+
+  // A genuinely per-GPU perturbation (one instance slower than its type
+  // siblings) must still be detected at build time and fall the index back
+  // to the flat scan — bit-identity stays unconditional.
+  JobId bumped_job{};
+  GpuId bumped_gpu{};
+  bool found = false;
+  for (std::size_t j = 0; j < fits.size() && !found; ++j) {
+    for (std::size_t g = 0; g < fits[j].size() && !found; ++g) {
+      if (fits[j][g]) {
+        bumped_job = JobId(static_cast<int>(j));
+        bumped_gpu = GpuId(static_cast<int>(g));
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+  noisy.set(bumped_job, bumped_gpu, noisy.tc(bumped_job, bumped_gpu) * 1.5,
+            noisy.ts(bumped_job, bumped_gpu));
+  core::PlacementIndex from_perturbed(noisy, instance.cluster.gpu_count(),
+                                      fits, {}, nullptr, &instance.cluster,
+                                      /*bucket_min_gpus=*/1);
+  EXPECT_FALSE(from_perturbed.bucketed());
 }
 
 TEST(PlannerEquivalence, BucketedIndexMatchesFlatScan) {

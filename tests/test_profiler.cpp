@@ -67,6 +67,95 @@ TEST(TimeTable, AlphaHomogeneousIsOne) {
 
 // -------------------------------------------------------------- profiler --
 
+TEST(TimeTable, InternedRowsShareStorageAndCopyOnWrite) {
+  TimeTable table(3, 2);
+  const Time tc[2] = {4.0, 2.0};
+  const Time ts[2] = {0.4, 0.2};
+  const TimeTable::RowId row = table.intern_row(tc, ts);
+  table.bind_row(JobId(0), row);
+  table.bind_row(JobId(1), row);
+  // Two jobs, one physical row (plus the zero row job 2 still sits on).
+  EXPECT_EQ(table.row_of(JobId(0)), table.row_of(JobId(1)));
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_DOUBLE_EQ(table.tc(JobId(0), GpuId(0)), 4.0);
+  EXPECT_DOUBLE_EQ(table.ts(JobId(1), GpuId(1)), 0.2);
+  EXPECT_DOUBLE_EQ(table.tc(JobId(2), GpuId(0)), 0.0);  // zero row
+
+  // Writing through the classic mutator detaches the written job only.
+  table.set(JobId(0), GpuId(0), 9.0, 0.9);
+  EXPECT_DOUBLE_EQ(table.tc(JobId(0), GpuId(0)), 9.0);
+  EXPECT_DOUBLE_EQ(table.tc(JobId(0), GpuId(1)), 2.0);  // copied, not zeroed
+  EXPECT_DOUBLE_EQ(table.tc(JobId(1), GpuId(0)), 4.0);  // neighbour untouched
+  EXPECT_NE(table.row_of(JobId(0)), table.row_of(JobId(1)));
+
+  // Writing the zero row detaches too: job 2's write must not leak into
+  // any job appended later (which starts on the shared zero row).
+  table.set(JobId(2), GpuId(1), 7.0, 0.7);
+  const std::size_t appended = table.append_job();
+  EXPECT_EQ(appended, 3u);
+  EXPECT_DOUBLE_EQ(table.tc(JobId(3), GpuId(1)), 0.0);
+  EXPECT_DOUBLE_EQ(table.tc(JobId(2), GpuId(1)), 7.0);
+}
+
+TEST(TimeTable, ResetReusesCapacityAndRestoresZeroState) {
+  TimeTable table(4, 3);
+  for (int j = 0; j < 4; ++j) {
+    for (int g = 0; g < 3; ++g) {
+      table.set(JobId(j), GpuId(g), 1.0 + j, 0.1 * (g + 1));
+    }
+  }
+  EXPECT_EQ(table.row_count(), 5u);  // zero row + one private row per job
+  table.precompute();
+
+  // Re-shape smaller: everything reads zero again, every job is back on
+  // the canonical zero row, and the arena shrinks to just that row.
+  table.reset(2, 3);
+  EXPECT_EQ(table.job_count(), 2u);
+  EXPECT_EQ(table.gpu_count(), 3u);
+  EXPECT_EQ(table.row_count(), 1u);
+  for (int j = 0; j < 2; ++j) {
+    for (int g = 0; g < 3; ++g) {
+      EXPECT_DOUBLE_EQ(table.tc(JobId(j), GpuId(g)), 0.0);
+      EXPECT_DOUBLE_EQ(table.ts(JobId(j), GpuId(g)), 0.0);
+    }
+    EXPECT_EQ(table.row_of(JobId(j)), TimeTable::kZeroRow);
+  }
+  // Stale aggregates must not survive the reset.
+  EXPECT_DOUBLE_EQ(table.min_tc(JobId(0)), 0.0);
+  EXPECT_DOUBLE_EQ(table.alpha(), 1.0);
+
+  // The reshaped table is fully writable again (grow the GPU axis too).
+  table.reset(3, 5);
+  table.set(JobId(2), GpuId(4), 3.0, 0.3);
+  EXPECT_DOUBLE_EQ(table.tc(JobId(2), GpuId(4)), 3.0);
+  EXPECT_DOUBLE_EQ(table.tc(JobId(0), GpuId(4)), 0.0);
+}
+
+TEST(TimeTable, RebindRecyclesOrphanedRows) {
+  TimeTable table(2, 2);
+  const Time a_tc[2] = {1.0, 2.0};
+  const Time a_ts[2] = {0.1, 0.2};
+  const Time b_tc[2] = {3.0, 4.0};
+  const Time b_ts[2] = {0.3, 0.4};
+  const TimeTable::RowId a = table.intern_row(a_tc, a_ts);
+  table.bind_row(JobId(0), a);
+  table.bind_row(JobId(1), a);
+  const TimeTable::RowId b = table.intern_row(b_tc, b_ts);
+  table.bind_row(JobId(0), b);
+  table.bind_row(JobId(1), b);  // row `a` now has no owners
+  const std::size_t rows_before = table.row_count();
+
+  // The next intern must reuse `a`'s slot instead of growing the arena.
+  const Time c_tc[2] = {5.0, 6.0};
+  const Time c_ts[2] = {0.5, 0.6};
+  const TimeTable::RowId c = table.intern_row(c_tc, c_ts);
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(table.row_count(), rows_before);
+  table.bind_row(JobId(0), c);
+  EXPECT_DOUBLE_EQ(table.tc(JobId(0), GpuId(0)), 5.0);
+  EXPECT_DOUBLE_EQ(table.tc(JobId(1), GpuId(1)), 4.0);
+}
+
 TEST(Profiler, ExactMatchesPerfModel) {
   const auto cluster = cluster::make_testbed_cluster();
   const auto jobs = make_jobs(5);
@@ -146,6 +235,92 @@ TEST(Profiler, DbKeyedByGpuTypeNotInstance) {
   ProfileDb db;
   (void)profiler.profile(jobs, cluster, &db);
   EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(Profiler, ShapeMemoSharesRowsBitwise) {
+  // Ten duplicates of three distinct shapes: the memo must measure each
+  // (shape, GPU type) once, bind every duplicate onto one interned row,
+  // and produce values bitwise equal to profiling the deduplicated job set
+  // under the same seed (the per-key seeds are drawn in canonical
+  // first-seen shape order, which the two sets share).
+  const cluster::Cluster cluster =
+      cluster::make_simulation_cluster(8, 25.0, 4);
+  workload::JobSet unique_jobs;
+  workload::JobSet dup_jobs;
+  for (int rep = 0; rep < 10; ++rep) {
+    for (int shape = 0; shape < 3; ++shape) {
+      workload::JobSpec spec;
+      spec.model = shape == 0   ? ModelType::ResNet50
+                   : shape == 1 ? ModelType::VGG19
+                                : ModelType::Transformer;
+      spec.rounds = 2;
+      spec.tasks_per_round = 2;
+      spec.batches_per_task = 10 + shape;
+      if (rep == 0) unique_jobs.add_job(spec);
+      dup_jobs.add_job(spec);
+    }
+  }
+
+  const workload::PerfModel perf;
+  Profiler deduped(perf, ProfilerConfig{}, 999);
+  const TimeTable reference = deduped.profile(unique_jobs, cluster);
+  EXPECT_EQ(deduped.last_rows_computed(), 3u);
+
+  Profiler duplicated(perf, ProfilerConfig{}, 999);
+  const TimeTable table = duplicated.profile(dup_jobs, cluster);
+  EXPECT_EQ(duplicated.last_rows_computed(), 3u);
+  // Same measurement keys (shape × GPU type) → same misses; the 10x job
+  // duplication shows up purely as extra memo hits.
+  EXPECT_EQ(duplicated.last_memo_misses(), deduped.last_memo_misses());
+  EXPECT_GT(duplicated.last_memo_hits(), deduped.last_memo_hits());
+  // Duplicates of a shape share one physical row; the arena stays at the
+  // deduplicated size (unique rows + the zero row).
+  EXPECT_EQ(table.row_of(JobId(0)), table.row_of(JobId(3)));
+  EXPECT_EQ(table.row_count(), reference.row_count());
+
+  for (std::size_t j = 0; j < dup_jobs.job_count(); ++j) {
+    const JobId ref_job(static_cast<int>(j % 3));
+    for (std::size_t g = 0; g < cluster.gpu_count(); ++g) {
+      const GpuId gpu(static_cast<int>(g));
+      EXPECT_EQ(table.tc(JobId(static_cast<int>(j)), gpu),
+                reference.tc(ref_job, gpu));
+      EXPECT_EQ(table.ts(JobId(static_cast<int>(j)), gpu),
+                reference.ts(ref_job, gpu));
+    }
+  }
+  // Memoized cost: the duplicated set pays for 3 shapes, not 30 jobs.
+  EXPECT_EQ(duplicated.last_profiling_cost(), deduped.last_profiling_cost());
+}
+
+TEST(Profiler, ParallelProfileBitIdenticalToSerial) {
+  // The measurement fan-out draws every per-key seed serially before any
+  // worker runs, so the parallel path must reproduce the serial path bit
+  // for bit — for the noisy profile() and the exact() table alike.
+  const cluster::Cluster cluster =
+      cluster::make_simulation_cluster(16, 25.0, 4);
+  const workload::JobSet jobs = make_jobs(40);
+  const workload::PerfModel perf;
+
+  ProfilerConfig serial_config;
+  serial_config.serial = true;
+  Profiler serial(perf, serial_config, 4242);
+  Profiler parallel(perf, ProfilerConfig{}, 4242);
+
+  const TimeTable noisy_serial = serial.profile(jobs, cluster);
+  const TimeTable noisy_parallel = parallel.profile(jobs, cluster);
+  const TimeTable exact_serial = serial.exact(jobs, cluster);
+  const TimeTable exact_parallel = parallel.exact(jobs, cluster);
+  for (std::size_t j = 0; j < jobs.job_count(); ++j) {
+    const JobId job(static_cast<int>(j));
+    for (std::size_t g = 0; g < cluster.gpu_count(); ++g) {
+      const GpuId gpu(static_cast<int>(g));
+      EXPECT_EQ(noisy_serial.tc(job, gpu), noisy_parallel.tc(job, gpu));
+      EXPECT_EQ(noisy_serial.ts(job, gpu), noisy_parallel.ts(job, gpu));
+      EXPECT_EQ(exact_serial.tc(job, gpu), exact_parallel.tc(job, gpu));
+      EXPECT_EQ(exact_serial.ts(job, gpu), exact_parallel.ts(job, gpu));
+    }
+  }
+  EXPECT_EQ(serial.last_rows_computed(), parallel.last_rows_computed());
 }
 
 TEST(Profiler, MismatchedTableRejectedBySimUsers) {

@@ -438,6 +438,49 @@ TEST(ShardMigration, InfeasibleReceiversAreSkipped) {
   expect_same_schedule(reference, pooled_planner.schedule(input));
 }
 
+TEST(ShardMigration, FiresOnImbalancedStreamedTrace) {
+  // Regression: the old receiver test demanded the fluid estimate land
+  // inside the donor's *realized horizon*, which on arrival-dominated
+  // streamed traces sits at the last arrival for every shard — no estimate
+  // could ever beat it, and the six-figure bench reported migrated_jobs: 0
+  // against an imbalance of 2.47. The delay-ranked candidates and
+  // fluid-load-seeded receiver test must move jobs on exactly this kind of
+  // instance (same trace family and shape as the bench's quick point).
+  const cluster::Cluster cluster =
+      cluster::make_simulation_cluster(256, 25.0, 8, 4);
+  workload::TraceConfig trace_config;
+  trace_config.job_count = 2000;
+  trace_config.base_arrival_rate = 0.5;
+  trace_config.rounds_scale_min = 0.02;
+  trace_config.rounds_scale_max = 0.08;
+  workload::TraceStream stream(8100, trace_config);
+  workload::JobSet jobs;
+  while (!stream.exhausted()) jobs.add_job(stream.next());
+  const workload::PerfModel perf;
+  profiler::Profiler profiler(perf, profiler::ProfilerConfig{}, 8100);
+  const profiler::TimeTable times = profiler.exact(jobs, cluster);
+  const sched::SchedulerInput input{cluster, jobs, times};
+
+  shard::ShardPlannerConfig config;
+  config.shards = 8;
+  config.serial = true;
+  shard::HierarchicalPlanner planner(config);
+  const sim::Schedule reference = planner.schedule(input);
+  sim::validate_schedule(reference, jobs);
+  EXPECT_GT(planner.last_plan().imbalance, 1.0);
+  EXPECT_GT(planner.last_plan().migrated_jobs, 0u);
+
+  // The migration decisions must not cost determinism: pooled fan-out
+  // agrees bit for bit, including the moved jobs.
+  shard::ShardPlannerConfig pooled = config;
+  pooled.serial = false;
+  pooled.workers = 4;
+  shard::HierarchicalPlanner pooled_planner(pooled);
+  expect_same_schedule(reference, pooled_planner.schedule(input));
+  EXPECT_EQ(pooled_planner.last_plan().migrated_jobs,
+            planner.last_plan().migrated_jobs);
+}
+
 // ---- Incremental Queyranne separation -------------------------------------
 
 TEST(IncrementalSeparator, MatchesFullSortOnDriftingPoints) {

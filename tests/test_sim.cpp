@@ -175,7 +175,7 @@ void check_invariants(const Instance& inst, const Schedule& schedule,
   }
   for (const auto& job : inst.jobs.jobs()) {
     // (4): no task before arrival.
-    for (TaskId id : job.tasks) {
+    for (TaskId id : job.task_ids()) {
       EXPECT_GE(result.tasks[static_cast<std::size_t>(id.value())].start +
                     kEps,
                 job.spec.arrival);
